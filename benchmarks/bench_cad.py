@@ -1,0 +1,86 @@
+"""EXP-T11: consistency under CAD + EAP is NP-complete (Theorem 11).
+
+The claim has no table in the paper; its measurable shape is *exponential
+growth* of any exact decision procedure.  The series below runs the exact
+CAD solver on Theorem 11 reduction instances of growing size (planted
+NAE-satisfiable formulas, so every instance is consistent and the solver
+cannot get lucky with an early refutation), and contrasts it with the
+polynomial open-world test (Theorem 12) on the *same databases* — the gap
+between the two series is the paper's point.
+
+The reduction is also cross-checked against the brute-force NAE oracle on
+every round.
+"""
+
+import pytest
+
+from repro.consistency.cad import cad_consistency
+from repro.consistency.pd_consistency import pd_consistency
+from repro.consistency.reduction import reduce_nae3sat_to_cad_consistency
+from repro.dependencies.conversion import fds_to_pds
+from repro.sat.nae3sat import nae_backtracking
+from repro.workloads.random_formulas import random_nae_satisfiable_3cnf
+
+
+def _instance(variables: int, seed: int):
+    formula = random_nae_satisfiable_3cnf(variables, max(2, variables), seed=seed)
+    instance = reduce_nae3sat_to_cad_consistency(formula)
+    return formula, instance
+
+
+@pytest.mark.benchmark(group="EXP-T11 CAD consistency (exact, NP-complete)")
+@pytest.mark.parametrize("variables", [3, 4, 5, 6])
+def test_cad_solver_scaling(benchmark, variables, rng_seed):
+    formula, instance = _instance(variables, rng_seed + variables)
+
+    def run():
+        return cad_consistency(instance.database, list(instance.fds))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["search_nodes"] = result.search_nodes
+    assert result.consistent  # planted formulas are NAE-satisfiable
+    assert nae_backtracking(formula) is not None
+
+
+@pytest.mark.benchmark(group="EXP-T11 contrast: open-world test on the same databases")
+@pytest.mark.parametrize("variables", [3, 4, 5, 6])
+def test_open_world_test_on_same_instances(benchmark, variables, rng_seed):
+    _, instance = _instance(variables, rng_seed + variables)
+    pds = fds_to_pds(instance.fds)
+
+    def run():
+        return pd_consistency(instance.database, pds)
+
+    result = benchmark(run)
+    assert result.consistent
+
+
+def _unsatisfiable_formula(variables: int, seed: int):
+    """A genuinely NAE-unsatisfiable proper 3CNF (dense random, verified by the oracle).
+
+    Refuting such an instance forces the exact CAD solver to exhaust its
+    search space, which is where the exponential behaviour of Theorem 11
+    becomes visible (satisfiable instances can be lucky).
+    """
+    from repro.workloads.random_formulas import random_3cnf
+
+    attempt = 0
+    while True:
+        formula = random_3cnf(variables, 4 * variables + attempt, seed=seed + attempt)
+        if nae_backtracking(formula) is None:
+            return formula
+        attempt += 1
+
+
+@pytest.mark.benchmark(group="EXP-T11 unsatisfiable (refutation) instances")
+@pytest.mark.parametrize("variables", [3, 4, 5, 6])
+def test_cad_solver_on_unsatisfiable_instances(benchmark, variables, rng_seed):
+    formula = _unsatisfiable_formula(variables, rng_seed + 17 * variables)
+    instance = reduce_nae3sat_to_cad_consistency(formula)
+
+    def run():
+        return cad_consistency(instance.database, list(instance.fds))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["search_nodes"] = result.search_nodes
+    assert not result.consistent

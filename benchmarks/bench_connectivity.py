@@ -1,0 +1,43 @@
+"""EXP-T4: the connectivity PD ``C = A + B`` on growing graphs (Example e / Theorem 4).
+
+The paper's point is qualitative — connectivity is expressible by a PD and by
+no first-order sentence — so the series here measure the *cost* of checking
+the PD as the Theorem 4 path relations ``r_i`` (single long chain, worst case
+for chain-following) and random forests grow:
+
+* the direct characterization (II), essentially two union-finds — near linear;
+* the canonical-interpretation route (Definition 7), which builds ``I(r)``
+  and the full block structure — noticeably heavier, same verdicts.
+
+Every round asserts the verdict (all these relations genuinely satisfy the PD).
+"""
+
+import pytest
+
+from repro.graphs.connectivity import components_by_partition_sum, satisfies_connectivity_pd
+from repro.graphs.families import theorem4_path_relation
+from repro.workloads.random_graphs import random_sparse_forest_relation
+
+
+@pytest.mark.benchmark(group="EXP-T4 connectivity check on path relations r_i")
+@pytest.mark.parametrize("i", [8, 32, 128, 256])
+@pytest.mark.parametrize("method", ["direct", "canonical"])
+def test_connectivity_on_theorem4_paths(benchmark, i, method):
+    relation = theorem4_path_relation(i)
+
+    def run():
+        return satisfies_connectivity_pd(relation, method=method)
+
+    assert benchmark(run) is True
+
+
+@pytest.mark.benchmark(group="EXP-T4 component counting on random forests")
+@pytest.mark.parametrize("vertices", [16, 64, 256])
+def test_component_counting_by_partition_sum(benchmark, vertices, rng_seed):
+    relation = random_sparse_forest_relation(vertices, seed=rng_seed)
+
+    def run():
+        return components_by_partition_sum(relation).block_count()
+
+    components = benchmark(run)
+    assert components >= 1

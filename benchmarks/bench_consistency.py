@@ -1,0 +1,62 @@
+"""EXP-T12: the polynomial-time consistency test for a database and a set of PDs.
+
+The series sweeps the database size (relations × tuples) with a fixed mixed
+PD set (FPDs plus one sum PD) and measures the full Theorem 12 pipeline:
+normalization (binarize, close with ALG, prune) plus the Honeyman chase.
+The expected shape is smooth polynomial growth — in contrast to the
+exponential EXP-T11 series on comparable input sizes.
+
+A second series isolates the two pipeline stages (normalization vs chase) as
+an ablation of where the time goes.
+"""
+
+import pytest
+
+from repro.consistency.normalization import normalize_dependencies
+from repro.consistency.pd_consistency import pd_consistency
+from repro.relational.weak_instance import weak_instance_consistency
+from repro.workloads.random_relations import random_consistent_database
+
+CONSTRAINTS = ["A = A*B", "B = B*C", "D = A + B", "C = C*E"]
+
+
+def _database(scale: int, seed: int):
+    database, _hidden = random_consistent_database(
+        relation_count=2 + scale,
+        universe_size=5,
+        attributes_per_relation=3,
+        tuples_per_relation=2 * scale,
+        seed=seed,
+    )
+    return database
+
+
+@pytest.mark.benchmark(group="EXP-T12 PD consistency (polynomial pipeline)")
+@pytest.mark.parametrize("scale", [1, 2, 4, 8])
+def test_pd_consistency_scaling(benchmark, scale, rng_seed):
+    database = _database(scale, rng_seed + scale)
+
+    def run():
+        return pd_consistency(database, CONSTRAINTS)
+
+    result = benchmark(run)
+    assert result.consistent in (True, False)
+    # The verdict must agree with running the chase on the normalized FD set directly.
+    normalized = normalize_dependencies(CONSTRAINTS)
+    assert result.consistent == weak_instance_consistency(database, normalized.fds).consistent
+
+
+@pytest.mark.benchmark(group="EXP-T12 ablation: normalization vs chase")
+@pytest.mark.parametrize("stage", ["normalize", "chase", "full"])
+def test_pipeline_stage_costs(benchmark, stage, rng_seed):
+    database = _database(4, rng_seed)
+    normalized = normalize_dependencies(CONSTRAINTS)
+
+    if stage == "normalize":
+        benchmark(normalize_dependencies, CONSTRAINTS)
+    elif stage == "chase":
+        result = benchmark(weak_instance_consistency, database, normalized.fds)
+        assert result.consistent in (True, False)
+    else:
+        result = benchmark(pd_consistency, database, CONSTRAINTS)
+        assert result.consistent in (True, False)

@@ -1,0 +1,49 @@
+"""EXP-FD: FD implication as the word problem for idempotent commutative semigroups (§5.3).
+
+Three deciders answer the same random FD-implication queries:
+
+* classical attribute-set closure (Beeri–Bernstein) — the fast path;
+* the semigroup word-problem wrapper (same algorithm, algebraic interface);
+* the FPD translation run through ALG — the paper's "FDs are a special case
+  of PDs" route, correct but with the overhead of the general machinery.
+
+Expected shape: closure ≈ semigroup ≪ ALG, with all three returning identical
+verdicts (asserted every round).
+"""
+
+import pytest
+
+from repro.dependencies.conversion import fd_to_pd, fds_to_pds
+from repro.implication.alg import pd_implies
+from repro.implication.word_problems import fd_implication_as_semigroup_problem
+from repro.relational.functional_dependencies import implies
+from repro.workloads.random_dependencies import random_fd_set
+
+
+def _workload(fd_count: int, seed: int, attribute_count: int = 6, queries: int = 10):
+    fds = random_fd_set(attribute_count, fd_count, seed=seed, max_side=3)
+    targets = random_fd_set(attribute_count, queries, seed=seed + 1, max_side=3)
+    return fds, targets
+
+
+@pytest.mark.benchmark(group="EXP-FD FD implication: closure vs semigroup vs ALG")
+@pytest.mark.parametrize("fd_count", [4, 8, 16])
+@pytest.mark.parametrize("decider", ["closure", "semigroup", "alg_on_fpds"])
+def test_fd_implication_deciders(benchmark, fd_count, decider, rng_seed):
+    fds, targets = _workload(fd_count, rng_seed + fd_count)
+
+    def closure_decider():
+        return [implies(fds, target) for target in targets]
+
+    def semigroup_decider():
+        return [fd_implication_as_semigroup_problem(fds, target) for target in targets]
+
+    def alg_decider():
+        translated = fds_to_pds(fds)
+        return [pd_implies(translated, fd_to_pd(target)) for target in targets]
+
+    run = {"closure": closure_decider, "semigroup": semigroup_decider, "alg_on_fpds": alg_decider}[
+        decider
+    ]
+    answers = benchmark(run)
+    assert answers == closure_decider()

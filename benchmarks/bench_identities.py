@@ -1,0 +1,68 @@
+"""EXP-T10: recognizing PD identities (E = ∅) is cheaper than general implication.
+
+Section 5.3 separates two problems: general PD implication (polynomial-time
+complete) and recognizing the PDs that are *always* true (lattice identities,
+solvable in logarithmic space).  The series below compare, on the same random
+equations, three deciders:
+
+* the memoized ``≤_id`` recursion (the practical Theorem 10 checker);
+* the explicit-stack, memory-frugal variant (the logspace flavour — slower,
+  tiny state);
+* full ALG with ``E = ∅`` (overkill for identities).
+
+The expected *shape*: the identity checkers stay far below ALG as the
+expression complexity grows, mirroring the logspace-vs-polynomial separation.
+"""
+
+import pytest
+
+from repro.implication.alg import pd_leq
+from repro.implication.identities import identically_leq, identically_leq_iterative
+from repro.workloads.random_expressions import random_expression_of_exact_complexity
+
+ATTRIBUTES = ["A", "B", "C"]
+
+
+def _pairs(complexity: int, seed: int, count: int = 8):
+    pairs = []
+    for index in range(count):
+        left = random_expression_of_exact_complexity(ATTRIBUTES, complexity, seed + 2 * index)
+        right = random_expression_of_exact_complexity(ATTRIBUTES, complexity, seed + 2 * index + 1)
+        pairs.append((left, right))
+    return pairs
+
+
+@pytest.mark.benchmark(group="EXP-T10 identity recognition")
+@pytest.mark.parametrize("complexity", [2, 4, 6, 8])
+@pytest.mark.parametrize("decider", ["leq_id_memoized", "leq_id_iterative", "alg_empty_e"])
+def test_identity_deciders(benchmark, complexity, decider, rng_seed):
+    pairs = _pairs(complexity, rng_seed)
+
+    functions = {
+        "leq_id_memoized": lambda left, right: identically_leq(left, right),
+        "leq_id_iterative": lambda left, right: identically_leq_iterative(left, right),
+        "alg_empty_e": lambda left, right: pd_leq([], left, right),
+    }
+    decide = functions[decider]
+
+    def run():
+        return [decide(left, right) for left, right in pairs]
+
+    answers = benchmark(run)
+    # All deciders agree with the reference (memoized) checker.
+    reference = [identically_leq(left, right) for left, right in pairs]
+    assert answers == reference
+
+
+@pytest.mark.benchmark(group="EXP-T10 axiom instances")
+def test_lattice_axioms_are_recognized(benchmark):
+    from repro.dependencies.pd import lattice_axiom_instances
+    from repro.implication.identities import is_pd_identity
+
+    instances = lattice_axiom_instances("A * B", "B + C", "A")
+
+    def run():
+        return [is_pd_identity(pd) for pd in instances]
+
+    results = benchmark(run)
+    assert all(results)

@@ -1,0 +1,72 @@
+"""EXP-T9: ALG decides PD implication in polynomial time (Theorem 9).
+
+Two series are produced:
+
+* scaling of the worklist ALG with the total input size (number of PDs ×
+  expression complexity) — the paper's claim is a polynomial (≈ n⁴ for the
+  naive formulation) bound, so the measured times should grow smoothly, not
+  explode;
+* an ablation comparing the worklist implementation against the literal
+  "repeat until no change" fixpoint from the paper on a fixed mid-size input.
+
+Workload: random PD sets over 4 attributes plus FD-style chains, generated
+with a fixed seed.  Every benchmark round asserts the decision itself so the
+two implementations cannot silently diverge.
+"""
+
+import pytest
+
+from repro.implication.alg import ImplicationEngine, alg_closure, alg_closure_naive, pd_implies
+from repro.workloads.random_dependencies import random_pd_set
+from repro.workloads.random_expressions import random_expression
+
+ATTRIBUTES = ["A", "B", "C", "D"]
+
+
+def _workload(pd_count: int, complexity: int, seed: int):
+    dependencies = random_pd_set(len(ATTRIBUTES), pd_count, seed=seed, max_complexity=complexity)
+    query_left = random_expression(ATTRIBUTES, seed + 1, complexity)
+    query_right = random_expression(ATTRIBUTES, seed + 2, complexity)
+    return dependencies, query_left, query_right
+
+
+@pytest.mark.benchmark(group="EXP-T9 ALG scaling (worklist)")
+@pytest.mark.parametrize("pd_count,complexity", [(2, 2), (4, 3), (8, 4), (16, 5), (32, 6)])
+def test_alg_scaling(benchmark, pd_count, complexity, rng_seed):
+    dependencies, left, right = _workload(pd_count, complexity, rng_seed)
+
+    def run():
+        engine = ImplicationEngine(dependencies, query_expressions=[left, right])
+        return engine.leq(left, right), engine.leq(right, left)
+
+    result = benchmark(run)
+    assert isinstance(result[0], bool) and isinstance(result[1], bool)
+
+
+@pytest.mark.benchmark(group="EXP-T9 ablation: worklist vs naive fixpoint")
+@pytest.mark.parametrize("variant", ["worklist", "naive"])
+def test_alg_worklist_vs_naive(benchmark, variant, rng_seed):
+    dependencies, left, right = _workload(6, 3, rng_seed)
+    closure_fn = alg_closure if variant == "worklist" else alg_closure_naive
+
+    def run():
+        return closure_fn(dependencies, [left, right])
+
+    relation = benchmark(run)
+    # Both variants must produce the identical arc set (Lemma 9.2).
+    reference = alg_closure(dependencies, [left, right])
+    assert relation.as_expression_pairs() == reference.as_expression_pairs()
+
+
+@pytest.mark.benchmark(group="EXP-T9 FD-chain transitivity")
+@pytest.mark.parametrize("chain_length", [4, 8, 16, 32])
+def test_alg_on_fd_chains(benchmark, chain_length):
+    # A1 <= A2 <= ... <= An: the query A1 <= An exercises long transitivity chains.
+    attributes = [f"A{i}" for i in range(1, chain_length + 1)]
+    dependencies = [
+        f"{attributes[i]} = {attributes[i]}*{attributes[i + 1]}" for i in range(chain_length - 1)
+    ]
+    query = f"{attributes[0]} = {attributes[0]}*{attributes[-1]}"
+
+    result = benchmark(pd_implies, dependencies, query)
+    assert result is True

@@ -1,0 +1,5 @@
+"""Setup shim for environments whose pip/setuptools cannot do PEP 660 editable installs."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,182 @@
+"""Consistency under CAD + EAP: the NP-complete variant (Theorem 6b, Theorem 11, §6.1).
+
+By Theorem 6b, a database ``d`` with a set ``E`` of FPDs has a satisfying
+partition interpretation obeying the complete-atomic-data and
+equal-atomic-populations assumptions iff ``d`` has a weak instance ``w``
+satisfying ``E_F`` with ``w[A] = d[A]`` for every attribute ``A`` — i.e. a
+weak instance that invents *no new symbols*.  Theorem 11 shows deciding this
+is NP-complete.
+
+This module implements an exact solver for the problem as a finite-domain
+constraint search:
+
+* one row per database tuple, padded out to the full universe (membership in
+  NP per the paper: one row per tuple suffices);
+* each padded cell ranges over ``d[A]`` (the symbols already present under
+  ``A`` anywhere in the database);
+* the constraints are the FDs ``E_F``.
+
+The search is backtracking with forward FD-violation checking and a
+most-constrained-cell heuristic.  Exponential in the worst case — that is the
+point of Theorem 11 — but fast enough to run the Figure 3 reduction and the
+EXP-T11 benchmark sweep, and exact (cross-checked against the NAE-3SAT
+oracle in the tests).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.consistency.normalization import validate_only_fpds
+from repro.dependencies.pd import PartitionDependencyLike
+from repro.errors import ConsistencyError
+from repro.partitions.canonical import canonical_interpretation
+from repro.partitions.interpretation import PartitionInterpretation
+from repro.relational.attributes import Attribute, AttributeSet, Symbol
+from repro.relational.database import Database
+from repro.relational.functional_dependencies import FunctionalDependency
+from repro.relational.relations import Relation
+from repro.relational.schema import RelationScheme
+from repro.relational.tuples import Row
+
+
+@dataclass(frozen=True)
+class CadConsistencyResult:
+    """Outcome of the CAD+EAP consistency test.
+
+    ``consistent`` — the verdict;
+    ``witness`` — a weak instance ``w`` with ``w[A] ⊆ d[A]`` per column and
+    one row per database tuple, satisfying the FDs (when consistent);
+    ``interpretation`` — ``I(w)``, which satisfies ``d``, ``E``, CAD and EAP;
+    ``search_nodes`` — number of assignments explored (the benchmark's cost measure).
+    """
+
+    consistent: bool
+    witness: Optional[Relation]
+    interpretation: Optional[PartitionInterpretation]
+    search_nodes: int
+
+
+def cad_consistency(
+    database: Database,
+    fds: Sequence[FunctionalDependency],
+    max_nodes: Optional[int] = None,
+) -> CadConsistencyResult:
+    """Exact CAD+EAP consistency test for a database and FDs ``E_F`` (Theorem 6b / 11).
+
+    ``max_nodes`` optionally bounds the number of explored search nodes; when
+    the bound is hit a :class:`ConsistencyError` is raised (so benchmark
+    sweeps can cap their cost without silently mis-reporting).
+    """
+    universe = database.universe
+    for fd in fds:
+        missing = AttributeSet(fd.attributes) - universe
+        if missing:
+            raise ConsistencyError(
+                f"FD {fd} mentions attributes {sorted(missing)} outside the database universe"
+            )
+
+    # Build the padded rows: a list of dicts attribute -> symbol or None (unknown).
+    template: list[dict[Attribute, Optional[Symbol]]] = []
+    for relation in database.relations:
+        for row in relation.sorted_rows():
+            cells: dict[Attribute, Optional[Symbol]] = {a: None for a in universe}
+            for attribute in relation.attributes:
+                cells[attribute] = row[attribute]
+            template.append(cells)
+    if not template:
+        raise ConsistencyError("the database has no tuples; CAD consistency is undefined")
+
+    domains: dict[Attribute, list[Symbol]] = {
+        attribute: sorted(database.symbols_under(attribute)) for attribute in universe
+    }
+
+    unknowns: list[tuple[int, Attribute]] = [
+        (row_index, attribute)
+        for row_index, cells in enumerate(template)
+        for attribute in universe
+        if cells[attribute] is None
+    ]
+    # Most-constrained first: smallest domain.
+    unknowns.sort(key=lambda cell: (len(domains[cell[1]]), cell[0], cell[1]))
+
+    for _, attribute in unknowns:
+        if not domains[attribute]:
+            # No symbol ever appears under this attribute, so no CAD-respecting
+            # weak instance can fill the column.
+            return CadConsistencyResult(False, None, None, 0)
+
+    fd_list = list(fds)
+    nodes = 0
+
+    def fd_consistent_so_far() -> bool:
+        """Check the FDs on the currently assigned cells (None = still unknown)."""
+        for fd in fd_list:
+            seen: dict[tuple[Symbol, ...], list[dict[Attribute, Optional[Symbol]]]] = {}
+            for cells in template:
+                lhs_values = tuple(cells[a] for a in fd.lhs)
+                if any(value is None for value in lhs_values):
+                    continue
+                bucket = seen.setdefault(lhs_values, [])
+                for other in bucket:
+                    for b in fd.rhs:
+                        left, right = cells[b], other[b]
+                        if left is not None and right is not None and left != right:
+                            return False
+                bucket.append(cells)
+        return True
+
+    def backtrack(index: int) -> bool:
+        nonlocal nodes
+        if index == len(unknowns):
+            return True
+        row_index, attribute = unknowns[index]
+        for symbol in domains[attribute]:
+            nodes += 1
+            if max_nodes is not None and nodes > max_nodes:
+                raise ConsistencyError(f"CAD search exceeded {max_nodes} nodes")
+            template[row_index][attribute] = symbol
+            if fd_consistent_so_far() and backtrack(index + 1):
+                return True
+            template[row_index][attribute] = None
+        return False
+
+    if not fd_consistent_so_far():
+        return CadConsistencyResult(False, None, None, 0)
+    if not backtrack(0):
+        return CadConsistencyResult(False, None, None, nodes)
+
+    rows = [Row({a: cells[a] for a in universe}) for cells in template]  # type: ignore[arg-type]
+    witness = Relation(RelationScheme("cad_weak_instance", universe), rows)
+    interpretation = canonical_interpretation(witness)
+    return CadConsistencyResult(True, witness, interpretation, nodes)
+
+
+def cad_consistency_for_fpds(
+    database: Database,
+    dependencies: Sequence[PartitionDependencyLike],
+    max_nodes: Optional[int] = None,
+) -> CadConsistencyResult:
+    """The same test with the constraints given as FPDs (the paper's statement of Theorem 11)."""
+    return cad_consistency(database, validate_only_fpds(dependencies), max_nodes=max_nodes)
+
+
+def verify_cad_witness(
+    database: Database, fds: Sequence[FunctionalDependency], witness: Relation
+) -> bool:
+    """Independent check of a claimed witness: weak instance, FDs, and ``w[A] = d[A]``.
+
+    Used by tests to validate the solver's output without trusting the search.
+    """
+    from repro.relational.weak_instance import is_weak_instance
+
+    if not is_weak_instance(witness, database):
+        return False
+    if not all(fd.is_satisfied_by(witness) for fd in fds):
+        return False
+    for attribute in database.universe:
+        if witness.column(attribute) != database.symbols_under(attribute):
+            return False
+    return True

@@ -1,0 +1,237 @@
+"""Normalization of a PD set for the Theorem 12 consistency test (§6.2).
+
+The polynomial consistency test first massages the PD set ``E`` into an
+equivalent (for weak-instance existence) set over a possibly larger attribute
+universe:
+
+1. **Binarization** (``E → E'``): repeatedly replace ``X = Y·Z`` / ``X = Y+Z``
+   with ``X = C``, ``Y = A``, ``Z = B`` and ``C = A·B`` / ``C = A+B`` where
+   ``A, B, C`` are fresh attribute names, until every PD relates single
+   attributes.
+2. **Re-expression**: ``C = A·B`` becomes the FPDs ``C ≤ A·B`` and
+   ``A·B ≤ C``; ``C = A+B`` becomes ``A ≤ C``, ``B ≤ C`` and the *sum PD*
+   ``C ≤ A+B`` (the only non-functional survivor).
+3. **Closure** (``E⁺``): add every consequence of the form ``A ≤ B`` between
+   attributes of the extended universe (computed with ALG), and drop any sum
+   PD ``C ≤ A+B`` for which ``A ≤ B`` or ``B ≤ A`` is already a consequence
+   (it is then subsumed by ``C ≤ B`` resp. ``C ≤ A``).
+
+The result is an :class:`NormalizedDependencies` value carrying the FPD part
+``F`` (as FDs, ready for the chase) and the surviving sum PDs.  Lemma 12.1
+then says a weak instance satisfying ``F`` can be repaired into one
+satisfying everything, so the chase on ``F`` alone decides consistency.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.dependencies.pd import PartitionDependency, PartitionDependencyLike, as_partition_dependency
+from repro.errors import ConsistencyError
+from repro.expressions.ast import Attr, PartitionExpression, Product, Sum
+from repro.implication.alg import ImplicationEngine
+from repro.relational.attributes import Attribute, AttributeSet
+from repro.relational.functional_dependencies import FunctionalDependency
+
+
+@dataclass(frozen=True)
+class SumConstraint:
+    """A surviving non-functional constraint ``C ≤ A + B``."""
+
+    c: Attribute
+    a: Attribute
+    b: Attribute
+
+    def as_pd(self) -> PartitionDependency:
+        """Render as the PD ``C = C·(A+B)``."""
+        c = Attr(self.c)
+        return PartitionDependency(c, Product(c, Sum(Attr(self.a), Attr(self.b))))
+
+    def __str__(self) -> str:
+        return f"{self.c} <= {self.a} + {self.b}"
+
+
+@dataclass
+class NormalizedDependencies:
+    """The output of the Theorem 12 normalization pipeline.
+
+    ``fds`` is the FPD part ``F`` of ``E⁺`` rendered as FDs over the extended
+    universe; ``sum_constraints`` are the surviving ``C ≤ A+B`` constraints;
+    ``fresh_attributes`` are the attribute names invented by binarization;
+    ``attribute_closure_pairs`` are all the ``A ≤ B`` consequences added by
+    the closure step (kept for inspection and for the EXPERIMENTS write-up).
+    """
+
+    original: list[PartitionDependency]
+    fds: list[FunctionalDependency] = field(default_factory=list)
+    sum_constraints: list[SumConstraint] = field(default_factory=list)
+    fresh_attributes: list[Attribute] = field(default_factory=list)
+    attribute_closure_pairs: list[tuple[Attribute, Attribute]] = field(default_factory=list)
+
+    @property
+    def universe(self) -> AttributeSet:
+        """All attributes mentioned after normalization (original + fresh)."""
+        attrs: set[Attribute] = set(self.fresh_attributes)
+        for pd in self.original:
+            attrs |= set(pd.attributes)
+        for fd in self.fds:
+            attrs |= set(fd.attributes)
+        for constraint in self.sum_constraints:
+            attrs |= {constraint.a, constraint.b, constraint.c}
+        return AttributeSet(attrs)
+
+
+class _FreshAttributeFactory:
+    """Generates fresh attribute names not colliding with a reserved set."""
+
+    def __init__(self, reserved: Iterable[Attribute], prefix: str = "Z") -> None:
+        self._reserved = set(reserved)
+        self._prefix = prefix
+        self._counter = itertools.count(1)
+
+    def new(self) -> Attribute:
+        while True:
+            candidate = f"{self._prefix}{next(self._counter)}"
+            if candidate not in self._reserved:
+                self._reserved.add(candidate)
+                return candidate
+
+
+def _binarize_expression(
+    expression: PartitionExpression,
+    factory: _FreshAttributeFactory,
+    equations: list[tuple[str, str, str, str]],
+    aliases: list[tuple[Attribute, Attribute]],
+) -> Attribute:
+    """Reduce an expression to a single attribute, recording binary equations.
+
+    ``equations`` collects tuples ``(op, C, A, B)`` meaning ``C = A op B``;
+    ``aliases`` collects attribute equalities introduced when a PD's side is
+    already a single attribute.
+    """
+    if isinstance(expression, Attr):
+        return expression.name
+    left = _binarize_expression(expression.left, factory, equations, aliases)  # type: ignore[attr-defined]
+    right = _binarize_expression(expression.right, factory, equations, aliases)  # type: ignore[attr-defined]
+    fresh = factory.new()
+    op = "*" if isinstance(expression, Product) else "+"
+    equations.append((op, fresh, left, right))
+    return fresh
+
+
+def binarize(
+    dependencies: Sequence[PartitionDependencyLike],
+) -> tuple[list[tuple[str, str, str, str]], list[tuple[Attribute, Attribute]], list[Attribute]]:
+    """Step 1: replace ``E`` by binary equations over an extended attribute universe.
+
+    Returns ``(equations, aliases, fresh_attributes)`` where ``equations`` are
+    ``(op, C, A, B)`` tuples (``C = A op B``) and ``aliases`` are pairs of
+    attributes constrained to be equal (arising from PDs whose two sides both
+    collapse to single attributes).
+    """
+    pds = [as_partition_dependency(pd) for pd in dependencies]
+    reserved: set[Attribute] = set()
+    for pd in pds:
+        reserved |= set(pd.attributes)
+    factory = _FreshAttributeFactory(reserved)
+    equations: list[tuple[str, str, str, str]] = []
+    aliases: list[tuple[Attribute, Attribute]] = []
+    for pd in pds:
+        left = _binarize_expression(pd.left, factory, equations, aliases)
+        right = _binarize_expression(pd.right, factory, equations, aliases)
+        if left != right:
+            aliases.append((left, right))
+    fresh = sorted(factory._reserved - reserved)
+    return equations, aliases, fresh
+
+
+def normalize_dependencies(
+    dependencies: Sequence[PartitionDependencyLike],
+) -> NormalizedDependencies:
+    """Run the full §6.2 normalization pipeline on a PD set."""
+    pds = [as_partition_dependency(pd) for pd in dependencies]
+    equations, aliases, fresh = binarize(pds)
+
+    # Step 2: re-express everything as FPDs (i.e. FDs) plus sum constraints.
+    fds: list[FunctionalDependency] = []
+    sum_constraints: list[SumConstraint] = []
+    binary_pds: list[PartitionDependency] = []
+
+    for left, right in aliases:
+        fds.append(FunctionalDependency([left], [right]))
+        fds.append(FunctionalDependency([right], [left]))
+        binary_pds.append(PartitionDependency(Attr(left), Attr(right)))
+    for op, c, a, b in equations:
+        if op == "*":
+            # C = A·B  ⇔  C ≤ A·B  and  A·B ≤ C.
+            fds.append(FunctionalDependency([c], [a, b]))
+            fds.append(FunctionalDependency([a, b], [c]))
+            binary_pds.append(PartitionDependency(Attr(c), Product(Attr(a), Attr(b))))
+        else:
+            # C = A+B  ⇔  A ≤ C, B ≤ C and C ≤ A+B.
+            fds.append(FunctionalDependency([a], [c]))
+            fds.append(FunctionalDependency([b], [c]))
+            sum_constraints.append(SumConstraint(c, a, b))
+            binary_pds.append(PartitionDependency(Attr(c), Sum(Attr(a), Attr(b))))
+
+    # Step 3: close under A ≤ B consequences (computed against the *original*
+    # PDs plus the binary equations, which are equivalent over the extended
+    # universe) and prune subsumed sum constraints.
+    universe: set[Attribute] = set(fresh)
+    for pd in pds:
+        universe |= set(pd.attributes)
+    engine = ImplicationEngine(list(pds) + binary_pds)
+    closure_pairs = engine.attribute_order_consequences(universe)
+    for a, b in closure_pairs:
+        fds.append(FunctionalDependency([a], [b]))
+
+    order = set(closure_pairs)
+    surviving: list[SumConstraint] = []
+    for constraint in sum_constraints:
+        if (constraint.a, constraint.b) in order:
+            # A ≤ B, so C ≤ A+B is subsumed by C ≤ B (already an FD via closure? add it).
+            fds.append(FunctionalDependency([constraint.c], [constraint.b]))
+            continue
+        if (constraint.b, constraint.a) in order:
+            fds.append(FunctionalDependency([constraint.c], [constraint.a]))
+            continue
+        surviving.append(constraint)
+
+    # Deduplicate FDs while preserving order.
+    unique_fds = list(dict.fromkeys(fds))
+    # Drop trivial FDs (X -> X).
+    unique_fds = [fd for fd in unique_fds if not fd.is_trivial()]
+
+    return NormalizedDependencies(
+        original=pds,
+        fds=unique_fds,
+        sum_constraints=surviving,
+        fresh_attributes=list(fresh),
+        attribute_closure_pairs=sorted(closure_pairs),
+    )
+
+
+def functional_part(dependencies: Sequence[PartitionDependencyLike]) -> list[FunctionalDependency]:
+    """Convenience: just the FD set ``F`` produced by the normalization."""
+    return normalize_dependencies(dependencies).fds
+
+
+def validate_only_fpds(dependencies: Sequence[PartitionDependencyLike]) -> list[FunctionalDependency]:
+    """Translate a PD set that is claimed to consist of FPDs only; raise otherwise.
+
+    Used by the Theorem 6 / Theorem 11 code paths, which are specified for
+    FPD sets.
+    """
+    from repro.dependencies.fpd import FunctionalPartitionDependency
+
+    fds: list[FunctionalDependency] = []
+    for raw in dependencies:
+        pd = as_partition_dependency(raw)
+        fpd = FunctionalPartitionDependency.try_from_pd(pd)
+        if fpd is None:
+            raise ConsistencyError(f"{pd} is not a functional partition dependency")
+        if not fpd.is_trivial():
+            fds.append(fpd.to_fd())
+    return fds

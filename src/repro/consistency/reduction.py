@@ -1,0 +1,250 @@
+"""The NOT-ALL-EQUAL-3SAT reduction of Theorem 11 (§6.1, Figure 3).
+
+Given a 3CNF formula φ over variables ``x1 ... xn`` with clauses
+``c1 ... cm``, the reduction builds a database ``d`` and a set ``E`` of FPDs
+such that φ is NAE-satisfiable iff ``(d, E)`` is consistent under CAD + EAP
+(equivalently, iff the relation over the full universe can be completed with
+existing symbols only while satisfying ``E_F``).
+
+Construction (following Figure 3):
+
+* attributes: ``A``, ``A1 ... An`` and ``B1 ... Bn``;
+* relation ``R0[A A1 ... An]`` with the two tuples
+  ``a u1 ... un`` and ``a v1 ... vn``;
+* for each clause ``cj`` over variables ``{i1, i2, i3}``, a relation
+  ``Rj`` over ``A``, the ``Ai`` for variables *not* in the clause, and all
+  the ``Bi``, holding a single tuple with
+  ``A = b_j`` (a symbol unique to the clause),
+  ``Ai = y^j_i`` (fresh) for the absent variables,
+  ``Bi = pos_i`` if ``xi`` occurs positively in ``cj``,
+  ``Bi = neg_i`` if it occurs negatively, and
+  ``Bi = z^j_i`` (fresh) for variables not in the clause;
+* FPDs ``Bi ≤ Ai`` (i.e. FDs ``Bi → Ai``) for every variable, and for each
+  clause the FPD ``B_{i1} B_{i2} B_{i3} ≤ A`` (FD ``B_{i1}B_{i2}B_{i3} → A``).
+
+Before the reduction proper the formula is normalized (NAE-equisatisfiably):
+it is brought into *proper* 3CNF — three distinct variables per clause, the
+shape NOT-ALL-EQUAL-3SAT assumes — and every variable is made to occur with
+both polarities (:func:`repro.sat.nae3sat.ensure_both_polarities`).  The
+latter plays the role of the paper's preprocessing clause
+``x_{n+1} ∨ ¬x_{n+1}``: it guarantees the key property of the proof,
+``{t1[Bi], t2[Bi]} = {pos_i, neg_i}``, by making both truth-value symbols of
+every ``Bi`` column occur in the database.  (The paper's own clause, having
+one variable with both polarities, does not translate into a well-formed
+clause gadget; the polarity normalization achieves the same effect.)
+
+The decoding direction (witness → assignment) follows the proof verbatim:
+``xi`` is true iff the completed first ``R0`` tuple has ``t1[Bi] = pos_i``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.consistency.cad import CadConsistencyResult, cad_consistency
+from repro.dependencies.fpd import FunctionalPartitionDependency
+from repro.errors import ConsistencyError
+from repro.relational.attributes import Attribute, Symbol
+from repro.relational.database import Database
+from repro.relational.functional_dependencies import FunctionalDependency
+from repro.relational.relations import Relation
+from repro.relational.tuples import Row
+from repro.sat.formulas import Clause, CnfFormula, Literal
+from repro.sat.nae3sat import ensure_both_polarities, to_proper_nae3cnf
+
+
+@dataclass(frozen=True)
+class ReductionInstance:
+    """The output of the Theorem 11 reduction.
+
+    ``database`` and ``fds`` (= ``E_F``) form the consistency instance;
+    ``fpds`` is the same constraint set as FPDs (the paper's ``E``);
+    ``formula`` is the (preprocessed) NAE-3SAT formula the instance encodes;
+    ``variable_order`` fixes the meaning of the ``Ai``/``Bi`` indexes.
+    """
+
+    formula: CnfFormula
+    database: Database
+    fds: tuple[FunctionalDependency, ...]
+    fpds: tuple[FunctionalPartitionDependency, ...]
+    variable_order: tuple[str, ...]
+
+    def attribute_for_variable(self, variable: str) -> tuple[Attribute, Attribute]:
+        """The ``(Ai, Bi)`` attribute pair encoding a propositional variable."""
+        index = self.variable_order.index(variable) + 1
+        return (f"A{index}", f"B{index}")
+
+    def positive_symbol(self, variable: str) -> Symbol:
+        """The ``Bi`` symbol whose choice encodes "variable is true"."""
+        index = self.variable_order.index(variable) + 1
+        return f"pos{index}"
+
+    def negative_symbol(self, variable: str) -> Symbol:
+        """The ``Bi`` symbol whose choice encodes "variable is false"."""
+        index = self.variable_order.index(variable) + 1
+        return f"neg{index}"
+
+
+def ensure_missing_variable_clause(
+    formula: CnfFormula, fresh_variables: tuple[str, str] = ("x_aux1", "x_aux2")
+) -> CnfFormula:
+    """Add a clause on fresh variables so every original variable misses some clause.
+
+    The paper adds ``x_{n+1} ∨ ¬x_{n+1}``; under not-all-equal semantics that
+    clause is always satisfied but (having a single variable occurring with
+    both polarities) it does not translate into a well-defined clause gadget.
+    We instead add ``x_aux1 ∨ x_aux2`` on *two* fresh variables: the clause
+    merely constrains the two auxiliary variables to differ, which is always
+    achievable independently of the original variables, so NAE-satisfiability
+    is preserved — and afterwards every original variable is missing from at
+    least one clause, which is all the proof of Theorem 11 needs.
+    """
+    for fresh_variable in fresh_variables:
+        if fresh_variable in formula.variables:
+            raise ConsistencyError(
+                f"fresh variable name {fresh_variable!r} already occurs in the formula"
+            )
+    extra = Clause((Literal(fresh_variables[0], True), Literal(fresh_variables[1], True)))
+    return CnfFormula(formula.clauses + (extra,))
+
+
+def reduce_nae3sat_to_cad_consistency(
+    formula: CnfFormula, preprocess: bool = True
+) -> ReductionInstance:
+    """Build the (d, E) instance of Theorem 11 from a 3CNF formula."""
+    if not formula.is_3cnf():
+        raise ConsistencyError("the reduction expects a 3CNF formula (at most three literals per clause)")
+    if preprocess:
+        # Bring the formula into the shape the §6.1 construction assumes:
+        # proper 3CNF (three distinct variables per clause, up to NAE
+        # equisatisfiability) in which every variable occurs with both
+        # polarities (so both truth-value symbols of every B_i column occur
+        # in the database — the property the proof's key step
+        # "{t1[Bi], t2[Bi]} = {a_i, b_i}" relies on).
+        working = ensure_both_polarities(to_proper_nae3cnf(formula))
+    else:
+        working = formula
+    variables = working.variables
+    n = len(variables)
+    index_of = {variable: i + 1 for i, variable in enumerate(variables)}
+
+    a_attrs = [f"A{i}" for i in range(1, n + 1)]
+    b_attrs = [f"B{i}" for i in range(1, n + 1)]
+
+    # R0[A A1 ... An] with tuples a u1...un and a v1...vn.
+    r0_rows = [
+        Row({"A": "a", **{f"A{i}": f"u{i}" for i in range(1, n + 1)}}),
+        Row({"A": "a", **{f"A{i}": f"v{i}" for i in range(1, n + 1)}}),
+    ]
+    relations = [Relation.from_rows("R0", ["A", *a_attrs], r0_rows)]
+
+    fds: list[FunctionalDependency] = [
+        FunctionalDependency([f"B{i}"], [f"A{i}"]) for i in range(1, n + 1)
+    ]
+
+    seen_clause_keys: set[frozenset[tuple[int, bool]]] = set()
+    clause_number = 0
+    for clause in working.clauses:
+        polarity: dict[int, bool] = {}
+        tautological = False
+        for literal in clause:
+            index = index_of[literal.variable]
+            if index in polarity and polarity[index] != literal.positive:
+                # A variable occurring with both polarities makes the clause
+                # NAE-satisfied by every assignment; it contributes no gadget.
+                tautological = True
+                break
+            polarity[index] = literal.positive
+        if tautological:
+            continue
+        clause_key = frozenset(polarity.items())
+        if clause_key in seen_clause_keys:
+            # Duplicate clauses would make the A-column FDs clash between the
+            # duplicates' gadget tuples; one gadget per distinct clause suffices.
+            continue
+        seen_clause_keys.add(clause_key)
+        clause_number += 1
+        clause_variable_indexes = sorted(polarity)
+        absent_indexes = [i for i in range(1, n + 1) if i not in clause_variable_indexes]
+
+        attributes = ["A"] + [f"A{i}" for i in absent_indexes] + b_attrs
+        cells: dict[str, str] = {"A": f"b{clause_number}"}
+        for i in absent_indexes:
+            cells[f"A{i}"] = f"y{clause_number}_{i}"
+        for i in range(1, n + 1):
+            if i in polarity:
+                cells[f"B{i}"] = f"pos{i}" if polarity[i] else f"neg{i}"
+            else:
+                cells[f"B{i}"] = f"z{clause_number}_{i}"
+        relations.append(Relation.from_rows(f"R{clause_number}", attributes, [Row(cells)]))
+
+        fds.append(
+            FunctionalDependency([f"B{i}" for i in clause_variable_indexes], ["A"])
+        )
+
+    fpds = tuple(FunctionalPartitionDependency(fd.lhs, fd.rhs) for fd in fds)
+    return ReductionInstance(
+        formula=working,
+        database=Database(relations),
+        fds=tuple(fds),
+        fpds=fpds,
+        variable_order=tuple(variables),
+    )
+
+
+def decode_assignment(instance: ReductionInstance, result: CadConsistencyResult) -> Optional[dict[str, bool]]:
+    """Extract a NAE-satisfying assignment from a successful CAD-consistency witness.
+
+    Follows the proof of Theorem 11: variable ``xi`` is true iff the
+    completed first ``R0`` tuple carries ``pos_i`` in column ``Bi``.  Returns
+    ``None`` when the result is negative.
+    """
+    if not result.consistent or result.witness is None:
+        return None
+    # Identify the completed row corresponding to R0's first tuple (A = 'a', A1 = 'u1').
+    first_row = None
+    for row in result.witness.sorted_rows():
+        if row["A"] == "a" and row["A1"] == "u1":
+            first_row = row
+            break
+    if first_row is None:
+        raise ConsistencyError("the witness does not contain the completed first R0 tuple")
+    assignment: dict[str, bool] = {}
+    for variable in instance.variable_order:
+        _, b_attr = instance.attribute_for_variable(variable)
+        value = first_row[b_attr]
+        if value == instance.positive_symbol(variable):
+            assignment[variable] = True
+        elif value == instance.negative_symbol(variable):
+            assignment[variable] = False
+        else:
+            raise ConsistencyError(
+                f"witness column {b_attr} holds unexpected symbol {value!r}; "
+                "the key property of the reduction is violated"
+            )
+    return assignment
+
+
+def solve_nae3sat_via_reduction(
+    formula: CnfFormula, max_nodes: Optional[int] = None
+) -> Optional[dict[str, bool]]:
+    """Decide NAE-3SAT by reducing to CAD consistency and decoding the witness.
+
+    This is the "round trip" used to validate the reduction against the
+    direct solvers in :mod:`repro.sat.nae3sat`; the returned assignment (when
+    not ``None``) NAE-satisfies the *original* formula.
+    """
+    instance = reduce_nae3sat_to_cad_consistency(formula)
+    result = cad_consistency(instance.database, list(instance.fds), max_nodes=max_nodes)
+    assignment = decode_assignment(instance, result)
+    if assignment is None:
+        return None
+    # Restrict to the original variables (drop the preprocessing/padding
+    # variables).  Variables of the original formula that survive only inside
+    # tautological clauses may be absent from the instance; they are free, so
+    # default them to True.
+    return {
+        variable: assignment.get(variable, True) for variable in formula.variables
+    }

@@ -1,0 +1,75 @@
+"""Consistency of a database with FPDs / FDs under the weak-instance assumption (Theorem 6a, §4.3).
+
+Theorem 6a: a database ``d`` and a set ``E`` of FPDs admit a satisfying
+partition interpretation iff ``d`` has a weak instance satisfying ``E_F``
+(the FDs corresponding to ``E``).  The latter is Honeyman's weak-satisfaction
+problem, decided by the chase (see :mod:`repro.relational.weak_instance`).
+
+This module packages the FPD-facing entry points and, when the test
+succeeds, *constructs* the witnessing partition interpretation ``I(w)``
+exactly as the proof of Theorem 6a does.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.consistency.normalization import validate_only_fpds
+from repro.dependencies.pd import PartitionDependencyLike
+from repro.partitions.canonical import canonical_interpretation
+from repro.partitions.interpretation import PartitionInterpretation
+from repro.relational.database import Database
+from repro.relational.functional_dependencies import FunctionalDependency
+from repro.relational.relations import Relation
+from repro.relational.weak_instance import WeakInstanceResult, weak_instance_consistency
+
+
+@dataclass(frozen=True)
+class FpdConsistencyResult:
+    """Outcome of the Theorem 6a consistency test.
+
+    ``consistent`` — whether some partition interpretation satisfies ``(d, E)``;
+    ``weak_instance`` — a weak instance for ``d`` satisfying ``E_F`` (when consistent);
+    ``interpretation`` — the canonical interpretation ``I(w)`` of that weak
+    instance, which satisfies ``d`` and ``E`` and EAP (the proof's witness);
+    ``fds`` — the FD translation ``E_F`` actually chased.
+    """
+
+    consistent: bool
+    fds: list[FunctionalDependency]
+    weak_instance: Optional[Relation]
+    interpretation: Optional[PartitionInterpretation]
+    chase: WeakInstanceResult
+
+
+def fpd_consistency(
+    database: Database, dependencies: Sequence[PartitionDependencyLike]
+) -> FpdConsistencyResult:
+    """Theorem 6a: is there a partition interpretation satisfying ``(d, E)`` for FPDs ``E``?
+
+    ``dependencies`` must consist of FPDs (PDs of the shape ``X = X·Y``,
+    ``Y = Y+X`` or ``X ≤ Y``); use
+    :func:`repro.consistency.pd_consistency.pd_consistency` for arbitrary PDs.
+    """
+    fds = validate_only_fpds(dependencies)
+    return fd_consistency(database, fds)
+
+
+def fd_consistency(
+    database: Database, fds: Sequence[FunctionalDependency]
+) -> FpdConsistencyResult:
+    """The same test with the dependencies already given as FDs (``E_F``)."""
+    chase_result = weak_instance_consistency(database, list(fds))
+    if not chase_result.consistent:
+        return FpdConsistencyResult(False, list(fds), None, None, chase_result)
+    witness = chase_result.witness
+    assert witness is not None
+    interpretation = canonical_interpretation(witness) if len(witness) else None
+    return FpdConsistencyResult(True, list(fds), witness, interpretation, chase_result)
+
+
+def is_fpd_consistent(database: Database, dependencies: Sequence[PartitionDependencyLike]) -> bool:
+    """Boolean convenience wrapper around :func:`fpd_consistency`."""
+    return fpd_consistency(database, dependencies).consistent

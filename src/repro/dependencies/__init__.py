@@ -1,0 +1,55 @@
+"""Dependencies under partition semantics: PDs, FPDs, and their FD correspondence (§3.2, §4.1)."""
+
+from repro.dependencies.conversion import (
+    fd_to_fpd,
+    fd_to_pd,
+    fds_to_fpds,
+    fds_to_pds,
+    fpd_to_fd,
+    fpds_to_fds,
+    pd_between_products_to_fds,
+    pds_to_fds,
+    scheme_equation_to_fds,
+)
+from repro.dependencies.fpd import FunctionalPartitionDependency
+from repro.dependencies.pd import (
+    PartitionDependency,
+    PartitionDependencyLike,
+    as_partition_dependency,
+    lattice_axiom_instances,
+    parse_pd_set,
+)
+from repro.dependencies.satisfaction import (
+    expression_partition,
+    relation_satisfies_all_pds,
+    relation_satisfies_pd,
+    satisfies_fd_characterization,
+    satisfies_order_sum_characterization,
+    satisfies_product_characterization,
+    satisfies_sum_characterization,
+)
+
+__all__ = [
+    "PartitionDependency",
+    "PartitionDependencyLike",
+    "as_partition_dependency",
+    "parse_pd_set",
+    "lattice_axiom_instances",
+    "FunctionalPartitionDependency",
+    "fd_to_fpd",
+    "fpd_to_fd",
+    "fd_to_pd",
+    "fds_to_pds",
+    "fds_to_fpds",
+    "fpds_to_fds",
+    "pds_to_fds",
+    "scheme_equation_to_fds",
+    "pd_between_products_to_fds",
+    "relation_satisfies_pd",
+    "relation_satisfies_all_pds",
+    "expression_partition",
+    "satisfies_product_characterization",
+    "satisfies_sum_characterization",
+    "satisfies_order_sum_characterization",
+    "satisfies_fd_characterization",
+]

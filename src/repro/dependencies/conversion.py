@@ -1,0 +1,103 @@
+"""Conversions between FDs, FPDs and PDs (§3.2 Example a, §4.2 Example f, §5.3).
+
+The paper moves freely between three presentations of functional
+determination:
+
+* the FD ``X → Y`` (a first-order sentence about relations);
+* the FPD ``X = X·Y`` / ``Y = Y + X`` / ``X ≤ Y`` (a lattice equation);
+* within a set ``E`` of FPDs the notation ``E_F`` for the corresponding FDs.
+
+Example f also notes that an equation between two attribute-set products
+``X = Y·Z`` is expressed by the *pair* of FDs ``{X → YZ, YZ → X}``; the
+helpers here implement all of these translations so the implication and
+consistency engines can switch representation as the paper's proofs do.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Union
+
+from repro.dependencies.fpd import FunctionalPartitionDependency, _flatten_product_attributes
+from repro.dependencies.pd import PartitionDependency, PartitionDependencyLike, as_partition_dependency
+from repro.relational.attributes import AttributeSet, as_attribute_set
+from repro.relational.functional_dependencies import FunctionalDependency
+
+
+def fd_to_fpd(fd: FunctionalDependency) -> FunctionalPartitionDependency:
+    """The FPD ``X = X·Y`` corresponding to an FD ``X → Y`` (the paper's δ_σ)."""
+    return FunctionalPartitionDependency.from_fd(fd)
+
+
+def fpd_to_fd(fpd: FunctionalPartitionDependency) -> FunctionalDependency:
+    """The FD ``X → Y`` corresponding to an FPD ``X = X·Y``."""
+    return fpd.to_fd()
+
+
+def fd_to_pd(fd: FunctionalDependency) -> PartitionDependency:
+    """The PD (product form) corresponding to an FD."""
+    return fd_to_fpd(fd).as_pd()
+
+
+def fds_to_pds(fds: Iterable[FunctionalDependency]) -> list[PartitionDependency]:
+    """The set ``E_Σ`` of FPD translations of a set of FDs (as PDs)."""
+    return [fd_to_pd(fd) for fd in fds]
+
+
+def fds_to_fpds(fds: Iterable[FunctionalDependency]) -> list[FunctionalPartitionDependency]:
+    """The set of FPDs corresponding to a set of FDs."""
+    return [fd_to_fpd(fd) for fd in fds]
+
+
+def fpds_to_fds(fpds: Iterable[FunctionalPartitionDependency]) -> list[FunctionalDependency]:
+    """``E_F``: the FDs corresponding to a set of FPDs (used in Theorems 6, 11, 12)."""
+    return [fpd_to_fd(fpd) for fpd in fpds]
+
+
+def pds_to_fds(pds: Iterable[PartitionDependencyLike]) -> list[FunctionalDependency]:
+    """Translate every *recognizably functional* PD in the input to an FD.
+
+    PDs that are not syntactically FPDs are skipped — this matches the
+    paper's usage, where ``E_F`` is only formed from sets of FPDs, but lets
+    callers run the translation on mixed sets (the non-functional part is
+    handled separately by the Theorem 12 machinery).
+    """
+    result: list[FunctionalDependency] = []
+    for raw in pds:
+        pd = as_partition_dependency(raw)
+        fpd = FunctionalPartitionDependency.try_from_pd(pd)
+        if fpd is not None and not fpd.is_trivial():
+            result.append(fpd.to_fd())
+    return result
+
+
+def scheme_equation_to_fds(
+    left: Union[str, AttributeSet], right: Union[str, AttributeSet]
+) -> list[FunctionalDependency]:
+    """Example f: the PD ``X = Y·Z`` (two attribute-set products) as the FD pair ``{X → YZ, YZ → X}``.
+
+    ``left`` and ``right`` are the two attribute sets; the result is the pair
+    of FDs expressing the equation over relations.
+    """
+    left_set = as_attribute_set(left)
+    right_set = as_attribute_set(right)
+    return [
+        FunctionalDependency(left_set, right_set),
+        FunctionalDependency(right_set, left_set),
+    ]
+
+
+def pd_between_products_to_fds(pd: PartitionDependencyLike) -> list[FunctionalDependency]:
+    """Example f generalized: a PD whose both sides are attribute products, as a pair of FDs.
+
+    Raises ``ValueError`` when a side is not a pure product of attributes.
+    """
+    parsed = as_partition_dependency(pd)
+    left = _flatten_product_attributes(parsed.left)
+    right = _flatten_product_attributes(parsed.right)
+    if left is None or right is None:
+        raise ValueError(
+            f"PD {parsed} is not an equation between attribute products; "
+            "use the Theorem 12 normalization for general PDs"
+        )
+    return scheme_equation_to_fds(left, right)

@@ -1,0 +1,167 @@
+"""Functional partition dependencies (FPDs): the PD counterpart of FDs (§3.2, §4.1).
+
+An FPD is a partition dependency of the form ``X = X·Y`` where ``X`` and
+``Y`` are non-empty sets of attributes (each standing for the product of its
+members).  By lattice duality the same constraint can be written
+``Y = Y + X`` or, using the natural partial order, ``X ≤ Y``.
+
+Theorem 3 of the paper shows FPDs are the exact partition-semantics
+counterpart of FDs: ``r ⊨ X → Y  ⇔  I(r) ⊨ X = X·Y``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Optional, Union
+
+from repro.errors import DependencyError
+from repro.dependencies.pd import PartitionDependency
+from repro.expressions.ast import (
+    Attr,
+    PartitionExpression,
+    Product,
+    Sum,
+    attribute_set_expression,
+)
+from repro.relational.attributes import Attribute, AttributeSet, as_attribute_set
+from repro.relational.functional_dependencies import FunctionalDependency
+
+
+def _flatten_product_attributes(expression: PartitionExpression) -> Optional[AttributeSet]:
+    """If ``expression`` is a pure product of attributes, return its attribute set."""
+    if isinstance(expression, Attr):
+        return AttributeSet([expression.name])
+    if isinstance(expression, Product):
+        left = _flatten_product_attributes(expression.left)
+        right = _flatten_product_attributes(expression.right)
+        if left is None or right is None:
+            return None
+        return left | right
+    return None
+
+
+def _flatten_sum_attributes(expression: PartitionExpression) -> Optional[AttributeSet]:
+    """If ``expression`` is a pure sum of attributes, return its attribute set."""
+    if isinstance(expression, Attr):
+        return AttributeSet([expression.name])
+    if isinstance(expression, Sum):
+        left = _flatten_sum_attributes(expression.left)
+        right = _flatten_sum_attributes(expression.right)
+        if left is None or right is None:
+            return None
+        return left | right
+    return None
+
+
+class FunctionalPartitionDependency:
+    """An FPD ``X ≤ Y`` (equivalently ``X = X·Y`` or ``Y = Y + X``) between attribute sets."""
+
+    __slots__ = ("_lhs", "_rhs")
+
+    def __init__(
+        self,
+        lhs: Union[str, Iterable[Attribute]],
+        rhs: Union[str, Iterable[Attribute]],
+    ) -> None:
+        left = as_attribute_set(lhs)
+        right = as_attribute_set(rhs)
+        if not left or not right:
+            raise DependencyError("both attribute sets of an FPD must be non-empty")
+        self._lhs = left
+        self._rhs = right
+
+    @property
+    def lhs(self) -> AttributeSet:
+        """The attribute set ``X`` (the finer side / FD determinant)."""
+        return self._lhs
+
+    @property
+    def rhs(self) -> AttributeSet:
+        """The attribute set ``Y`` (the coarser side / FD dependent)."""
+        return self._rhs
+
+    @property
+    def attributes(self) -> AttributeSet:
+        """All attributes mentioned."""
+        return self._lhs | self._rhs
+
+    def is_trivial(self) -> bool:
+        """True iff ``Y ⊆ X`` — the FPD then holds in every interpretation."""
+        return self._rhs <= self._lhs
+
+    # -- the three equivalent syntactic forms of §3.2 ---------------------------------
+    def as_product_pd(self) -> PartitionDependency:
+        """The form ``X = X·Y``."""
+        left = attribute_set_expression(self._lhs)
+        return PartitionDependency(left, Product(left, attribute_set_expression(self._rhs)))
+
+    def as_sum_pd(self) -> PartitionDependency:
+        """The dual form ``Y = Y + X``."""
+        right = attribute_set_expression(self._rhs)
+        return PartitionDependency(right, Sum(right, attribute_set_expression(self._lhs)))
+
+    def as_pd(self) -> PartitionDependency:
+        """The default PD rendering (the product form ``X = X·Y``)."""
+        return self.as_product_pd()
+
+    def as_order_text(self) -> str:
+        """The order notation ``X <= Y``."""
+        return f"{self._lhs} <= {self._rhs}"
+
+    # -- FD correspondence (Theorem 3) ---------------------------------------------------
+    def to_fd(self) -> FunctionalDependency:
+        """The corresponding functional dependency ``X → Y``."""
+        return FunctionalDependency(self._lhs, self._rhs)
+
+    @classmethod
+    def from_fd(cls, fd: FunctionalDependency) -> "FunctionalPartitionDependency":
+        """The FPD ``X = X·Y`` corresponding to an FD ``X → Y``."""
+        return cls(fd.lhs, fd.rhs)
+
+    # -- recognizing FPDs among PDs ----------------------------------------------------------
+    @classmethod
+    def try_from_pd(cls, pd: PartitionDependency) -> Optional["FunctionalPartitionDependency"]:
+        """Recognize a PD that is syntactically an FPD; return ``None`` otherwise.
+
+        Three shapes are recognized (all products/sums of plain attributes):
+
+        * ``X = X·Y`` with ``X ⊆ X·Y``'s attributes — the product form;
+        * ``Y = Y + X`` — the dual sum form;
+        * ``X = Y`` with ``X ⊇ Y`` (a degenerate product form where the extra
+          factor is absorbed).
+        """
+        left_prod = _flatten_product_attributes(pd.left)
+        right_prod = _flatten_product_attributes(pd.right)
+        if left_prod is not None and right_prod is not None:
+            if left_prod <= right_prod:
+                extra = right_prod - left_prod
+                return cls(left_prod, extra if extra else left_prod)
+            if right_prod <= left_prod:
+                extra = left_prod - right_prod
+                return cls(right_prod, extra if extra else right_prod)
+            return None
+        left_sum = _flatten_sum_attributes(pd.left)
+        right_sum = _flatten_sum_attributes(pd.right)
+        if left_sum is not None and right_sum is not None:
+            # Y = Y + X  (the coarser side is the smaller sum)
+            if left_sum <= right_sum:
+                extra = right_sum - left_sum
+                return cls(extra if extra else left_sum, left_sum)
+            if right_sum <= left_sum:
+                extra = left_sum - right_sum
+                return cls(extra if extra else right_sum, right_sum)
+        return None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FunctionalPartitionDependency):
+            return NotImplemented
+        return self._lhs == other._lhs and self._rhs == other._rhs
+
+    def __hash__(self) -> int:
+        return hash((self._lhs, self._rhs))
+
+    def __repr__(self) -> str:
+        return f"FunctionalPartitionDependency({self._lhs.sorted()!r}, {self._rhs.sorted()!r})"
+
+    def __str__(self) -> str:
+        return f"{self._lhs} = {self._lhs} * {self._rhs}"

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so client
+code can catch a single exception type.  Subclasses are split along the
+major subsystems of the paper: relational objects, partition interpretations,
+partition expressions, and lattices.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relational object was built against an incompatible schema.
+
+    Raised, for example, when a tuple does not cover exactly the attributes
+    of its relation scheme, or when a projection mentions attributes that do
+    not belong to the scheme.
+    """
+
+
+class DependencyError(ReproError):
+    """A dependency (FD, MVD, FPD, PD) is malformed for its context."""
+
+
+class PartitionError(ReproError):
+    """A partition or partition interpretation violates its invariants.
+
+    The invariants are the ones of Definition 1 of the paper: blocks are
+    non-empty, pairwise disjoint, and their union is the population; the
+    naming function maps distinct symbols to distinct blocks and covers
+    every block.
+    """
+
+
+class ExpressionError(ReproError):
+    """A partition expression is malformed or cannot be parsed."""
+
+
+class LatticeError(ReproError):
+    """A structure claimed to be a lattice violates the lattice axioms."""
+
+
+class ConsistencyError(ReproError):
+    """A consistency-test input is malformed (not: the test answered 'no')."""

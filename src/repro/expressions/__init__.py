@@ -1,0 +1,46 @@
+"""Partition expressions: the term language of the paper (§3.1).
+
+AST nodes (:class:`Attr`, :class:`Product`, :class:`Sum`), a parser for the
+string notation, pretty-printers, and evaluation under a partition
+interpretation.
+"""
+
+from repro.expressions.ast import (
+    Attr,
+    ExpressionLike,
+    PartitionExpression,
+    Product,
+    Sum,
+    all_subexpressions,
+    as_expression,
+    attr,
+    attribute_set_expression,
+    attrs,
+    product_of,
+    sum_of,
+)
+from repro.expressions.evaluation import evaluate, evaluate_many
+from repro.expressions.parser import parse_expression, tokenize
+from repro.expressions.printer import to_infix, to_paper, to_prefix
+
+__all__ = [
+    "PartitionExpression",
+    "Attr",
+    "Product",
+    "Sum",
+    "ExpressionLike",
+    "attr",
+    "attrs",
+    "as_expression",
+    "product_of",
+    "sum_of",
+    "attribute_set_expression",
+    "all_subexpressions",
+    "parse_expression",
+    "tokenize",
+    "to_infix",
+    "to_paper",
+    "to_prefix",
+    "evaluate",
+    "evaluate_many",
+]

@@ -1,0 +1,34 @@
+"""Evaluating partition expressions under a partition interpretation.
+
+This is the semantic side of §3.1: given an interpretation ``I`` assigning to
+every attribute a population and an atomic partition, the meaning of a
+partition expression is computed by structural induction, interpreting ``*``
+as partition product and ``+`` as partition sum.
+
+The heavy lifting is done by :class:`repro.partitions.interpretation.PartitionInterpretation`;
+this module exposes a small functional facade (useful when the expression is
+the primary object, e.g. in property-based tests that quantify over random
+expressions).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.expressions.ast import ExpressionLike, as_expression
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.partitions.interpretation import PartitionInterpretation
+    from repro.partitions.partition import Partition
+
+
+def evaluate(expression: ExpressionLike, interpretation: "PartitionInterpretation") -> "Partition":
+    """The meaning of ``expression`` in ``interpretation`` (a partition with its population)."""
+    return interpretation.meaning(as_expression(expression))
+
+
+def evaluate_many(
+    expressions: list[ExpressionLike], interpretation: "PartitionInterpretation"
+) -> list["Partition"]:
+    """Evaluate several expressions under the same interpretation."""
+    return [evaluate(expression, interpretation) for expression in expressions]

@@ -1,0 +1,8 @@
+"""The paper's figures as executable constructions (Figures 1, 2, 3)."""
+
+from repro.figures import figure1, figure2, figure3
+from repro.figures.figure1 import Figure1
+from repro.figures.figure2 import Figure2
+from repro.figures.figure3 import Figure3
+
+__all__ = ["figure1", "figure2", "figure3", "Figure1", "Figure2", "Figure3"]

@@ -1,0 +1,47 @@
+"""Graph substrate: the Example e encoding, connectivity PDs, and the Theorem 4 family."""
+
+from repro.graphs.connectivity import (
+    component_labels_from_relation,
+    components_by_partition_sum,
+    connectivity_pd,
+    number_of_components,
+    satisfies_connectivity_pd,
+)
+from repro.graphs.encoding import (
+    Vertex,
+    connected_components,
+    graph_to_relation,
+    graph_to_relation_with_labels,
+    relation_to_graph,
+)
+from repro.graphs.families import (
+    cycle_graph,
+    disjoint_cliques,
+    mislabeled_path_relation,
+    path_graph,
+    path_relation,
+    random_graph,
+    theorem4_designated_tuples,
+    theorem4_path_relation,
+)
+
+__all__ = [
+    "Vertex",
+    "connected_components",
+    "graph_to_relation",
+    "graph_to_relation_with_labels",
+    "relation_to_graph",
+    "connectivity_pd",
+    "components_by_partition_sum",
+    "satisfies_connectivity_pd",
+    "component_labels_from_relation",
+    "number_of_components",
+    "theorem4_path_relation",
+    "theorem4_designated_tuples",
+    "path_graph",
+    "cycle_graph",
+    "disjoint_cliques",
+    "random_graph",
+    "path_relation",
+    "mislabeled_path_relation",
+]

@@ -1,0 +1,153 @@
+"""Encoding undirected graphs as relations (Example e, §3.2; Theorem 4, §4.2).
+
+Example e of the paper represents an undirected graph as a single relation
+over three attributes — ``A`` (head), ``B`` (tail), ``C`` (component) — with,
+for every edge ``{a, b}``, the four tuples ``abc, bac, aac, bbc`` where ``c``
+is the component label.  The PD ``C = A + B`` then states exactly that ``C``
+labels the connected component of the edge, which is the paper's flagship
+example of a constraint FDs cannot express.
+
+This module provides both directions of the encoding:
+
+* :func:`graph_to_relation` — build the relation from an edge list (the
+  component labels are computed, so the resulting relation always satisfies
+  ``C = A + B``);
+* :func:`graph_to_relation_with_labels` — build the relation from an edge
+  list and *given* component labels (possibly wrong — used to produce
+  relations that violate the PD);
+* :func:`relation_to_graph` — read the edge list back out of a relation.
+
+An undirected graph is represented as a pair ``(vertices, edges)`` with
+``edges`` a collection of 2-element (or 1-element, for self-loops) sets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+
+from repro.errors import SchemaError
+from repro.relational.relations import Relation
+from repro.relational.tuples import Row
+
+#: Vertices can be any hashable value; they are rendered to symbols with str().
+Vertex = Hashable
+
+
+def _vertex_symbol(vertex: Vertex) -> str:
+    return f"v{vertex}"
+
+
+def connected_components(vertices: Iterable[Vertex], edges: Iterable[Iterable[Vertex]]) -> dict[Vertex, int]:
+    """Connected components via union-find; returns a component index per vertex.
+
+    Component indexes are normalized so that the component containing the
+    smallest vertex (by string rendering) gets index 1, the next gets 2, etc.
+    — this keeps the generated relations deterministic.
+    """
+    vertex_list = sorted(set(vertices), key=repr)
+    parent: dict[Vertex, Vertex] = {v: v for v in vertex_list}
+
+    def find(v: Vertex) -> Vertex:
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    for edge in edges:
+        endpoints = list(edge)
+        if not endpoints:
+            continue
+        first = endpoints[0]
+        for other in endpoints[1:]:
+            if first not in parent or other not in parent:
+                raise SchemaError(f"edge {endpoints!r} mentions a vertex outside the vertex set")
+            root_a, root_b = find(first), find(other)
+            if root_a != root_b:
+                parent[root_a] = root_b
+
+    component_of: dict[Vertex, int] = {}
+    next_index = 1
+    for vertex in vertex_list:
+        root = find(vertex)
+        if root not in component_of:
+            component_of[root] = next_index
+            next_index += 1
+    return {vertex: component_of[find(vertex)] for vertex in vertex_list}
+
+
+def graph_to_relation(
+    vertices: Iterable[Vertex],
+    edges: Iterable[Iterable[Vertex]],
+    name: str = "graph",
+) -> Relation:
+    """Example e: the relation encoding of a graph, with *correct* component labels.
+
+    The resulting relation always satisfies ``C = A + B`` (a fact the test
+    suite checks against both Definition 7 and the direct characterization).
+    Isolated vertices are encoded by the tuple ``vvc`` alone.
+    """
+    vertex_list = sorted(set(vertices), key=repr)
+    edge_list = [tuple(sorted(set(edge), key=repr)) for edge in edges]
+    components = connected_components(vertex_list, edge_list)
+    return graph_to_relation_with_labels(
+        vertex_list, edge_list, {v: f"c{components[v]}" for v in vertex_list}, name=name
+    )
+
+
+def graph_to_relation_with_labels(
+    vertices: Iterable[Vertex],
+    edges: Iterable[Iterable[Vertex]],
+    labels: Mapping[Vertex, str],
+    name: str = "graph",
+) -> Relation:
+    """The Example e encoding with caller-supplied component labels.
+
+    Labels need not be correct; supplying wrong labels yields relations that
+    violate ``C = A + B``, which the expressiveness tests and the
+    connectivity benchmark need.  All endpoints of an edge must carry the
+    same label (otherwise the four tuples of the edge would disagree on ``C``
+    within the same edge, which the encoding cannot represent).
+    """
+    rows: set[Row] = set()
+    vertex_list = sorted(set(vertices), key=repr)
+    for vertex in vertex_list:
+        if vertex not in labels:
+            raise SchemaError(f"no component label supplied for vertex {vertex!r}")
+        symbol = _vertex_symbol(vertex)
+        rows.add(Row({"A": symbol, "B": symbol, "C": labels[vertex]}))
+    for edge in edges:
+        endpoints = sorted(set(edge), key=repr)
+        if not endpoints:
+            continue
+        if any(v not in set(vertex_list) for v in endpoints):
+            raise SchemaError(f"edge {endpoints!r} mentions a vertex outside the vertex set")
+        if len(endpoints) == 1:
+            continue  # self-loop: the diagonal tuple is already there
+        if len(endpoints) != 2:
+            raise SchemaError(f"edges must have at most two endpoints, got {endpoints!r}")
+        a, b = endpoints
+        if labels[a] != labels[b]:
+            raise SchemaError(
+                f"edge {endpoints!r} joins vertices with different component labels"
+            )
+        label = labels[a]
+        sa, sb = _vertex_symbol(a), _vertex_symbol(b)
+        rows.add(Row({"A": sa, "B": sb, "C": label}))
+        rows.add(Row({"A": sb, "B": sa, "C": label}))
+    return Relation.from_rows(name, "ABC", rows)
+
+
+def relation_to_graph(relation: Relation) -> tuple[list[str], list[frozenset[str]]]:
+    """Read the vertex and edge lists back from an Example e relation.
+
+    Vertices are the symbols occurring under ``A`` (equivalently ``B``);
+    edges are the unordered pairs ``{t[A], t[B]}`` of non-diagonal tuples.
+    """
+    if set(relation.attributes) != {"A", "B", "C"}:
+        raise SchemaError("an Example e relation must have attributes A, B, C")
+    vertices = sorted(relation.column("A") | relation.column("B"))
+    edges: set[frozenset[str]] = set()
+    for row in relation.rows:
+        if row["A"] != row["B"]:
+            edges.add(frozenset({row["A"], row["B"]}))
+    return vertices, sorted(edges, key=sorted)

@@ -1,0 +1,130 @@
+"""Graph/relation families used in the paper's proofs and in the benchmarks.
+
+The proof of Theorem 4 (non-first-order expressibility of ``C = A + B``)
+uses the family of "path relations"
+
+    r_i = { 1.2.0, 3.2.0, 3.4.0, 5.4.0, ..., (i-1).i.0, (i+1).i.0, (i+1).(i+2).0 }
+
+(for even ``i``): every tuple carries component label ``0``, the tuples form
+a single path of length ``i`` between the designated tuples ``1.2.0`` and
+``(i+1).(i+2).0``, so the relation satisfies ``C = A + B`` but only via a
+chain of length ``i`` — no first-order sentence can uniformly demand
+arbitrarily long chains, which is the compactness argument.
+
+Besides that family this module provides standard generators (paths, cycles,
+disjoint unions of cliques, random graphs) used by the connectivity
+benchmark and the property tests.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.errors import SchemaError
+from repro.graphs.encoding import graph_to_relation, graph_to_relation_with_labels
+from repro.relational.relations import Relation
+
+
+def theorem4_path_relation(i: int) -> Relation:
+    """The relation ``r_i`` from the proof of Theorem 4 (``i`` must be even and ≥ 2).
+
+    The designated tuples of the proof are ``1.2.0`` and ``(i+1).(i+2).0``;
+    they agree on ``C`` and are chain-connected, but only through all the
+    intermediate tuples.
+    """
+    if i < 2 or i % 2 != 0:
+        raise SchemaError("the Theorem 4 family is defined for even i >= 2")
+    compact_rows = ["1.2.0"]
+    for odd in range(3, i + 1, 2):
+        compact_rows.append(f"{odd}.{odd - 1}.0")
+        compact_rows.append(f"{odd}.{odd + 1}.0")
+    compact_rows.append(f"{i + 1}.{i}.0")
+    compact_rows.append(f"{i + 1}.{i + 2}.0")
+    return Relation.from_strings(f"r{i}", "ABC", compact_rows)
+
+
+def theorem4_designated_tuples(i: int) -> tuple[str, str]:
+    """The compact forms of the designated tuples ``t_i`` and ``h_i`` of the proof."""
+    return ("1.2.0", f"{i + 1}.{i + 2}.0")
+
+
+def path_graph(length: int) -> tuple[list[int], list[frozenset[int]]]:
+    """The path graph on ``length + 1`` vertices ``0 — 1 — ... — length``."""
+    if length < 0:
+        raise SchemaError("path length must be non-negative")
+    vertices = list(range(length + 1))
+    edges = [frozenset({v, v + 1}) for v in range(length)]
+    return vertices, edges
+
+
+def cycle_graph(size: int) -> tuple[list[int], list[frozenset[int]]]:
+    """The cycle graph on ``size`` vertices (``size ≥ 3``)."""
+    if size < 3:
+        raise SchemaError("a cycle needs at least three vertices")
+    vertices = list(range(size))
+    edges = [frozenset({v, (v + 1) % size}) for v in range(size)]
+    return vertices, edges
+
+
+def disjoint_cliques(count: int, size: int) -> tuple[list[tuple[int, int]], list[frozenset]]:
+    """``count`` disjoint cliques of ``size`` vertices each (many components)."""
+    if count < 1 or size < 1:
+        raise SchemaError("need at least one clique with at least one vertex")
+    vertices = [(c, v) for c in range(count) for v in range(size)]
+    edges = [
+        frozenset({(c, v), (c, w)})
+        for c in range(count)
+        for v in range(size)
+        for w in range(v + 1, size)
+    ]
+    return vertices, edges
+
+
+def random_graph(
+    vertex_count: int, edge_probability: float, seed: int = 0
+) -> tuple[list[int], list[frozenset[int]]]:
+    """An Erdős–Rényi style random graph (deterministic for a given seed)."""
+    if vertex_count < 1:
+        raise SchemaError("need at least one vertex")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise SchemaError("edge probability must be in [0, 1]")
+    rng = random.Random(seed)
+    vertices = list(range(vertex_count))
+    edges = [
+        frozenset({v, w})
+        for v in range(vertex_count)
+        for w in range(v + 1, vertex_count)
+        if rng.random() < edge_probability
+    ]
+    return vertices, edges
+
+
+def path_relation(length: int, name: str | None = None) -> Relation:
+    """The Example e encoding of a path graph (always satisfies ``C = A + B``)."""
+    vertices, edges = path_graph(length)
+    return graph_to_relation(vertices, edges, name=name or f"path{length}")
+
+
+def mislabeled_path_relation(length: int, name: str | None = None) -> Relation:
+    """A path graph whose component column splits the path in the middle.
+
+    The graph is connected, but the ``C`` column pretends there are two
+    components, so the relation violates ``C = A + B`` (and even ``C ≤ A+B``
+    holds while ``A+B ≤ C`` fails) — the negative counterpart used by tests
+    and the connectivity benchmark.
+    """
+    if length < 1:
+        raise SchemaError("need a path of length at least 1 to mislabel")
+    vertices, edges = path_graph(length)
+    labels = {v: "left" for v in vertices}
+    relation = graph_to_relation_with_labels(vertices, edges, labels, name=name or f"badpath{length}")
+    # Flip the component label of the last vertex's diagonal tuple: the graph
+    # stays connected but the C column now pretends there is a second component.
+    from repro.relational.tuples import Row
+
+    rows = set(relation.rows)
+    last = f"v{length}"
+    rows.discard(Row({"A": last, "B": last, "C": "left"}))
+    rows.add(Row({"A": last, "B": last, "C": "right"}))
+    return Relation(relation.scheme, rows)

@@ -1,0 +1,168 @@
+"""Recognizing PD identities: the relation ``≤_id`` (§5.1 rules I, Theorem 10).
+
+``p ≤_id q`` holds iff ``p ≤ q`` in *every* lattice with constants, i.e. iff
+the PD ``p = p·q`` is a lattice identity.  The paper derives ``≤_id`` from
+five inference rules (its "ID rules") and then observes (Theorem 10) that the
+rules can be read as a deterministic recursion — Whitman's solution of the
+word problem for free lattices — which needs only logarithmic space:
+
+1. ``A ≤_id A'``          iff  ``A`` and ``A'`` are the same attribute;
+2. ``A ≤_id p'·q'``       iff  ``A ≤_id p'`` and ``A ≤_id q'``;
+3. ``A ≤_id p'+q'``       iff  ``A ≤_id p'`` or  ``A ≤_id q'``;
+4. ``p·q ≤_id A'``        iff  ``p ≤_id A'`` or ``q ≤_id A'``;
+5. ``p·q ≤_id p'·q'``     iff  ``p·q ≤_id p'`` and ``p·q ≤_id q'``;
+6. ``p·q ≤_id p'+q'``     iff  ``p ≤_id p'+q'`` or ``q ≤_id p'+q'`` or
+                               ``p·q ≤_id p'`` or ``p·q ≤_id q'``  (Whitman's condition);
+7. ``p+q ≤_id e'``        iff  ``p ≤_id e'`` and ``q ≤_id e'``.
+
+Two implementations are provided:
+
+* :func:`identically_leq` — memoized recursion (the practical one);
+* :func:`identically_leq_iterative` — an explicit-stack evaluation that
+  stores only (pointers to) the pair currently being compared plus a
+  constant amount of bookkeeping per recursion frame, mirroring the
+  logarithmic-space argument of Theorem 10.  It never memoizes, so its
+  running time can be exponential — which is precisely the time/space
+  trade-off the theorem describes.  Tests cross-check the two.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExpressionError
+from repro.expressions.ast import Attr, ExpressionLike, PartitionExpression, Product, Sum, as_expression
+
+
+def identically_leq(left: ExpressionLike, right: ExpressionLike) -> bool:
+    """Decide ``left ≤_id right`` (the free-lattice order) by memoized recursion."""
+    p = as_expression(left)
+    q = as_expression(right)
+    cache: dict[tuple[PartitionExpression, PartitionExpression], bool] = {}
+
+    def leq(x: PartitionExpression, y: PartitionExpression) -> bool:
+        key = (x, y)
+        if key in cache:
+            return cache[key]
+        # Seed the cache with False to guard against hypothetical cycles; the
+        # recursion always descends into proper subexpressions so it cannot
+        # actually loop, but the guard keeps the function total on any input.
+        cache[key] = False
+        result = _leq_step(x, y, leq)
+        cache[key] = result
+        return result
+
+    return leq(p, q)
+
+
+def _leq_step(x, y, leq) -> bool:
+    """One unfolding of the seven-case analysis of Theorem 10."""
+    if isinstance(x, Attr):
+        if isinstance(y, Attr):
+            return x.name == y.name  # case 1
+        if isinstance(y, Product):
+            return leq(x, y.left) and leq(x, y.right)  # case 2
+        if isinstance(y, Sum):
+            return leq(x, y.left) or leq(x, y.right)  # case 3
+        raise ExpressionError(f"unknown expression node {y!r}")
+    if isinstance(x, Sum):
+        # case 7 (covers every shape of y)
+        return leq(x.left, y) and leq(x.right, y)
+    if isinstance(x, Product):
+        if isinstance(y, Attr):
+            return leq(x.left, y) or leq(x.right, y)  # case 4
+        if isinstance(y, Product):
+            return leq(x, y.left) and leq(x, y.right)  # case 5
+        if isinstance(y, Sum):
+            return (
+                leq(x.left, y)
+                or leq(x.right, y)
+                or leq(x, y.left)
+                or leq(x, y.right)
+            )  # case 6, Whitman's condition
+        raise ExpressionError(f"unknown expression node {y!r}")
+    raise ExpressionError(f"unknown expression node {x!r}")
+
+
+def identically_leq_iterative(left: ExpressionLike, right: ExpressionLike) -> bool:
+    """Decide ``left ≤_id right`` with an explicit evaluation stack and no memoization.
+
+    Every stack frame holds a sub-pair of the original pair plus the boolean
+    connective that combines its children's answers, which is the
+    "two pointers into the input" bookkeeping of the Theorem 10 logspace
+    argument (our stack plays the role of the re-walkable input tree).
+    """
+    p = as_expression(left)
+    q = as_expression(right)
+
+    # Each frame: (x, y, pending_children, combinator) where combinator is
+    # "and" / "or" over the children's results, evaluated lazily with
+    # short-circuiting.
+    def expand(x, y) -> tuple[str, list[tuple]]:
+        if isinstance(x, Attr) and isinstance(y, Attr):
+            return ("leaf", [x.name == y.name])
+        if isinstance(x, Attr) and isinstance(y, Product):
+            return ("and", [(x, y.left), (x, y.right)])
+        if isinstance(x, Attr) and isinstance(y, Sum):
+            return ("or", [(x, y.left), (x, y.right)])
+        if isinstance(x, Sum):
+            return ("and", [(x.left, y), (x.right, y)])
+        if isinstance(x, Product) and isinstance(y, Attr):
+            return ("or", [(x.left, y), (x.right, y)])
+        if isinstance(x, Product) and isinstance(y, Product):
+            return ("and", [(x, y.left), (x, y.right)])
+        if isinstance(x, Product) and isinstance(y, Sum):
+            return ("or", [(x.left, y), (x.right, y), (x, y.left), (x, y.right)])
+        raise ExpressionError(f"unknown expression nodes {x!r}, {y!r}")
+
+    # Iterative short-circuit evaluation of the and/or recursion tree.
+    stack: list[dict] = [{"pair": (p, q), "children": None, "index": 0, "mode": None}]
+    answers: list[bool] = []
+    while stack:
+        frame = stack[-1]
+        if frame["children"] is None:
+            mode, children = expand(*frame["pair"])
+            if mode == "leaf":
+                answers.append(bool(children[0]))
+                stack.pop()
+                continue
+            frame["mode"] = mode
+            frame["children"] = children
+            frame["index"] = 0
+            stack.append({"pair": children[0], "children": None, "index": 0, "mode": None})
+            continue
+        # A child has just been answered.
+        child_answer = answers.pop()
+        mode = frame["mode"]
+        if (mode == "and" and not child_answer) or (mode == "or" and child_answer):
+            answers.append(child_answer)
+            stack.pop()
+            continue
+        frame["index"] += 1
+        if frame["index"] >= len(frame["children"]):
+            # All children evaluated without short-circuit: "and" ⇒ True, "or" ⇒ False.
+            answers.append(mode == "and")
+            stack.pop()
+            continue
+        stack.append(
+            {"pair": frame["children"][frame["index"]], "children": None, "index": 0, "mode": None}
+        )
+    assert len(answers) == 1
+    return answers[0]
+
+
+def identically_equal(left: ExpressionLike, right: ExpressionLike) -> bool:
+    """``p =_id q``: the PD ``p = q`` holds in every lattice (is a lattice identity).
+
+    Lemma 8.2a of the paper: this is equivalent to ``p ≤_id q`` and
+    ``q ≤_id p``.
+    """
+    p = as_expression(left)
+    q = as_expression(right)
+    return identically_leq(p, q) and identically_leq(q, p)
+
+
+def is_pd_identity(dependency) -> bool:
+    """True iff a PD is a lattice identity (holds in every partition interpretation)."""
+    from repro.dependencies.pd import as_partition_dependency
+
+    pd = as_partition_dependency(dependency)
+    return identically_equal(pd.left, pd.right)

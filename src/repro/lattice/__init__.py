@@ -1,0 +1,56 @@
+"""Lattice substrate: finite lattices, partition lattices, L(I), free and quotient lattices (§2.2, §5.1)."""
+
+from repro.lattice.core import FiniteLattice, LatticeElement
+from repro.lattice.free_lattice import (
+    FreeLatticeFragment,
+    bounded_expressions,
+    free_lattice_fragment,
+    free_lattice_size_on_two_generators,
+    whitman_condition_holds,
+)
+from repro.lattice.interpretation_lattice import InterpretationLattice
+from repro.lattice.partition_lattice import (
+    bell_number,
+    is_sublattice_of_partition_lattice,
+    partition_lattice,
+    set_partitions,
+)
+from repro.lattice.properties import (
+    are_isomorphic,
+    find_distributivity_violation,
+    find_isomorphism,
+    is_distributive,
+    is_homomorphism,
+    is_modular,
+)
+from repro.lattice.quotient import (
+    QuotientFragment,
+    finite_counterexample,
+    quotient_fragment,
+    theorem8_pool,
+)
+
+__all__ = [
+    "FiniteLattice",
+    "LatticeElement",
+    "is_distributive",
+    "find_distributivity_violation",
+    "is_modular",
+    "is_homomorphism",
+    "find_isomorphism",
+    "are_isomorphic",
+    "set_partitions",
+    "bell_number",
+    "partition_lattice",
+    "is_sublattice_of_partition_lattice",
+    "InterpretationLattice",
+    "bounded_expressions",
+    "FreeLatticeFragment",
+    "free_lattice_fragment",
+    "free_lattice_size_on_two_generators",
+    "whitman_condition_holds",
+    "QuotientFragment",
+    "quotient_fragment",
+    "theorem8_pool",
+    "finite_counterexample",
+]

@@ -1,0 +1,306 @@
+"""Finite lattices: explicit algebraic structures with two operations (§2.2).
+
+A lattice is a set with two binary operations ``*`` (meet) and ``+`` (join)
+satisfying associativity, commutativity, idempotence and the two absorption
+laws; the natural partial order is ``x ≤ y  iff  x = x·y  iff  y = y + x``.
+
+:class:`FiniteLattice` stores the elements together with meet/join tables and
+can be built either from explicit operation functions or from a partial
+order (meets and joins are then computed as greatest lower / least upper
+bounds and their existence is checked).  A *lattice with constants over U*
+additionally names some elements with attribute names (the ``g`` of §2.2);
+expressions and PDs are then evaluated directly inside the lattice.
+
+The class targets the small lattices that appear in the paper's
+constructions (Figures 1–2, the finite counterexamples of Theorem 8); all
+algorithms are straightforward O(n²)–O(n³) table computations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Hashable, Iterable, Mapping
+from typing import Callable, Optional
+
+from repro.errors import LatticeError
+from repro.expressions.ast import Attr, ExpressionLike, PartitionExpression, Product, Sum, as_expression
+
+#: Lattice elements can be any hashable value.
+LatticeElement = Hashable
+
+
+class FiniteLattice:
+    """An explicit finite lattice, optionally with named constants.
+
+    ``constants`` maps attribute names to elements; several names may point
+    at the same element, matching the paper's remark that an element can
+    have more than one name.
+    """
+
+    def __init__(
+        self,
+        elements: Iterable[LatticeElement],
+        meet: Callable[[LatticeElement, LatticeElement], LatticeElement],
+        join: Callable[[LatticeElement, LatticeElement], LatticeElement],
+        constants: Optional[Mapping[str, LatticeElement]] = None,
+        validate: bool = True,
+    ) -> None:
+        self._elements = list(dict.fromkeys(elements))
+        if not self._elements:
+            raise LatticeError("a lattice must be non-empty")
+        element_set = set(self._elements)
+        self._meet_table: dict[tuple[LatticeElement, LatticeElement], LatticeElement] = {}
+        self._join_table: dict[tuple[LatticeElement, LatticeElement], LatticeElement] = {}
+        for x in self._elements:
+            for y in self._elements:
+                m = meet(x, y)
+                j = join(x, y)
+                if m not in element_set or j not in element_set:
+                    raise LatticeError(
+                        f"meet/join of {x!r}, {y!r} escapes the element set"
+                    )
+                self._meet_table[(x, y)] = m
+                self._join_table[(x, y)] = j
+        self._constants = dict(constants or {})
+        for name, element in self._constants.items():
+            if element not in element_set:
+                raise LatticeError(f"constant {name!r} names unknown element {element!r}")
+        if validate:
+            problems = self.axiom_violations()
+            if problems:
+                raise LatticeError(f"lattice axioms violated: {problems[:3]} ...")
+
+    # -- constructors ---------------------------------------------------------------
+    @classmethod
+    def from_tables(
+        cls,
+        elements: Iterable[LatticeElement],
+        meet_table: Mapping[tuple[LatticeElement, LatticeElement], LatticeElement],
+        join_table: Mapping[tuple[LatticeElement, LatticeElement], LatticeElement],
+        constants: Optional[Mapping[str, LatticeElement]] = None,
+        validate: bool = True,
+    ) -> "FiniteLattice":
+        """Build from explicit operation tables (missing symmetric entries are filled in)."""
+
+        def meet(x: LatticeElement, y: LatticeElement) -> LatticeElement:
+            if (x, y) in meet_table:
+                return meet_table[(x, y)]
+            return meet_table[(y, x)]
+
+        def join(x: LatticeElement, y: LatticeElement) -> LatticeElement:
+            if (x, y) in join_table:
+                return join_table[(x, y)]
+            return join_table[(y, x)]
+
+        return cls(elements, meet, join, constants, validate)
+
+    @classmethod
+    def from_partial_order(
+        cls,
+        elements: Iterable[LatticeElement],
+        leq: Callable[[LatticeElement, LatticeElement], bool],
+        constants: Optional[Mapping[str, LatticeElement]] = None,
+    ) -> "FiniteLattice":
+        """Build a lattice from a partial order, checking that meets and joins exist.
+
+        Raises :class:`LatticeError` when some pair has no greatest lower
+        bound or least upper bound (i.e. the order is not a lattice order).
+        """
+        items = list(dict.fromkeys(elements))
+
+        def glb(x: LatticeElement, y: LatticeElement) -> LatticeElement:
+            lower = [z for z in items if leq(z, x) and leq(z, y)]
+            greatest = [z for z in lower if all(leq(w, z) for w in lower)]
+            if len(greatest) != 1:
+                raise LatticeError(f"elements {x!r}, {y!r} have no unique greatest lower bound")
+            return greatest[0]
+
+        def lub(x: LatticeElement, y: LatticeElement) -> LatticeElement:
+            upper = [z for z in items if leq(x, z) and leq(y, z)]
+            least = [z for z in upper if all(leq(z, w) for w in upper)]
+            if len(least) != 1:
+                raise LatticeError(f"elements {x!r}, {y!r} have no unique least upper bound")
+            return least[0]
+
+        return cls(items, glb, lub, constants)
+
+    @classmethod
+    def chain(cls, length: int) -> "FiniteLattice":
+        """The chain lattice 0 < 1 < ... < length-1 (handy in tests)."""
+        if length <= 0:
+            raise LatticeError("a chain needs at least one element")
+        return cls(range(length), min, max)
+
+    @classmethod
+    def boolean(cls, generators: Iterable[str]) -> "FiniteLattice":
+        """The Boolean (powerset) lattice over a finite generator set, constants = atoms."""
+        names = sorted(set(generators))
+        elements = [
+            frozenset(combo)
+            for size in range(len(names) + 1)
+            for combo in itertools.combinations(names, size)
+        ]
+        constants = {name: frozenset([name]) for name in names}
+        return cls(
+            elements,
+            lambda x, y: x & y,
+            lambda x, y: x | y,
+            constants,
+        )
+
+    # -- basic structure ---------------------------------------------------------------
+    @property
+    def elements(self) -> list[LatticeElement]:
+        """The elements (in construction order)."""
+        return list(self._elements)
+
+    @property
+    def constants(self) -> dict[str, LatticeElement]:
+        """The named constants (attribute name → element)."""
+        return dict(self._constants)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, element: object) -> bool:
+        return element in set(self._elements)
+
+    def meet(self, x: LatticeElement, y: LatticeElement) -> LatticeElement:
+        """``x * y``."""
+        try:
+            return self._meet_table[(x, y)]
+        except KeyError as exc:
+            raise LatticeError(f"{x!r} or {y!r} is not a lattice element") from exc
+
+    def join(self, x: LatticeElement, y: LatticeElement) -> LatticeElement:
+        """``x + y``."""
+        try:
+            return self._join_table[(x, y)]
+        except KeyError as exc:
+            raise LatticeError(f"{x!r} or {y!r} is not a lattice element") from exc
+
+    def leq(self, x: LatticeElement, y: LatticeElement) -> bool:
+        """The natural partial order: ``x ≤ y`` iff ``x = x * y``."""
+        return self.meet(x, y) == x
+
+    def top(self) -> LatticeElement:
+        """The greatest element (join of everything)."""
+        result = self._elements[0]
+        for element in self._elements[1:]:
+            result = self.join(result, element)
+        return result
+
+    def bottom(self) -> LatticeElement:
+        """The least element (meet of everything)."""
+        result = self._elements[0]
+        for element in self._elements[1:]:
+            result = self.meet(result, element)
+        return result
+
+    def covers(self) -> list[tuple[LatticeElement, LatticeElement]]:
+        """The covering pairs (Hasse-diagram edges) ``x ⋖ y``."""
+        result = []
+        for x in self._elements:
+            for y in self._elements:
+                if x == y or not self.leq(x, y):
+                    continue
+                if any(
+                    z not in (x, y) and self.leq(x, z) and self.leq(z, y)
+                    for z in self._elements
+                ):
+                    continue
+                result.append((x, y))
+        return result
+
+    # -- axioms ------------------------------------------------------------------------------
+    def axiom_violations(self) -> list[str]:
+        """Human-readable descriptions of lattice-axiom violations (empty iff a lattice)."""
+        problems: list[str] = []
+        elements = self._elements
+        for x in elements:
+            if self.meet(x, x) != x:
+                problems.append(f"meet not idempotent at {x!r}")
+            if self.join(x, x) != x:
+                problems.append(f"join not idempotent at {x!r}")
+        for x, y in itertools.product(elements, repeat=2):
+            if self.meet(x, y) != self.meet(y, x):
+                problems.append(f"meet not commutative at {x!r}, {y!r}")
+            if self.join(x, y) != self.join(y, x):
+                problems.append(f"join not commutative at {x!r}, {y!r}")
+            if self.join(x, self.meet(x, y)) != x:
+                problems.append(f"absorption x+(x*y) fails at {x!r}, {y!r}")
+            if self.meet(x, self.join(x, y)) != x:
+                problems.append(f"absorption x*(x+y) fails at {x!r}, {y!r}")
+        for x, y, z in itertools.product(elements, repeat=3):
+            if self.meet(self.meet(x, y), z) != self.meet(x, self.meet(y, z)):
+                problems.append(f"meet not associative at {x!r}, {y!r}, {z!r}")
+            if self.join(self.join(x, y), z) != self.join(x, self.join(y, z)):
+                problems.append(f"join not associative at {x!r}, {y!r}, {z!r}")
+        return problems
+
+    # -- constants and expression evaluation -----------------------------------------------------
+    def with_constants(self, constants: Mapping[str, LatticeElement]) -> "FiniteLattice":
+        """The same lattice with a different constant assignment."""
+        return FiniteLattice(
+            self._elements,
+            self.meet,
+            self.join,
+            constants,
+            validate=False,
+        )
+
+    def constant(self, name: str) -> LatticeElement:
+        """The element named by an attribute."""
+        try:
+            return self._constants[name]
+        except KeyError as exc:
+            raise LatticeError(f"no constant named {name!r} in this lattice") from exc
+
+    def evaluate(self, expression: ExpressionLike) -> LatticeElement:
+        """Evaluate a partition expression inside the lattice (attributes via constants)."""
+        node = as_expression(expression)
+        if isinstance(node, Attr):
+            return self.constant(node.name)
+        if isinstance(node, Product):
+            return self.meet(self.evaluate(node.left), self.evaluate(node.right))
+        if isinstance(node, Sum):
+            return self.join(self.evaluate(node.left), self.evaluate(node.right))
+        raise LatticeError(f"unknown expression node {node!r}")
+
+    def satisfies(self, dependency) -> bool:
+        """``L ⊨ e = e'``: the two sides evaluate to the same element (§2.2)."""
+        from repro.dependencies.pd import as_partition_dependency
+
+        pd = as_partition_dependency(dependency)
+        return self.evaluate(pd.left) == self.evaluate(pd.right)
+
+    def satisfies_all(self, dependencies: Iterable) -> bool:
+        """Satisfaction of a set of equations."""
+        return all(self.satisfies(pd) for pd in dependencies)
+
+    # -- substructures -----------------------------------------------------------------------------
+    def sublattice(self, elements: Iterable[LatticeElement]) -> "FiniteLattice":
+        """The sublattice generated by ``elements`` (closure under meet and join)."""
+        current = set(elements)
+        if not current:
+            raise LatticeError("a sublattice needs at least one generator")
+        unknown = current - set(self._elements)
+        if unknown:
+            raise LatticeError(f"not lattice elements: {unknown!r}")
+        changed = True
+        while changed:
+            changed = False
+            for x, y in itertools.combinations(sorted(current, key=repr), 2):
+                for candidate in (self.meet(x, y), self.join(x, y)):
+                    if candidate not in current:
+                        current.add(candidate)
+                        changed = True
+        constants = {
+            name: element for name, element in self._constants.items() if element in current
+        }
+        return FiniteLattice(
+            sorted(current, key=repr), self.meet, self.join, constants, validate=False
+        )
+
+    def __repr__(self) -> str:
+        return f"FiniteLattice({len(self._elements)} elements, constants={sorted(self._constants)})"

@@ -1,0 +1,119 @@
+"""The free lattice on a finite generator set, approximated by bounded terms (§5.1).
+
+The free lattice ``FL(U)`` has as elements the ``=_id`` equivalence classes
+of partition expressions over ``U`` (Lemma 8.2: ``L_id`` is a lattice, and
+``p = q`` is a lattice identity iff ``p =_id q``).  For ``|U| ≥ 3`` the free
+lattice is infinite, so this module materializes *bounded* fragments: all
+equivalence classes representable by expressions of complexity at most ``k``.
+
+The fragment is not itself a lattice in general (meets/joins may need larger
+terms), but it is exactly what the identity-recognition benchmark (EXP-T10)
+and several property tests need: a supply of pairwise ``=_id``-inequivalent
+expressions together with the ``≤_id`` order between them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.expressions.ast import Attr, PartitionExpression, Product, Sum
+from repro.implication.identities import identically_equal, identically_leq
+
+
+def bounded_expressions(
+    generators: Sequence[str], max_complexity: int
+) -> list[PartitionExpression]:
+    """All partition expressions over ``generators`` with at most ``max_complexity`` operators.
+
+    Exhaustive and exponential — intended for the small bounds (≤ 3) used in
+    tests and benchmarks.
+    """
+    by_complexity: dict[int, list[PartitionExpression]] = {0: [Attr(g) for g in generators]}
+    for complexity in range(1, max_complexity + 1):
+        level: list[PartitionExpression] = []
+        for left_complexity in range(0, complexity):
+            right_complexity = complexity - 1 - left_complexity
+            for left in by_complexity[left_complexity]:
+                for right in by_complexity[right_complexity]:
+                    level.append(Product(left, right))
+                    level.append(Sum(left, right))
+        by_complexity[complexity] = level
+    result: list[PartitionExpression] = []
+    for complexity in range(0, max_complexity + 1):
+        result.extend(by_complexity[complexity])
+    return result
+
+
+@dataclass(frozen=True)
+class FreeLatticeFragment:
+    """A bounded fragment of the free lattice: canonical representatives + the ``≤_id`` order."""
+
+    generators: tuple[str, ...]
+    max_complexity: int
+    representatives: tuple[PartitionExpression, ...]
+
+    def leq(self, left: PartitionExpression, right: PartitionExpression) -> bool:
+        """The free-lattice order between two expressions."""
+        return identically_leq(left, right)
+
+    def equivalent(self, left: PartitionExpression, right: PartitionExpression) -> bool:
+        """Equality in the free lattice."""
+        return identically_equal(left, right)
+
+    def class_of(self, expression: PartitionExpression) -> PartitionExpression:
+        """The stored representative ``=_id``-equivalent to ``expression`` (or the expression itself)."""
+        for representative in self.representatives:
+            if identically_equal(representative, expression):
+                return representative
+        return expression
+
+    def __len__(self) -> int:
+        return len(self.representatives)
+
+
+def free_lattice_fragment(generators: Sequence[str], max_complexity: int = 2) -> FreeLatticeFragment:
+    """Canonical representatives of the ``=_id`` classes of bounded expressions.
+
+    Representatives are chosen smallest-first (by AST size, then string), so
+    an attribute represents its own class, ``A·B`` represents the class of
+    ``B·A``, ``A·A·B``, etc.
+    """
+    representatives: list[PartitionExpression] = []
+    candidates = sorted(
+        bounded_expressions(generators, max_complexity), key=lambda e: (e.size(), str(e))
+    )
+    for candidate in candidates:
+        if not any(identically_equal(candidate, seen) for seen in representatives):
+            representatives.append(candidate)
+    return FreeLatticeFragment(tuple(generators), max_complexity, tuple(representatives))
+
+
+def free_lattice_size_on_two_generators() -> int:
+    """The free lattice on two generators has exactly four elements: A, B, A·B, A+B.
+
+    A classical fact (Whitman); returned as a constant and verified by the
+    test suite against :func:`free_lattice_fragment`.
+    """
+    return 4
+
+
+def whitman_condition_holds(
+    left: PartitionExpression, right: PartitionExpression
+) -> bool:
+    """Whitman's (W) condition instance check for ``p·q ≤ r+s`` shapes.
+
+    For expressions of the shape ``p·q`` and ``r+s``, returns True iff the
+    inequality already follows from one of the four "component" inequalities
+    ``p ≤ r+s``, ``q ≤ r+s``, ``p·q ≤ r``, ``p·q ≤ s`` — this is the defining
+    property of free lattices and the content of ID rule case 6.  For other
+    shapes the function simply reports whether ``left ≤_id right``.
+    """
+    if isinstance(left, Product) and isinstance(right, Sum):
+        return (
+            identically_leq(left.left, right)
+            or identically_leq(left.right, right)
+            or identically_leq(left, right.left)
+            or identically_leq(left, right.right)
+        )
+    return identically_leq(left, right)

@@ -1,0 +1,96 @@
+"""The lattice of all partitions of a finite set.
+
+Two classical theorems the paper leans on live here:
+
+* every lattice is isomorphic to a sublattice of the lattice of partitions of
+  some set (Whitman [34 in the paper]) — used in Lemma 8.1a;
+* every *finite* lattice embeds in the partition lattice of a *finite* set
+  (Pudlák–Tůma [26]) — the non-trivial ingredient of Lemma 8.1b.
+
+We do not reprove these; what the library provides is the finite partition
+lattice itself (all partitions of an n-element set, Bell(n) many, with
+product as meet and sum as join), which the tests use to check that partition
+product/sum really are the lattice operations of the refinement order, and
+that ``L(I)`` is always a sublattice of it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.errors import LatticeError
+from repro.lattice.core import FiniteLattice
+from repro.partitions.partition import Element, Partition
+
+
+def set_partitions(population: Sequence[Element]) -> Iterator[Partition]:
+    """Generate every partition of ``population`` (Bell-number many).
+
+    Uses the standard "restricted growth string" recursion: each element is
+    either added to an existing block or starts a new one.
+    """
+    items = list(population)
+    if not items:
+        yield Partition()
+        return
+
+    def recurse(index: int, blocks: list[list[Element]]) -> Iterator[list[list[Element]]]:
+        if index == len(items):
+            yield [list(block) for block in blocks]
+            return
+        element = items[index]
+        for i in range(len(blocks)):
+            blocks[i].append(element)
+            yield from recurse(index + 1, blocks)
+            blocks[i].pop()
+        blocks.append([element])
+        yield from recurse(index + 1, blocks)
+        blocks.pop()
+
+    for block_lists in recurse(0, []):
+        yield Partition(block_lists)
+
+
+def bell_number(n: int) -> int:
+    """The number of partitions of an n-element set (for sanity checks and benchmarks)."""
+    if n < 0:
+        raise LatticeError("bell_number needs a non-negative argument")
+    # Bell triangle.
+    row = [1]
+    for _ in range(n):
+        next_row = [row[-1]]
+        for value in row:
+            next_row.append(next_row[-1] + value)
+        row = next_row
+    return row[0]
+
+
+def partition_lattice(population: Iterable[Element]) -> FiniteLattice:
+    """The full partition lattice of a finite set, with meet = product and join = sum.
+
+    The population should be small (Bell(7) = 877, Bell(8) = 4140); the
+    figures and tests use populations of size ≤ 5.
+    """
+    items = list(population)
+    elements = list(set_partitions(items))
+    return FiniteLattice(
+        elements,
+        lambda x, y: x.product(y),
+        lambda x, y: x.sum(y),
+        validate=False,
+    )
+
+
+def is_sublattice_of_partition_lattice(partitions: Iterable[Partition]) -> bool:
+    """True iff the given set of partitions (of a common population) is closed under * and +."""
+    pool = set(partitions)
+    if not pool:
+        return True
+    populations = {p.population for p in pool}
+    if len(populations) != 1:
+        raise LatticeError("all partitions must share one population")
+    for x in pool:
+        for y in pool:
+            if x.product(y) not in pool or x.sum(y) not in pool:
+                return False
+    return True

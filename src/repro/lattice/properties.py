@@ -1,0 +1,133 @@
+"""Structural properties of finite lattices: distributivity, modularity, morphisms.
+
+Figure 1 of the paper exhibits an interpretation whose lattice ``L(I)`` is
+*not* distributive (``B * (A + C) ≠ (B*A) + (B*C)``); Figure 2 rests on an
+*isomorphism* between two interpretation lattices.  This module provides the
+corresponding checks, plus homomorphism verification (used in the proof of
+Theorem 7, where ``L(I) → L(J)`` is a surjective homomorphism) and a
+brute-force isomorphism finder adequate for the small lattices in the paper's
+constructions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Mapping
+from typing import Optional
+
+from repro.lattice.core import FiniteLattice, LatticeElement
+
+
+def is_distributive(lattice: FiniteLattice) -> bool:
+    """True iff ``x * (y + z) = (x*y) + (x*z)`` for all triples (equivalently the dual law)."""
+    return find_distributivity_violation(lattice) is None
+
+
+def find_distributivity_violation(
+    lattice: FiniteLattice,
+) -> Optional[tuple[LatticeElement, LatticeElement, LatticeElement]]:
+    """A triple witnessing non-distributivity, or ``None`` if the lattice is distributive."""
+    for x, y, z in itertools.product(lattice.elements, repeat=3):
+        left = lattice.meet(x, lattice.join(y, z))
+        right = lattice.join(lattice.meet(x, y), lattice.meet(x, z))
+        if left != right:
+            return (x, y, z)
+    return None
+
+
+def is_modular(lattice: FiniteLattice) -> bool:
+    """True iff ``x ≤ z`` implies ``x + (y * z) = (x + y) * z`` for all triples."""
+    for x, y, z in itertools.product(lattice.elements, repeat=3):
+        if lattice.leq(x, z):
+            left = lattice.join(x, lattice.meet(y, z))
+            right = lattice.meet(lattice.join(x, y), z)
+            if left != right:
+                return False
+    return True
+
+
+def is_homomorphism(
+    source: FiniteLattice,
+    target: FiniteLattice,
+    mapping: Mapping[LatticeElement, LatticeElement] | Callable[[LatticeElement], LatticeElement],
+) -> bool:
+    """True iff ``mapping`` preserves meets and joins from ``source`` into ``target``."""
+    get = mapping.__getitem__ if isinstance(mapping, Mapping) else mapping
+    for x, y in itertools.product(source.elements, repeat=2):
+        if get(source.meet(x, y)) != target.meet(get(x), get(y)):
+            return False
+        if get(source.join(x, y)) != target.join(get(x), get(y)):
+            return False
+    return True
+
+
+def find_isomorphism(
+    first: FiniteLattice, second: FiniteLattice
+) -> Optional[dict[LatticeElement, LatticeElement]]:
+    """A lattice isomorphism between the two lattices, or ``None``.
+
+    Brute force over bijections, pruned by matching the "profile" of each
+    element (number of elements below/above it).  Intended for the ≤ ~20
+    element lattices of the paper's figures; Theorem 5's Figure 2 pair has 8
+    elements each.
+    """
+    if len(first) != len(second):
+        return None
+
+    def profile(lattice: FiniteLattice, element: LatticeElement) -> tuple[int, int]:
+        below = sum(1 for other in lattice.elements if lattice.leq(other, element))
+        above = sum(1 for other in lattice.elements if lattice.leq(element, other))
+        return (below, above)
+
+    first_profiles = {element: profile(first, element) for element in first.elements}
+    second_by_profile: dict[tuple[int, int], list[LatticeElement]] = {}
+    for element in second.elements:
+        second_by_profile.setdefault(profile(second, element), []).append(element)
+
+    # Group the source elements by profile; candidates must share the profile.
+    source_elements = sorted(
+        first.elements, key=lambda e: (len(second_by_profile.get(first_profiles[e], [])), repr(e))
+    )
+
+    assignment: dict[LatticeElement, LatticeElement] = {}
+    used: set[LatticeElement] = set()
+
+    def consistent(element: LatticeElement, image: LatticeElement) -> bool:
+        for other, other_image in assignment.items():
+            if first.leq(element, other) != second.leq(image, other_image):
+                return False
+            if first.leq(other, element) != second.leq(other_image, image):
+                return False
+            if assignment.get(first.meet(element, other)) is not None:
+                if assignment[first.meet(element, other)] != second.meet(image, other_image):
+                    return False
+            if assignment.get(first.join(element, other)) is not None:
+                if assignment[first.join(element, other)] != second.join(image, other_image):
+                    return False
+        return True
+
+    def backtrack(index: int) -> bool:
+        if index == len(source_elements):
+            return is_homomorphism(first, second, assignment) and len(set(assignment.values())) == len(
+                assignment
+            )
+        element = source_elements[index]
+        for image in second_by_profile.get(first_profiles[element], []):
+            if image in used or not consistent(element, image):
+                continue
+            assignment[element] = image
+            used.add(image)
+            if backtrack(index + 1):
+                return True
+            del assignment[element]
+            used.discard(image)
+        return False
+
+    if backtrack(0):
+        return dict(assignment)
+    return None
+
+
+def are_isomorphic(first: FiniteLattice, second: FiniteLattice) -> bool:
+    """True iff the two lattices are isomorphic (ignoring constants)."""
+    return find_isomorphism(first, second) is not None

@@ -1,0 +1,54 @@
+"""Partition substrate: partitions, their product/sum, and partition interpretations (§3).
+
+Implements Definitions 1–6 of the paper: the :class:`Partition` value type
+with the ``*`` and ``+`` operations, partition interpretations with their
+satisfaction relations, the CAD/EAP assumptions, and the canonical
+constructions ``I(r)`` and ``R(I)`` bridging relations and interpretations.
+"""
+
+from repro.partitions.assumptions import cad_violations, satisfies_cad, satisfies_eap
+from repro.partitions.canonical import (
+    canonical_interpretation,
+    canonical_relation,
+    canonical_roundtrip,
+    eap_extension,
+    restrict_to_attributes,
+)
+from repro.partitions.interpretation import AttributeInterpretation, PartitionInterpretation
+from repro.partitions.operations import (
+    check_lattice_axioms,
+    coarsest_common_refinement,
+    finest_common_generalization,
+    is_refinement_chain,
+    join,
+    meet,
+    product,
+    satisfies_lattice_axioms,
+    sum_,
+)
+from repro.partitions.partition import Element, Partition, partition_from_mapping
+
+__all__ = [
+    "Partition",
+    "Element",
+    "partition_from_mapping",
+    "product",
+    "sum_",
+    "meet",
+    "join",
+    "coarsest_common_refinement",
+    "finest_common_generalization",
+    "is_refinement_chain",
+    "check_lattice_axioms",
+    "satisfies_lattice_axioms",
+    "AttributeInterpretation",
+    "PartitionInterpretation",
+    "satisfies_cad",
+    "satisfies_eap",
+    "cad_violations",
+    "canonical_interpretation",
+    "canonical_relation",
+    "canonical_roundtrip",
+    "eap_extension",
+    "restrict_to_attributes",
+]

@@ -1,0 +1,59 @@
+"""The CAD and EAP assumptions on partition interpretations (Definition 4, §3.2).
+
+Given an interpretation ``I`` satisfying a database ``d``:
+
+* **CAD** (complete atomic data): for every attribute ``A`` and symbol ``x``,
+  ``x ∈ d[A]  ⇔  f_A(x) ≠ ∅``.  This is the partition-semantics analogue of a
+  domain-closure axiom — the only named blocks are the symbols actually
+  occurring in the database.
+* **EAP** (equal atomic populations): all attributes share one population.
+
+The paper shows CAD makes consistency NP-complete (Theorem 11) while EAP is
+harmless (remark after Theorem 6).
+"""
+
+from __future__ import annotations
+
+from repro.partitions.interpretation import PartitionInterpretation
+from repro.relational.database import Database
+
+
+def satisfies_eap(interpretation: PartitionInterpretation) -> bool:
+    """True iff all attribute populations are equal (Definition 4.2)."""
+    populations = [
+        interpretation.population(attribute) for attribute in interpretation.attributes
+    ]
+    return all(population == populations[0] for population in populations[1:])
+
+
+def satisfies_cad(interpretation: PartitionInterpretation, database: Database) -> bool:
+    """True iff the named symbols of every attribute are exactly ``d[A]`` (Definition 4.1).
+
+    The definition in the paper is the biconditional "``x ∈ d[A]`` iff
+    ``f_A(x) ≠ ∅``"; attributes of the interpretation that the database never
+    mentions must therefore have *no* named symbols drawn from the database
+    and the condition degenerates to ``f_A(x) = ∅`` for the database symbols
+    — which, since every block must be named by some symbol, can only hold
+    when the attribute's named symbols are disjoint from ``d``'s symbols.
+    For attributes appearing in the database the condition is the equality of
+    the two symbol sets.
+    """
+    for attribute in interpretation.attributes:
+        named = interpretation.attribute(attribute).named_symbols()
+        in_database = database.symbols_under(attribute)
+        if named != in_database:
+            return False
+    return True
+
+
+def cad_violations(
+    interpretation: PartitionInterpretation, database: Database
+) -> dict[str, tuple[frozenset, frozenset]]:
+    """Diagnostic: attributes violating CAD, with (extra named, missing) symbol sets."""
+    violations: dict[str, tuple[frozenset, frozenset]] = {}
+    for attribute in interpretation.attributes:
+        named = interpretation.attribute(attribute).named_symbols()
+        in_database = database.symbols_under(attribute)
+        if named != in_database:
+            violations[attribute] = (named - in_database, in_database - named)
+    return violations

@@ -1,0 +1,139 @@
+"""Canonical interpretations and canonical relations (Definitions 5–6, §4.1).
+
+The bridge between relations and partition interpretations:
+
+* ``I(r)`` — the *canonical interpretation* of a relation ``r``: the
+  population of every attribute is the set of tuple identifiers of ``r``,
+  and ``f_A(x)`` is the set of (identifiers of) tuples with ``t[A] = x``.
+  ``I(r)`` always satisfies EAP, and ``I(r) ⊨ r``.
+* ``R(I)`` — the *canonical relation* of an interpretation ``I``: one tuple
+  per element of the union of the populations, whose ``A``-value is the name
+  of the block containing that element (or a fresh symbol when the element is
+  outside ``p_A``).
+
+The round-trip identities the paper uses — ``R(I(r)) = r`` and, under EAP,
+``L(I(R(I))) = L(I)`` — are verified by the test suite
+(``tests/test_canonical.py``) and exercised by Theorems 3, 6, 7.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import PartitionError
+from repro.partitions.interpretation import AttributeInterpretation, PartitionInterpretation
+from repro.partitions.partition import Element
+from repro.relational.attributes import AttributeSet, Symbol
+from repro.relational.relations import Relation
+from repro.relational.schema import RelationScheme
+from repro.relational.tuples import Row
+
+
+def canonical_interpretation(
+    relation: Relation,
+    identifier: Optional[Callable[[Row], Element]] = None,
+) -> PartitionInterpretation:
+    """``I(r)``: the canonical partition interpretation of a relation (Definition 5).
+
+    ``identifier`` maps each tuple to a unique population element; by default
+    tuples are numbered 1..n in the deterministic sorted order of the
+    relation.  Raises :class:`PartitionError` for the empty relation (the
+    populations of Definition 1 must be non-empty).
+    """
+    rows = relation.sorted_rows()
+    if not rows:
+        raise PartitionError("the canonical interpretation of an empty relation is undefined")
+    if identifier is None:
+        ids = {row: index + 1 for index, row in enumerate(rows)}
+        identify: Callable[[Row], Element] = lambda row: ids[row]
+    else:
+        identify = identifier
+        seen = [identify(row) for row in rows]
+        if len(set(seen)) != len(seen):
+            raise PartitionError("tuple identifiers must be unique")
+
+    spec: dict[str, dict[Symbol, set[Element]]] = {}
+    for attribute in relation.attributes:
+        blocks: dict[Symbol, set[Element]] = {}
+        for row in rows:
+            blocks.setdefault(row[attribute], set()).add(identify(row))
+        spec[attribute] = blocks
+    return PartitionInterpretation.from_named_blocks(spec)
+
+
+def canonical_relation(
+    interpretation: PartitionInterpretation,
+    name: str = "R_of_I",
+    padding_symbol: Optional[Callable[[Element, str], Symbol]] = None,
+) -> Relation:
+    """``R(I)``: the canonical relation of an interpretation (Definition 6).
+
+    For each element ``i`` of the union ``p`` of all populations there is a
+    tuple ``t_i`` with ``t_i[A] = x`` when ``i ∈ f_A(x)`` and ``t_i[A]`` a
+    symbol unique to ``(i, A)`` when ``i ∉ p_A``.  The default padding symbol
+    is ``"<i>@<A>"``; pass ``padding_symbol`` to control it (it must be
+    injective on pairs and avoid the named symbols).
+    """
+    population = interpretation.total_population()
+    if not population:
+        raise PartitionError("the interpretation has an empty total population")
+    if padding_symbol is None:
+        padding_symbol = lambda element, attribute: f"{element}@{attribute}"
+
+    attributes = interpretation.attributes
+    scheme = RelationScheme(name, attributes)
+    rows = []
+    for element in sorted(population, key=repr):
+        cells: dict[str, Symbol] = {}
+        for attribute in attributes:
+            attr_interp = interpretation.attribute(attribute)
+            if element in attr_interp.population:
+                block = attr_interp.partition.block_of(element)
+                cells[attribute] = attr_interp.symbol_of(block)
+            else:
+                cells[attribute] = padding_symbol(element, attribute)
+        rows.append(Row(cells))
+    return Relation(scheme, rows)
+
+
+def canonical_roundtrip(relation: Relation, name: Optional[str] = None) -> Relation:
+    """``R(I(r))`` — by Theorem 3's remark this always equals ``r`` (up to the relation name)."""
+    back = canonical_relation(canonical_interpretation(relation), name=name or relation.name)
+    return back
+
+
+def eap_extension(interpretation: PartitionInterpretation) -> PartitionInterpretation:
+    """Extend every attribute's population to the total population with singleton blocks.
+
+    This is the construction used inside the proof of Theorem 7: the
+    interpretation ``J`` with ``π'_A = π_A ∪ {{x} | x ∈ p - p_A}``.  Every
+    new singleton block needs a fresh name; we use ``"<element>@<attribute>"``
+    (guaranteed not to collide with existing names because existing names are
+    database symbols).  The correspondence ``π'_A ↔ π_A`` is a lattice
+    homomorphism from ``L(I)`` onto ``L(J)``.
+
+    The result satisfies EAP.
+    """
+    total = interpretation.total_population()
+    spec: dict[str, dict[Symbol, set[Element]]] = {}
+    for attribute in interpretation.attributes:
+        attr_interp = interpretation.attribute(attribute)
+        blocks: dict[Symbol, set[Element]] = {
+            symbol: set(block) for symbol, block in attr_interp.naming.items()
+        }
+        for element in total - attr_interp.population:
+            blocks[f"{element}@{attribute}"] = {element}
+        spec[attribute] = blocks
+    return PartitionInterpretation.from_named_blocks(spec)
+
+
+def restrict_to_attributes(
+    interpretation: PartitionInterpretation, attributes: AttributeSet
+) -> PartitionInterpretation:
+    """The interpretation restricted to a sub-universe of attributes."""
+    missing = attributes - interpretation.attributes
+    if missing:
+        raise PartitionError(f"interpretation lacks attributes {sorted(missing)}")
+    return PartitionInterpretation(
+        {attribute: interpretation.attribute(attribute) for attribute in attributes}
+    )

@@ -1,0 +1,300 @@
+"""Partition interpretations (Definitions 1–3 of the paper).
+
+A partition interpretation ``I`` over an attribute universe assigns to every
+attribute ``A``:
+
+1. a non-empty *population* ``p_A``,
+2. an *atomic partition* ``π_A`` of ``p_A``,
+3. a *naming function* ``f_A`` from symbols to blocks of ``π_A`` (or ∅) such
+   that distinct symbols name disjoint blocks and every block is named by
+   exactly one symbol.
+
+From an interpretation we derive, by structural induction, the meaning of
+every partition expression (a partition together with its population), of
+every relation scheme (the product of its attributes' atomic partitions), of
+every symbol occurrence, and of every tuple (the intersection of the blocks
+named by its symbols).  ``I`` *satisfies* a database iff every tuple has a
+non-empty meaning (Definition 2) and satisfies a PD ``e = e'`` iff the two
+expressions have equal meaning — equal partitions *and* equal populations
+(Definition 3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Optional, Union
+
+from repro.errors import PartitionError
+from repro.expressions.ast import (
+    Attr,
+    ExpressionLike,
+    PartitionExpression,
+    Product,
+    Sum,
+    as_expression,
+)
+from repro.partitions.partition import Element, Partition
+from repro.relational.attributes import Attribute, AttributeSet, Symbol, as_attribute_set
+from repro.relational.database import Database
+from repro.relational.relations import Relation
+from repro.relational.tuples import Row
+
+
+class AttributeInterpretation:
+    """The triple ``(p_A, π_A, f_A)`` interpreting one attribute.
+
+    The naming function is given as a mapping from symbols to blocks; symbols
+    not present in the mapping are sent to ∅ (the paper's ``f_A(x) = ∅``).
+    The constructor validates the conditions of Definition 1: the named
+    blocks are exactly the blocks of ``π_A`` and distinct symbols name
+    disjoint (hence distinct) blocks.
+    """
+
+    __slots__ = ("_partition", "_naming", "_symbol_of_block")
+
+    def __init__(
+        self,
+        partition: Partition,
+        naming: Mapping[Symbol, Iterable[Element]],
+    ) -> None:
+        if partition.is_empty():
+            raise PartitionError("the population of an attribute must be non-empty")
+        normalized: dict[Symbol, frozenset] = {}
+        for symbol, block in naming.items():
+            normalized[symbol] = frozenset(block)
+        named_blocks = list(normalized.values())
+        if len(set(named_blocks)) != len(named_blocks):
+            raise PartitionError("distinct symbols must name distinct blocks (f_A is injective)")
+        if set(named_blocks) != set(partition.blocks):
+            raise PartitionError(
+                "the named blocks must be exactly the blocks of the atomic partition"
+            )
+        self._partition = partition
+        self._naming = normalized
+        self._symbol_of_block = {block: symbol for symbol, block in normalized.items()}
+
+    @classmethod
+    def from_block_names(cls, blocks: Mapping[Symbol, Iterable[Element]]) -> "AttributeInterpretation":
+        """Build population, partition and naming at once from ``symbol -> block``."""
+        partition = Partition(blocks.values())
+        return cls(partition, blocks)
+
+    @property
+    def population(self) -> frozenset:
+        """The population ``p_A``."""
+        return self._partition.population
+
+    @property
+    def partition(self) -> Partition:
+        """The atomic partition ``π_A``."""
+        return self._partition
+
+    @property
+    def naming(self) -> dict[Symbol, frozenset]:
+        """The naming function restricted to the symbols with non-empty image."""
+        return dict(self._naming)
+
+    def block_named(self, symbol: Symbol) -> Optional[frozenset]:
+        """``f_A(x)``: the block named by ``symbol``, or ``None`` for ∅."""
+        return self._naming.get(symbol)
+
+    def symbol_of(self, block: frozenset) -> Symbol:
+        """The unique symbol naming ``block`` (inverse of the naming function)."""
+        try:
+            return self._symbol_of_block[frozenset(block)]
+        except KeyError as exc:
+            raise PartitionError(f"{set(block)!r} is not a named block") from exc
+
+    def named_symbols(self) -> frozenset[Symbol]:
+        """The symbols with a non-empty image under ``f_A``."""
+        return frozenset(self._naming)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AttributeInterpretation):
+            return NotImplemented
+        return self._partition == other._partition and self._naming == other._naming
+
+    def __hash__(self) -> int:
+        return hash((self._partition, tuple(sorted(self._naming.items(), key=lambda kv: kv[0]))))
+
+    def __repr__(self) -> str:
+        return f"AttributeInterpretation({self._partition!r}, {len(self._naming)} named blocks)"
+
+
+class PartitionInterpretation:
+    """A partition interpretation: one :class:`AttributeInterpretation` per attribute."""
+
+    __slots__ = ("_attributes",)
+
+    def __init__(self, attributes: Mapping[Attribute, AttributeInterpretation]) -> None:
+        if not attributes:
+            raise PartitionError("a partition interpretation needs at least one attribute")
+        for name, interp in attributes.items():
+            if not isinstance(interp, AttributeInterpretation):
+                raise PartitionError(
+                    f"attribute {name!r} must map to an AttributeInterpretation, got {interp!r}"
+                )
+        self._attributes = dict(sorted(attributes.items()))
+
+    @classmethod
+    def from_named_blocks(
+        cls, spec: Mapping[Attribute, Mapping[Symbol, Iterable[Element]]]
+    ) -> "PartitionInterpretation":
+        """Build an interpretation from ``{attribute: {symbol: block}}``.
+
+        This is the most convenient constructor for worked examples — Figure 1
+        of the paper is literally a table of this shape.
+        """
+        return cls(
+            {
+                attribute: AttributeInterpretation.from_block_names(blocks)
+                for attribute, blocks in spec.items()
+            }
+        )
+
+    # -- accessors ------------------------------------------------------------
+    @property
+    def attributes(self) -> AttributeSet:
+        """The attribute universe of the interpretation."""
+        return AttributeSet(self._attributes)
+
+    def attribute(self, name: Attribute) -> AttributeInterpretation:
+        """The interpretation of a single attribute."""
+        try:
+            return self._attributes[name]
+        except KeyError as exc:
+            raise PartitionError(f"interpretation has no attribute {name!r}") from exc
+
+    def population(self, name: Attribute) -> frozenset:
+        """The population ``p_A`` of an attribute."""
+        return self.attribute(name).population
+
+    def atomic_partition(self, name: Attribute) -> Partition:
+        """The atomic partition ``π_A`` of an attribute."""
+        return self.attribute(name).partition
+
+    def total_population(self) -> frozenset:
+        """The union of all attribute populations (the ``p`` of Definition 6)."""
+        result: frozenset = frozenset()
+        for interp in self._attributes.values():
+            result |= interp.population
+        return result
+
+    # -- meanings (structural induction of §3.1) ---------------------------------
+    def meaning(self, expression: ExpressionLike) -> Partition:
+        """The meaning of a partition expression: a partition of its population."""
+        node = as_expression(expression)
+        if isinstance(node, Attr):
+            return self.atomic_partition(node.name)
+        if isinstance(node, Product):
+            return self.meaning(node.left).product(self.meaning(node.right))
+        if isinstance(node, Sum):
+            return self.meaning(node.left).sum(self.meaning(node.right))
+        raise PartitionError(f"unknown expression node {node!r}")
+
+    def meaning_of_scheme(self, attributes: Union[str, AttributeSet]) -> Partition:
+        """The meaning of a relation scheme ``R[U]``: the product of its attributes."""
+        attrs = as_attribute_set(attributes)
+        if not attrs:
+            raise PartitionError("a relation scheme needs at least one attribute")
+        result: Optional[Partition] = None
+        for name in attrs:
+            part = self.atomic_partition(name)
+            result = part if result is None else result.product(part)
+        assert result is not None
+        return result
+
+    def meaning_of_symbol(self, attribute: Attribute, symbol: Symbol) -> frozenset:
+        """The meaning of a symbol in a column: ``f_A(x)`` (∅ rendered as the empty frozenset)."""
+        block = self.attribute(attribute).block_named(symbol)
+        return block if block is not None else frozenset()
+
+    def meaning_of_tuple(self, row: Row) -> frozenset:
+        """The meaning of a tuple: the intersection of the blocks named by its symbols."""
+        result: Optional[frozenset] = None
+        for attribute in row.attributes:
+            block = self.meaning_of_symbol(attribute, row[attribute])
+            result = block if result is None else result & block
+            if not result:
+                return frozenset()
+        return result if result is not None else frozenset()
+
+    # -- satisfaction --------------------------------------------------------------
+    def satisfies_database(self, database: Database) -> bool:
+        """Definition 2: every tuple of every relation has a non-empty meaning."""
+        return all(
+            bool(self.meaning_of_tuple(row))
+            for relation in database.relations
+            for row in relation.rows
+        )
+
+    def satisfies_relation(self, relation: Relation) -> bool:
+        """Definition 2 restricted to a single relation."""
+        return self.satisfies_database(Database.single(relation))
+
+    def satisfies_pd(self, dependency: "PartitionDependencyLike") -> bool:
+        """Definition 3: the two sides have the same partition *and* the same population."""
+        from repro.dependencies.pd import as_partition_dependency
+
+        pd = as_partition_dependency(dependency)
+        left = self.meaning(pd.left)
+        right = self.meaning(pd.right)
+        return left == right and left.population == right.population
+
+    def satisfies_all_pds(self, dependencies: Iterable["PartitionDependencyLike"]) -> bool:
+        """Satisfaction of a whole set of PDs."""
+        return all(self.satisfies_pd(pd) for pd in dependencies)
+
+    def satisfies_cad(self, database: Database) -> bool:
+        """The complete-atomic-data assumption (Definition 4.1); see :mod:`repro.partitions.assumptions`."""
+        from repro.partitions.assumptions import satisfies_cad
+
+        return satisfies_cad(self, database)
+
+    def satisfies_eap(self) -> bool:
+        """The equal-atomic-populations assumption (Definition 4.2)."""
+        from repro.partitions.assumptions import satisfies_eap
+
+        return satisfies_eap(self)
+
+    # -- derived structures ----------------------------------------------------------
+    def lattice(self) -> "InterpretationLattice":
+        """``L(I)``: the lattice generated by the atomic partitions (Theorem 1)."""
+        from repro.lattice.interpretation_lattice import InterpretationLattice
+
+        return InterpretationLattice.from_interpretation(self)
+
+    def canonical_relation(self, name: str = "R_of_I") -> Relation:
+        """``R(I)``: the canonical relation of Definition 6."""
+        from repro.partitions.canonical import canonical_relation
+
+        return canonical_relation(self, name=name)
+
+    # -- plumbing ----------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PartitionInterpretation):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._attributes.items()))
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self._attributes
+
+    def __repr__(self) -> str:
+        return f"PartitionInterpretation(attributes={sorted(self._attributes)})"
+
+    def __str__(self) -> str:
+        lines = []
+        for name, interp in self._attributes.items():
+            naming = ", ".join(
+                f"{symbol} -> {{{', '.join(str(e) for e in sorted(block, key=repr))}}}"
+                for symbol, block in sorted(interp.naming.items())
+            )
+            lines.append(f"{name}: population={set(interp.population)!r}, naming: {naming}")
+        return "\n".join(lines)
+
+
+# Imported lazily in methods to avoid import cycles; re-declared here for typing only.
+PartitionDependencyLike = Union["object", str, tuple]

@@ -1,0 +1,86 @@
+"""Free functions over partitions: n-ary products and sums, lattice checks.
+
+These are thin wrappers around :class:`~repro.partitions.partition.Partition`
+methods, convenient when folding over collections (the meaning of a relation
+scheme ``R[A1...Ak]`` is the k-ary product of atomic partitions) and when
+verifying the lattice axioms in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from functools import reduce
+
+from repro.errors import PartitionError
+from repro.partitions.partition import Partition
+
+
+def product(partitions: Iterable[Partition]) -> Partition:
+    """The product of one or more partitions (coarsest common refinement)."""
+    items = list(partitions)
+    if not items:
+        raise PartitionError("product of zero partitions is undefined")
+    return reduce(lambda acc, p: acc.product(p), items[1:], items[0])
+
+
+def sum_(partitions: Iterable[Partition]) -> Partition:
+    """The sum of one or more partitions (finest common generalization)."""
+    items = list(partitions)
+    if not items:
+        raise PartitionError("sum of zero partitions is undefined")
+    return reduce(lambda acc, p: acc.sum(p), items[1:], items[0])
+
+
+# Lattice-flavoured aliases: on a fixed population the product is the meet
+# (greatest lower bound) and the sum is the join (least upper bound) of the
+# refinement order.
+meet = product
+join = sum_
+
+
+def coarsest_common_refinement(partitions: Iterable[Partition]) -> Partition:
+    """Alias of :func:`product` using the paper's §3.1 terminology."""
+    return product(partitions)
+
+
+def finest_common_generalization(partitions: Iterable[Partition]) -> Partition:
+    """Alias of :func:`sum_` using the paper's §3.1 terminology."""
+    return sum_(partitions)
+
+
+def is_refinement_chain(partitions: Iterable[Partition]) -> bool:
+    """True iff the given partitions form a chain ``π1 ≤ π2 ≤ ...`` in the natural order."""
+    items = list(partitions)
+    return all(a.refines(b) for a, b in zip(items, items[1:]))
+
+
+def check_lattice_axioms(x: Partition, y: Partition, z: Partition) -> dict[str, bool]:
+    """Evaluate the eight lattice axioms (LA of §2.2) on three concrete partitions.
+
+    Returns a dictionary mapping axiom names to booleans.  Used by the
+    property-based tests (every entry must always be ``True``) and by the
+    quickstart example to *show* that partitions form a lattice.
+    """
+    return {
+        "product_associativity": (x * y) * z == x * (y * z),
+        "sum_associativity": (x + y) + z == x + (y + z),
+        "product_commutativity": x * y == y * x,
+        "sum_commutativity": x + y == y + x,
+        "product_idempotence": x * x == x,
+        "sum_idempotence": x + x == x,
+        "absorption_sum_over_product": x + (x * y) == x,
+        "absorption_product_over_sum": x * (x + y) == x,
+    }
+
+
+def satisfies_lattice_axioms(x: Partition, y: Partition, z: Partition) -> bool:
+    """True iff all eight lattice axioms hold for the given triple.
+
+    Note: the absorption laws require the partitions to share a population to
+    hold in general; on *different* populations ``x + (x·y)`` has population
+    ``p_x`` but ``x · (x + y)`` has population ``p_x`` as well, and both
+    absorption laws in fact still hold — the populations work out because
+    ``p_x ∩ (p_x ∪ p_y) = p_x = p_x ∪ (p_x ∩ p_y)``.  The associativity,
+    commutativity and idempotence laws hold unconditionally (paper §3.1).
+    """
+    return all(check_lattice_axioms(x, y, z).values())

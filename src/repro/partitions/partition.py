@@ -1,0 +1,264 @@
+"""Set-theoretic partitions: the semantic objects of the paper (§3.1).
+
+A partition of a population ``p`` is a family of non-empty, pairwise-disjoint
+sets (*blocks*) whose union is ``p``.  The two natural operations are
+
+* the **product** ``π * π'``: all non-empty intersections of a block of ``π``
+  with a block of ``π'`` — a partition of ``p ∩ p'`` (the coarsest common
+  refinement when the populations coincide);
+* the **sum** ``π + π'``: the connected components of the "overlap" graph on
+  the blocks of ``π ∪ π'`` — a partition of ``p ∪ p'`` (the finest common
+  generalization when the populations coincide).
+
+Both operations are associative, commutative and idempotent, and together
+they satisfy the absorption laws, so partitions of subsets of a fixed
+universe form a lattice (the paper's Theorem 1 builds on exactly this).
+
+Populations can contain any hashable elements; the canonical interpretation
+of a relation uses integer tuple identifiers, the worked examples use small
+integers, and the property-based tests mix types freely.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import Callable, TypeVar
+
+from repro.errors import PartitionError
+
+#: Elements of populations can be any hashable value.
+Element = Hashable
+
+T = TypeVar("T")
+
+
+class Partition:
+    """An immutable partition: a frozenset of non-empty, disjoint, covering blocks.
+
+    The population is implicit (the union of the blocks) but exposed through
+    :attr:`population`.  Two partitions are equal iff they have exactly the
+    same blocks — which forces equal populations.  The *empty* partition (no
+    blocks, empty population) is allowed: it arises naturally as the product
+    of partitions with disjoint populations and is the bottom of the
+    population-aware lattice.
+    """
+
+    __slots__ = ("_blocks", "_population", "_block_of", "_hash")
+
+    def __init__(self, blocks: Iterable[Iterable[Element]] = ()) -> None:
+        frozen_blocks = frozenset(frozenset(block) for block in blocks)
+        if any(not block for block in frozen_blocks):
+            raise PartitionError("partition blocks must be non-empty")
+        block_of: dict[Element, frozenset] = {}
+        for block in frozen_blocks:
+            for element in block:
+                if element in block_of:
+                    raise PartitionError(
+                        f"element {element!r} appears in two blocks; blocks must be disjoint"
+                    )
+                block_of[element] = block
+        self._blocks = frozen_blocks
+        self._population = frozenset(block_of)
+        self._block_of = block_of
+        self._hash = hash(frozen_blocks)
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def discrete(cls, population: Iterable[Element]) -> "Partition":
+        """The finest partition of ``population``: every element is its own block."""
+        return cls([{element} for element in set(population)])
+
+    @classmethod
+    def indiscrete(cls, population: Iterable[Element]) -> "Partition":
+        """The coarsest partition of ``population``: a single block (if non-empty)."""
+        elements = set(population)
+        return cls([elements] if elements else [])
+
+    @classmethod
+    def from_function(
+        cls, population: Iterable[Element], key: Callable[[Element], Hashable]
+    ) -> "Partition":
+        """Group ``population`` by the value of ``key`` (the kernel of the function)."""
+        groups: dict[Hashable, set[Element]] = {}
+        for element in population:
+            groups.setdefault(key(element), set()).add(element)
+        return cls(groups.values())
+
+    @classmethod
+    def from_equivalence_pairs(
+        cls, population: Iterable[Element], pairs: Iterable[tuple[Element, Element]]
+    ) -> "Partition":
+        """The finest partition in which each given pair is in a common block.
+
+        Computes the partition induced by the reflexive-symmetric-transitive
+        closure of ``pairs`` on ``population`` (a small union-find).
+        """
+        parent: dict[Element, Element] = {element: element for element in population}
+
+        def find(x: Element) -> Element:
+            if x not in parent:
+                raise PartitionError(f"pair element {x!r} is not in the population")
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for a, b in pairs:
+            root_a, root_b = find(a), find(b)
+            if root_a != root_b:
+                parent[root_a] = root_b
+        groups: dict[Element, set[Element]] = {}
+        for element in parent:
+            groups.setdefault(find(element), set()).add(element)
+        return cls(groups.values())
+
+    # -- accessors --------------------------------------------------------------
+    @property
+    def blocks(self) -> frozenset[frozenset]:
+        """The blocks of the partition."""
+        return self._blocks
+
+    @property
+    def population(self) -> frozenset:
+        """The underlying population (union of the blocks)."""
+        return self._population
+
+    def block_of(self, element: Element) -> frozenset:
+        """The block containing ``element``; raises if the element is not in the population."""
+        try:
+            return self._block_of[element]
+        except KeyError as exc:
+            raise PartitionError(f"{element!r} is not in the population") from exc
+
+    def block_count(self) -> int:
+        """Number of blocks."""
+        return len(self._blocks)
+
+    def together(self, first: Element, second: Element) -> bool:
+        """True iff the two elements are in the same block."""
+        return self.block_of(first) == self.block_of(second)
+
+    def is_empty(self) -> bool:
+        """True iff the partition has no blocks (empty population)."""
+        return not self._blocks
+
+    def sorted_blocks(self) -> list[list[Element]]:
+        """Blocks as sorted lists, sorted among themselves — a deterministic rendering."""
+        rendered = [sorted(block, key=repr) for block in self._blocks]
+        return sorted(rendered, key=lambda block: [repr(x) for x in block])
+
+    # -- order and operations -----------------------------------------------------
+    def refines(self, other: "Partition") -> bool:
+        """Refinement *with population containment* (the order of Theorem 2).
+
+        ``self.refines(other)`` iff every block of ``self`` is contained in
+        some block of ``other`` **and** the population of ``self`` is
+        contained in the population of ``other``.  On a common population
+        this is the usual "finer-than" order of the partition lattice; across
+        populations it is exactly the condition Theorem 2 gives for the FPD
+        ``X = X·Y``.
+        """
+        if not self._population <= other._population:
+            return False
+        return all(
+            block <= other.block_of(next(iter(block))) for block in self._blocks
+        )
+
+    def product(self, other: "Partition") -> "Partition":
+        """The partition product ``π * π'`` (a partition of ``p ∩ p'``)."""
+        common = self._population & other._population
+        if not common:
+            return Partition()
+        # Group the common elements by the pair (block in self, block in other).
+        groups: dict[tuple[frozenset, frozenset], set[Element]] = {}
+        for element in common:
+            key = (self._block_of[element], other._block_of[element])
+            groups.setdefault(key, set()).add(element)
+        return Partition(groups.values())
+
+    def sum(self, other: "Partition") -> "Partition":
+        """The partition sum ``π + π'`` (a partition of ``p ∪ p'``).
+
+        Two elements of ``p ∪ p'`` are in the same block of the sum iff they
+        are linked by a chain of overlapping blocks from ``π ∪ π'``.
+        Implemented with a union-find over the combined population: each
+        block of either partition merges all its elements.
+        """
+        population = self._population | other._population
+        parent: dict[Element, Element] = {element: element for element in population}
+
+        def find(x: Element) -> Element:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: Element, b: Element) -> None:
+            root_a, root_b = find(a), find(b)
+            if root_a != root_b:
+                parent[root_a] = root_b
+
+        for block in list(self._blocks) + list(other._blocks):
+            first = next(iter(block))
+            for element in block:
+                union(first, element)
+        groups: dict[Element, set[Element]] = {}
+        for element in population:
+            groups.setdefault(find(element), set()).add(element)
+        return Partition(groups.values())
+
+    # operator sugar mirroring the paper's notation
+    def __mul__(self, other: "Partition") -> "Partition":
+        return self.product(other)
+
+    def __add__(self, other: "Partition") -> "Partition":
+        return self.sum(other)
+
+    def __le__(self, other: "Partition") -> bool:
+        """``π ≤ π'`` in the natural order: ``π = π * π'`` (equivalently ``π' = π' + π``)."""
+        return self.refines(other)
+
+    def __ge__(self, other: "Partition") -> bool:
+        return other.refines(self)
+
+    def restrict(self, subpopulation: Iterable[Element]) -> "Partition":
+        """The restriction of the partition to a subset of its population."""
+        target = frozenset(subpopulation)
+        if not target <= self._population:
+            raise PartitionError("cannot restrict a partition to elements outside its population")
+        blocks = []
+        for block in self._blocks:
+            restricted = block & target
+            if restricted:
+                blocks.append(restricted)
+        return Partition(blocks)
+
+    # -- dunder plumbing ------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return self._blocks == other._blocks
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[frozenset]:
+        return iter(self._blocks)
+
+    def __contains__(self, element: object) -> bool:
+        return element in self._population
+
+    def __repr__(self) -> str:
+        return f"Partition({self.sorted_blocks()!r})"
+
+    def __str__(self) -> str:
+        blocks = ["{" + ", ".join(str(x) for x in block) + "}" for block in self.sorted_blocks()]
+        return "{" + ", ".join(blocks) + "}"
+
+
+def partition_from_mapping(assignment: Mapping[Element, Hashable]) -> Partition:
+    """Build the kernel partition of a mapping (elements grouped by their value)."""
+    return Partition.from_function(assignment.keys(), lambda element: assignment[element])

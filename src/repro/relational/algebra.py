@@ -1,0 +1,164 @@
+"""Relational algebra over :class:`~repro.relational.relations.Relation`.
+
+The conclusion of the paper (§7) points out that assigning partition
+semantics to the relational model does not interfere with the familiar
+algebraic operations on relations — selection, projection, Cartesian product,
+union, difference, etc. remain purely syntactic manipulations.  This module
+implements those operations (plus intersection, renaming, natural join and
+division) so that the library is a usable relational substrate and the
+examples can build realistic multi-relation databases.
+
+All operations are pure functions returning new :class:`Relation` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SchemaError
+from repro.relational.attributes import Attribute, AttributeSet, as_attribute_set
+from repro.relational.relations import Relation
+from repro.relational.schema import RelationScheme
+from repro.relational.tuples import Row
+
+
+def _derived_name(base: str, suffix: str, name: str | None) -> str:
+    """Pick a name for a derived relation (explicit name wins)."""
+    return name if name is not None else f"{base}_{suffix}"
+
+
+def project(relation: Relation, attributes: AttributeSet | str, name: str | None = None) -> Relation:
+    """The projection ``r[X]``: restrict every tuple to ``X`` and remove duplicates."""
+    target = as_attribute_set(attributes)
+    if not target:
+        raise SchemaError("cannot project on the empty attribute set")
+    missing = target - relation.attributes
+    if missing:
+        raise SchemaError(f"cannot project on missing attributes {sorted(missing)}")
+    scheme = RelationScheme(_derived_name(relation.name, "proj", name), target)
+    rows = {row.restrict(target) for row in relation.rows}
+    return Relation(scheme, rows)
+
+
+def select(
+    relation: Relation, predicate: Callable[[Row], bool], name: str | None = None
+) -> Relation:
+    """Selection ``σ_predicate(r)``: keep the rows on which ``predicate`` is true."""
+    scheme = RelationScheme(_derived_name(relation.name, "sel", name), relation.attributes)
+    rows = {row for row in relation.rows if predicate(row)}
+    return Relation(scheme, rows)
+
+
+def select_eq(relation: Relation, attribute: Attribute, symbol: str, name: str | None = None) -> Relation:
+    """The common special case ``σ_{A = a}(r)``."""
+    if attribute not in relation.attributes:
+        raise SchemaError(f"relation {relation.name!r} has no attribute {attribute!r}")
+    return select(relation, lambda row: row[attribute] == symbol, name=name)
+
+
+def rename(
+    relation: Relation, mapping: dict[Attribute, Attribute], name: str | None = None
+) -> Relation:
+    """Rename attributes according to ``mapping``; unmentioned attributes keep their names."""
+    unknown = set(mapping) - set(relation.attributes)
+    if unknown:
+        raise SchemaError(f"cannot rename missing attributes {sorted(unknown)}")
+    new_attrs = [mapping.get(a, a) for a in relation.attributes.sorted()]
+    if len(set(new_attrs)) != len(new_attrs):
+        raise SchemaError("attribute renaming produces duplicate attribute names")
+    scheme = RelationScheme(_derived_name(relation.name, "ren", name), new_attrs)
+    rows = {
+        Row({mapping.get(a, a): row[a] for a in relation.attributes}) for row in relation.rows
+    }
+    return Relation(scheme, rows)
+
+
+def _require_same_attributes(left: Relation, right: Relation, operation: str) -> None:
+    if left.attributes != right.attributes:
+        raise SchemaError(
+            f"{operation} requires identical attribute sets, got "
+            f"{left.attributes.sorted()} and {right.attributes.sorted()}"
+        )
+
+
+def union(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Set union of two relations over the same attributes."""
+    _require_same_attributes(left, right, "union")
+    scheme = RelationScheme(_derived_name(left.name, "union", name), left.attributes)
+    return Relation(scheme, left.rows | right.rows)
+
+
+def difference(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Set difference ``left - right`` of two relations over the same attributes."""
+    _require_same_attributes(left, right, "difference")
+    scheme = RelationScheme(_derived_name(left.name, "diff", name), left.attributes)
+    return Relation(scheme, left.rows - right.rows)
+
+
+def intersection(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Set intersection of two relations over the same attributes."""
+    _require_same_attributes(left, right, "intersection")
+    scheme = RelationScheme(_derived_name(left.name, "inter", name), left.attributes)
+    return Relation(scheme, left.rows & right.rows)
+
+
+def cartesian_product(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Cartesian product of two relations with disjoint attribute sets."""
+    overlap = left.attributes & right.attributes
+    if overlap:
+        raise SchemaError(
+            f"cartesian product requires disjoint attributes, shared: {sorted(overlap)}"
+        )
+    scheme = RelationScheme(
+        _derived_name(left.name, "times", name), left.attributes | right.attributes
+    )
+    rows = {lrow.merge(rrow) for lrow in left.rows for rrow in right.rows}
+    return Relation(scheme, rows)
+
+
+def natural_join(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Natural join: combine tuples that agree on all shared attributes.
+
+    With disjoint attribute sets this degenerates to the Cartesian product;
+    with identical attribute sets it degenerates to intersection.
+    """
+    shared = left.attributes & right.attributes
+    scheme = RelationScheme(
+        _derived_name(left.name, "join", name), left.attributes | right.attributes
+    )
+    if not shared:
+        return Relation(
+            scheme, {lrow.merge(rrow) for lrow in left.rows for rrow in right.rows}
+        )
+    # Hash-join on the shared attributes.
+    index: dict[tuple[str, ...], list[Row]] = {}
+    for rrow in right.rows:
+        index.setdefault(rrow.values_on(shared), []).append(rrow)
+    rows = set()
+    for lrow in left.rows:
+        for rrow in index.get(lrow.values_on(shared), ()):
+            rows.add(lrow.merge(rrow))
+    return Relation(scheme, rows)
+
+
+def divide(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Relational division ``left ÷ right``.
+
+    ``right``'s attributes must be a proper subset of ``left``'s.  The result
+    contains the tuples over ``left.attributes - right.attributes`` that are
+    paired in ``left`` with *every* tuple of ``right``.
+    """
+    if not right.attributes < left.attributes:
+        raise SchemaError("division requires the divisor attributes to be a proper subset")
+    keep = left.attributes - right.attributes
+    scheme = RelationScheme(_derived_name(left.name, "div", name), keep)
+    if not right.rows:
+        return project(left, keep, name=scheme.name)
+    candidates = {row.restrict(keep) for row in left.rows}
+    left_pairs = {(row.restrict(keep), row.restrict(right.attributes)) for row in left.rows}
+    rows = {
+        cand
+        for cand in candidates
+        if all((cand, div_row) in left_pairs for div_row in right.rows)
+    }
+    return Relation(scheme, rows)

@@ -1,0 +1,118 @@
+"""Attributes and symbols — the alphabet of the relational model (paper §2.1).
+
+The paper works with a finite set of *attributes* ``U = {A, B, C, ...}`` and a
+countably infinite set of *symbols* (domain values) ``D = {a, b, c, ...}``
+with ``U ∩ D = ∅``.  In this library both attributes and symbols are plain
+Python strings; the helpers in this module provide the small amount of
+validation and normalization the rest of the package relies on.
+
+We also provide :class:`AttributeSet`, an immutable, hashable, *sorted* set of
+attributes.  Sets of attributes appear constantly in the paper (left/right
+hand sides of FDs, relation schemes, the ``X`` in an FPD ``X = X·Y``), and
+giving them a dedicated value type keeps signatures honest and error messages
+readable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Union
+
+from repro.errors import SchemaError
+
+#: Type alias: an attribute is a non-empty string (e.g. ``"A"``, ``"B1"``).
+Attribute = str
+
+#: Type alias: a symbol (domain value) is a non-empty string (e.g. ``"a"``).
+Symbol = str
+
+
+def validate_attribute(attribute: object) -> Attribute:
+    """Return ``attribute`` if it is a valid attribute name, else raise.
+
+    An attribute is any non-empty string.  Raises :class:`SchemaError`
+    otherwise.
+    """
+    if not isinstance(attribute, str) or not attribute:
+        raise SchemaError(f"attribute must be a non-empty string, got {attribute!r}")
+    return attribute
+
+
+def validate_symbol(symbol: object) -> Symbol:
+    """Return ``symbol`` if it is a valid domain symbol, else raise."""
+    if not isinstance(symbol, str) or not symbol:
+        raise SchemaError(f"symbol must be a non-empty string, got {symbol!r}")
+    return symbol
+
+
+class AttributeSet(frozenset):
+    """An immutable set of attribute names.
+
+    ``AttributeSet`` is a thin subclass of :class:`frozenset` that validates
+    its elements and renders deterministically (sorted) in ``repr``/``str``.
+    It accepts either an iterable of attribute names or a single string, in
+    which case every *character* is taken to be an attribute — this mirrors
+    the paper's compact notation ``R[ABC]`` for the scheme with attributes
+    ``A``, ``B``, ``C``::
+
+        >>> AttributeSet("ABC") == AttributeSet(["A", "B", "C"])
+        True
+    """
+
+    def __new__(cls, attributes: Union[str, Iterable[Attribute]] = ()) -> "AttributeSet":
+        if isinstance(attributes, str):
+            items: Iterable[Attribute] = list(attributes)
+        else:
+            items = list(attributes)
+        validated = [validate_attribute(a) for a in items]
+        return super().__new__(cls, validated)
+
+    # frozenset's set-algebra operators return plain frozensets; re-wrap the
+    # ones used throughout the library so chained expressions stay typed.
+    def union(self, *others: Iterable[Attribute]) -> "AttributeSet":  # type: ignore[override]
+        return AttributeSet(frozenset(self).union(*[frozenset(AttributeSet(o)) for o in others]))
+
+    def intersection(self, *others: Iterable[Attribute]) -> "AttributeSet":  # type: ignore[override]
+        return AttributeSet(
+            frozenset(self).intersection(*[frozenset(AttributeSet(o)) for o in others])
+        )
+
+    def difference(self, *others: Iterable[Attribute]) -> "AttributeSet":  # type: ignore[override]
+        return AttributeSet(
+            frozenset(self).difference(*[frozenset(AttributeSet(o)) for o in others])
+        )
+
+    def __or__(self, other: frozenset) -> "AttributeSet":  # type: ignore[override]
+        return AttributeSet(frozenset(self) | frozenset(other))
+
+    def __and__(self, other: frozenset) -> "AttributeSet":  # type: ignore[override]
+        return AttributeSet(frozenset(self) & frozenset(other))
+
+    def __sub__(self, other: frozenset) -> "AttributeSet":  # type: ignore[override]
+        return AttributeSet(frozenset(self) - frozenset(other))
+
+    def sorted(self) -> list[Attribute]:
+        """Return the attributes as a sorted list (deterministic ordering)."""
+        return sorted(self)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        # Iterate in sorted order so that downstream constructions (canonical
+        # interpretations, chase tableaux, printed tables) are deterministic.
+        return iter(sorted(frozenset.__iter__(self)))
+
+    def __repr__(self) -> str:
+        return f"AttributeSet({self.sorted()!r})"
+
+    def __str__(self) -> str:
+        return "".join(self.sorted()) if all(len(a) == 1 for a in self) else ",".join(self.sorted())
+
+
+def as_attribute_set(value: Union[str, Iterable[Attribute], AttributeSet]) -> AttributeSet:
+    """Coerce ``value`` to an :class:`AttributeSet`.
+
+    Accepts an existing :class:`AttributeSet`, a string (each character an
+    attribute), or any iterable of attribute names.
+    """
+    if isinstance(value, AttributeSet):
+        return value
+    return AttributeSet(value)

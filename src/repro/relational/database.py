@@ -1,0 +1,114 @@
+"""Databases: collections of relations over a database scheme (paper §2.1).
+
+A database ``d = {r1, ..., rn}`` associates each relation scheme ``Ri[Ui]``
+of a database scheme ``D`` with a relation ``ri`` over ``Ui``.  The paper's
+notation ``d[A]`` — the set of symbols appearing under attribute ``A``
+anywhere in the database — is :meth:`Database.symbols_under`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import SchemaError
+from repro.relational.attributes import Attribute, AttributeSet, Symbol
+from repro.relational.relations import Relation
+from repro.relational.schema import DatabaseScheme
+
+
+class Database:
+    """An immutable database: a set of relations with pairwise-distinct names."""
+
+    __slots__ = ("_relations", "_scheme")
+
+    def __init__(self, relations: Iterable[Relation]) -> None:
+        by_name: dict[str, Relation] = {}
+        for relation in relations:
+            if not isinstance(relation, Relation):
+                raise SchemaError(f"expected Relation, got {relation!r}")
+            if relation.name in by_name:
+                raise SchemaError(f"duplicate relation name {relation.name!r} in database")
+            by_name[relation.name] = relation
+        if not by_name:
+            raise SchemaError("a database must contain at least one relation")
+        self._relations = dict(sorted(by_name.items()))
+        self._scheme = DatabaseScheme([relation.scheme for relation in self._relations.values()])
+
+    @classmethod
+    def single(cls, relation: Relation) -> "Database":
+        """A database consisting of one relation (the common case in §4.1–4.2)."""
+        return cls([relation])
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def scheme(self) -> DatabaseScheme:
+        """The database scheme ``D``."""
+        return self._scheme
+
+    @property
+    def universe(self) -> AttributeSet:
+        """The union ``U`` of all attributes of all relation schemes."""
+        return self._scheme.universe
+
+    def relation(self, name: str) -> Relation:
+        """The relation named ``name``; raises :class:`SchemaError` if absent."""
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise SchemaError(f"no relation named {name!r} in database") from exc
+
+    @property
+    def relations(self) -> list[Relation]:
+        """The relations of the database in sorted-name order."""
+        return list(self._relations.values())
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._relations.items()))
+
+    # -- paper notation -------------------------------------------------------
+    def symbols_under(self, attribute: Attribute) -> frozenset[Symbol]:
+        """``d[A]``: the symbols appearing under attribute ``A`` in any relation.
+
+        Returns the empty set when no relation scheme mentions ``A`` (the
+        paper only uses ``d[A]`` for attributes of the universe, but a total
+        function is more convenient for callers).
+        """
+        symbols: set[Symbol] = set()
+        for relation in self._relations.values():
+            if attribute in relation.attributes:
+                symbols |= relation.column(attribute)
+        return frozenset(symbols)
+
+    def active_domain(self) -> frozenset[Symbol]:
+        """All symbols appearing anywhere in the database."""
+        return frozenset(s for relation in self._relations.values() for s in relation.active_domain())
+
+    def total_tuples(self) -> int:
+        """Total number of tuples across all relations (a size measure for benchmarks)."""
+        return sum(len(relation) for relation in self._relations.values())
+
+    def with_relation(self, relation: Relation) -> "Database":
+        """Return a database with ``relation`` added or replaced (by name)."""
+        relations = dict(self._relations)
+        relations[relation.name] = relation
+        return Database(relations.values())
+
+    def __repr__(self) -> str:
+        return f"Database({list(self._relations)!r}, {self.total_tuples()} tuples)"
+
+    def __str__(self) -> str:
+        return "\n\n".join(str(relation) for relation in self._relations.values())

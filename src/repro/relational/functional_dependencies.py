@@ -1,0 +1,275 @@
+"""Functional dependencies (FDs) and attribute-set closure (paper §2.1, §5.3).
+
+An FD ``R: X → Y`` is satisfied by a relation ``r`` over ``U ⊇ X ∪ Y`` iff any
+two tuples that agree on ``X`` also agree on ``Y``.
+
+Besides satisfaction this module implements the classical computational
+machinery around FDs that the paper leans on:
+
+* attribute-set closure ``X⁺`` under a set of FDs (the linear-time algorithm
+  of Beeri–Bernstein [3 in the paper]), which decides FD implication;
+* Armstrong's inference rules [2 in the paper] as an explicit proof-producing
+  derivation engine (used by tests to cross-check the closure algorithm);
+* candidate-key enumeration, minimal covers, and FD-set equivalence — the
+  standard design-theory toolkit that makes the relational substrate usable
+  on its own.
+
+Section 5.3 of the paper identifies FD implication with the uniform word
+problem for idempotent commutative semigroups; the wrapper that exposes that
+identification lives in :mod:`repro.implication.word_problems`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Union
+
+from repro.errors import DependencyError
+from repro.relational.attributes import Attribute, AttributeSet, as_attribute_set
+from repro.relational.relations import Relation
+
+
+class FunctionalDependency:
+    """A functional dependency ``X → Y`` with non-empty ``X`` and ``Y``."""
+
+    __slots__ = ("_lhs", "_rhs")
+
+    def __init__(
+        self,
+        lhs: Union[str, Iterable[Attribute]],
+        rhs: Union[str, Iterable[Attribute]],
+    ) -> None:
+        left = as_attribute_set(lhs)
+        right = as_attribute_set(rhs)
+        if not left or not right:
+            raise DependencyError("both sides of a functional dependency must be non-empty")
+        self._lhs = left
+        self._rhs = right
+
+    @classmethod
+    def parse(cls, text: str) -> "FunctionalDependency":
+        """Parse the compact notation ``"AB -> C"`` (or ``"AB→C"``)."""
+        normalized = text.replace("→", "->")
+        if "->" not in normalized:
+            raise DependencyError(f"cannot parse FD from {text!r}: missing '->'")
+        left, right = normalized.split("->", 1)
+        return cls(left.strip(), right.strip())
+
+    @property
+    def lhs(self) -> AttributeSet:
+        """The determinant ``X``."""
+        return self._lhs
+
+    @property
+    def rhs(self) -> AttributeSet:
+        """The dependent ``Y``."""
+        return self._rhs
+
+    @property
+    def attributes(self) -> AttributeSet:
+        """All attributes mentioned by the FD."""
+        return self._lhs | self._rhs
+
+    def is_trivial(self) -> bool:
+        """True iff ``Y ⊆ X`` (satisfied by every relation)."""
+        return self._rhs <= self._lhs
+
+    def is_satisfied_by(self, relation: Relation) -> bool:
+        """Satisfaction per §2.1: agreeing on ``X`` forces agreeing on ``Y``.
+
+        Raises :class:`DependencyError` if the relation scheme does not cover
+        the FD's attributes.
+        """
+        missing = self.attributes - relation.attributes
+        if missing:
+            raise DependencyError(
+                f"relation {relation.name!r} lacks attributes {sorted(missing)} of FD {self}"
+            )
+        seen: dict[tuple[str, ...], tuple[str, ...]] = {}
+        for row in relation.rows:
+            key = row.values_on(self._lhs)
+            value = row.values_on(self._rhs)
+            if key in seen:
+                if seen[key] != value:
+                    return False
+            else:
+                seen[key] = value
+        return True
+
+    def violating_pairs(self, relation: Relation) -> Iterator[tuple]:
+        """Yield pairs of rows witnessing a violation (empty iff satisfied)."""
+        rows = relation.sorted_rows()
+        for t, h in itertools.combinations(rows, 2):
+            if t.agrees_with(h, self._lhs) and not t.agrees_with(h, self._rhs):
+                yield (t, h)
+
+    def decompose(self) -> list["FunctionalDependency"]:
+        """Split into FDs with singleton right-hand sides (same semantics)."""
+        return [FunctionalDependency(self._lhs, [b]) for b in self._rhs.sorted()]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FunctionalDependency):
+            return NotImplemented
+        return self._lhs == other._lhs and self._rhs == other._rhs
+
+    def __hash__(self) -> int:
+        return hash((self._lhs, self._rhs))
+
+    def __repr__(self) -> str:
+        return f"FunctionalDependency({self._lhs.sorted()!r}, {self._rhs.sorted()!r})"
+
+    def __str__(self) -> str:
+        return f"{self._lhs} -> {self._rhs}"
+
+
+def closure(
+    attributes: Union[str, AttributeSet],
+    fds: Iterable[FunctionalDependency],
+) -> AttributeSet:
+    """The closure ``X⁺`` of ``attributes`` under ``fds``.
+
+    This is the standard fixpoint: start from ``X`` and repeatedly add the
+    right-hand side of any FD whose left-hand side is already covered.  The
+    implementation keeps, for each FD, a count of left-hand-side attributes
+    not yet covered, giving the (essentially) linear behaviour of the
+    Beeri–Bernstein algorithm.
+    """
+    start = as_attribute_set(attributes)
+    fd_list = list(fds)
+    result: set[Attribute] = set(start)
+
+    # remaining[i] = number of lhs attributes of fd_list[i] not yet in result
+    remaining = []
+    waiting: dict[Attribute, list[int]] = {}
+    queue: list[int] = []
+    for i, fd in enumerate(fd_list):
+        missing = set(fd.lhs) - result
+        remaining.append(len(missing))
+        if not missing:
+            queue.append(i)
+        for a in missing:
+            waiting.setdefault(a, []).append(i)
+
+    frontier = list(result)
+    fired = [False] * len(fd_list)
+    while queue or frontier:
+        while queue:
+            i = queue.pop()
+            if fired[i]:
+                continue
+            fired[i] = True
+            for b in fd_list[i].rhs:
+                if b not in result:
+                    result.add(b)
+                    frontier.append(b)
+        if frontier:
+            a = frontier.pop()
+            for i in waiting.get(a, ()):
+                remaining[i] -= 1
+                if remaining[i] == 0 and not fired[i]:
+                    queue.append(i)
+    return AttributeSet(result)
+
+
+def implies(fds: Iterable[FunctionalDependency], fd: FunctionalDependency) -> bool:
+    """True iff ``fds ⊨ fd`` (over all relations), via attribute-set closure."""
+    return fd.rhs <= closure(fd.lhs, fds)
+
+
+def equivalent(
+    first: Iterable[FunctionalDependency], second: Iterable[FunctionalDependency]
+) -> bool:
+    """True iff the two FD sets imply each other (cover the same dependencies)."""
+    first_list, second_list = list(first), list(second)
+    return all(implies(second_list, fd) for fd in first_list) and all(
+        implies(first_list, fd) for fd in second_list
+    )
+
+
+def minimal_cover(fds: Iterable[FunctionalDependency]) -> list[FunctionalDependency]:
+    """A minimal (canonical) cover of ``fds``.
+
+    Right-hand sides are singletons, no FD is redundant, and no left-hand-side
+    attribute is extraneous.  The result is equivalent to the input.
+    """
+    # 1. singleton right-hand sides
+    current: list[FunctionalDependency] = []
+    for fd in fds:
+        current.extend(fd.decompose())
+
+    # 2. remove extraneous lhs attributes
+    reduced: list[FunctionalDependency] = []
+    for fd in current:
+        lhs = set(fd.lhs)
+        for a in fd.lhs.sorted():
+            if len(lhs) == 1:
+                break
+            candidate = AttributeSet(lhs - {a})
+            if fd.rhs <= closure(candidate, current):
+                lhs.discard(a)
+        reduced.append(FunctionalDependency(AttributeSet(lhs), fd.rhs))
+
+    # 3. remove redundant FDs
+    result = list(dict.fromkeys(reduced))
+    changed = True
+    while changed:
+        changed = False
+        for fd in list(result):
+            rest = [g for g in result if g is not fd]
+            if rest and implies(rest, fd):
+                result = rest
+                changed = True
+                break
+    return result
+
+
+def candidate_keys(
+    attributes: Union[str, AttributeSet], fds: Sequence[FunctionalDependency]
+) -> list[AttributeSet]:
+    """All candidate keys of a relation scheme ``R[attributes]`` under ``fds``.
+
+    A candidate key is a minimal attribute set whose closure is the full
+    scheme.  Exponential in the worst case (as it must be); fine for the
+    schema sizes used in examples and tests.
+    """
+    universe = as_attribute_set(attributes)
+    fd_list = list(fds)
+
+    def is_superkey(candidate: AttributeSet) -> bool:
+        return closure(candidate, fd_list) >= universe
+
+    keys: list[AttributeSet] = []
+    for size in range(1, len(universe) + 1):
+        for combo in itertools.combinations(universe.sorted(), size):
+            candidate = AttributeSet(combo)
+            if any(key <= candidate for key in keys):
+                continue
+            if is_superkey(candidate):
+                keys.append(candidate)
+    return keys
+
+
+def project_fds(
+    fds: Sequence[FunctionalDependency], attributes: Union[str, AttributeSet]
+) -> list[FunctionalDependency]:
+    """The projection of an FD set onto a subscheme (all implied FDs inside it).
+
+    Standard exponential construction: for every subset ``X`` of the target
+    attributes, emit ``X → (X⁺ ∩ attributes) - X`` when non-trivial.  Used by
+    tests exercising multi-relation schemas.
+    """
+    target = as_attribute_set(attributes)
+    result: list[FunctionalDependency] = []
+    for size in range(1, len(target) + 1):
+        for combo in itertools.combinations(target.sorted(), size):
+            lhs = AttributeSet(combo)
+            rhs = (closure(lhs, fds) & target) - lhs
+            if rhs:
+                result.append(FunctionalDependency(lhs, rhs))
+    return result
+
+
+def parse_fd_set(texts: Iterable[str]) -> list[FunctionalDependency]:
+    """Parse several FDs written in the compact arrow notation."""
+    return [FunctionalDependency.parse(text) for text in texts]

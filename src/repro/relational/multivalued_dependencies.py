@@ -1,0 +1,133 @@
+"""Multivalued dependencies (MVDs), used by Theorem 5 of the paper (§4.2).
+
+Theorem 5 shows that even the simplest MVD cannot be expressed by partition
+dependencies.  The MVD used there is, in predicate-logic notation,
+
+    φ = ∀x y z u v. [R(x y u) ∧ R(x v z)] ⇒ R(x y z)
+
+i.e. the MVD ``A ↠ B`` (equivalently ``A ↠ C``) over the scheme ``ABC``.
+This module provides a general MVD class ``X ↠ Y`` over a scheme ``U``
+together with the standard satisfaction test, so the Figure 2 reproduction
+and the expressiveness benchmarks can state the theorem exactly as the paper
+does.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Union
+
+from repro.errors import DependencyError
+from repro.relational.attributes import Attribute, AttributeSet, as_attribute_set
+from repro.relational.relations import Relation
+from repro.relational.tuples import Row
+
+
+class MultivaluedDependency:
+    """An MVD ``X ↠ Y`` relative to a relation scheme ``U``.
+
+    Satisfaction (the classical definition): for all tuples ``t, h`` agreeing
+    on ``X`` there is a tuple ``s`` in the relation with ``s[X] = t[X]``,
+    ``s[Y] = t[Y]`` and ``s[Z] = h[Z]`` where ``Z = U - X - Y``.
+    """
+
+    __slots__ = ("_lhs", "_rhs", "_universe")
+
+    def __init__(
+        self,
+        lhs: Union[str, Iterable[Attribute]],
+        rhs: Union[str, Iterable[Attribute]],
+        universe: Union[str, Iterable[Attribute]],
+    ) -> None:
+        left = as_attribute_set(lhs)
+        right = as_attribute_set(rhs)
+        scheme = as_attribute_set(universe)
+        if not left or not right:
+            raise DependencyError("both sides of a multivalued dependency must be non-empty")
+        if not (left | right) <= scheme:
+            raise DependencyError("MVD attributes must be contained in the relation scheme")
+        self._lhs = left
+        self._rhs = right
+        self._universe = scheme
+
+    @property
+    def lhs(self) -> AttributeSet:
+        """The determinant ``X``."""
+        return self._lhs
+
+    @property
+    def rhs(self) -> AttributeSet:
+        """The multivalued dependent ``Y``."""
+        return self._rhs
+
+    @property
+    def universe(self) -> AttributeSet:
+        """The relation scheme ``U`` relative to which the MVD is stated."""
+        return self._universe
+
+    @property
+    def complement_attributes(self) -> AttributeSet:
+        """``Z = U - X - Y``, the attributes swapped by the exchange rule."""
+        return self._universe - self._lhs - self._rhs
+
+    def complement(self) -> "MultivaluedDependency":
+        """The complementary MVD ``X ↠ Z`` (equivalent to this one)."""
+        rest = self.complement_attributes
+        if not rest:
+            raise DependencyError("the complement MVD would have an empty right-hand side")
+        return MultivaluedDependency(self._lhs, rest, self._universe)
+
+    def is_trivial(self) -> bool:
+        """True iff ``Y ⊆ X`` or ``X ∪ Y = U`` (satisfied by every relation)."""
+        return self._rhs <= self._lhs or (self._lhs | self._rhs) == self._universe
+
+    def is_satisfied_by(self, relation: Relation) -> bool:
+        """Check satisfaction by building the required "exchanged" tuples."""
+        if relation.attributes != self._universe:
+            raise DependencyError(
+                f"MVD is stated over {self._universe.sorted()}, relation has "
+                f"{relation.attributes.sorted()}"
+            )
+        rest = self.complement_attributes
+        rows = list(relation.rows)
+        row_set = relation.rows
+        for t in rows:
+            for h in rows:
+                if not t.agrees_with(h, self._lhs):
+                    continue
+                expected_cells = {}
+                for a in self._lhs:
+                    expected_cells[a] = t[a]
+                for a in self._rhs:
+                    expected_cells[a] = t[a]
+                for a in rest:
+                    expected_cells[a] = h[a]
+                if Row(expected_cells) not in row_set:
+                    return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MultivaluedDependency):
+            return NotImplemented
+        return (
+            self._lhs == other._lhs
+            and self._rhs == other._rhs
+            and self._universe == other._universe
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._lhs, self._rhs, self._universe))
+
+    def __repr__(self) -> str:
+        return (
+            f"MultivaluedDependency({self._lhs.sorted()!r}, {self._rhs.sorted()!r}, "
+            f"universe={self._universe.sorted()!r})"
+        )
+
+    def __str__(self) -> str:
+        return f"{self._lhs} ->> {self._rhs} [U={self._universe}]"
+
+
+def theorem5_mvd() -> MultivaluedDependency:
+    """The MVD φ used in Theorem 5: ``A ↠ B`` over the scheme ``ABC``."""
+    return MultivaluedDependency("A", "B", "ABC")

@@ -1,0 +1,143 @@
+"""Relation schemes and database schemes (paper §2.1).
+
+A *relation scheme* is an object ``R[U]`` where ``R`` is a name and ``U`` a
+set of attributes.  A *database scheme* is a finite set of relation schemes
+``D = {R1[U1], ..., Rn[Un]}``.
+
+The paper stresses (§3.1) that under partition semantics the *attributes*
+carry all the meaning: two relation schemes over the same attributes have the
+same semantics regardless of their names.  :meth:`RelationScheme.semantic_key`
+exposes exactly that.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from typing import Union
+
+from repro.errors import SchemaError
+from repro.relational.attributes import Attribute, AttributeSet, as_attribute_set
+
+
+class RelationScheme:
+    """A named relation scheme ``R[U]``.
+
+    ``name`` is the relation name ``R``; ``attributes`` is the attribute set
+    ``U``.  Instances are immutable, hashable and compare structurally on
+    *both* name and attributes (syntactic identity); use
+    :meth:`semantic_key` for the attribute-only identity relevant to
+    partition semantics.
+    """
+
+    __slots__ = ("_name", "_attributes")
+
+    def __init__(self, name: str, attributes: Union[str, Iterable[Attribute]]) -> None:
+        if not isinstance(name, str) or not name:
+            raise SchemaError(f"relation scheme name must be a non-empty string, got {name!r}")
+        attrs = as_attribute_set(attributes)
+        if not attrs:
+            raise SchemaError(f"relation scheme {name!r} must have at least one attribute")
+        self._name = name
+        self._attributes = attrs
+
+    @property
+    def name(self) -> str:
+        """The relation name ``R``."""
+        return self._name
+
+    @property
+    def attributes(self) -> AttributeSet:
+        """The attribute set ``U``."""
+        return self._attributes
+
+    def semantic_key(self) -> AttributeSet:
+        """The partition-semantics identity of this scheme: its attributes.
+
+        Under partition semantics the meaning of ``R[U]`` is the product of
+        the atomic partitions of the attributes in ``U`` — the name ``R`` is
+        irrelevant (paper §3.1, remark after the meaning of relation
+        schemes).
+        """
+        return self._attributes
+
+    def rename(self, new_name: str) -> "RelationScheme":
+        """Return a scheme with the same attributes under a different name."""
+        return RelationScheme(new_name, self._attributes)
+
+    def __contains__(self, attribute: Attribute) -> bool:
+        return attribute in self._attributes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationScheme):
+            return NotImplemented
+        return self._name == other._name and self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._attributes))
+
+    def __repr__(self) -> str:
+        return f"RelationScheme({self._name!r}, {self._attributes.sorted()!r})"
+
+    def __str__(self) -> str:
+        return f"{self._name}[{self._attributes}]"
+
+
+class DatabaseScheme:
+    """A database scheme: a finite set of relation schemes with distinct names."""
+
+    __slots__ = ("_schemes",)
+
+    def __init__(self, schemes: Iterable[RelationScheme]) -> None:
+        by_name: dict[str, RelationScheme] = {}
+        for scheme in schemes:
+            if not isinstance(scheme, RelationScheme):
+                raise SchemaError(f"expected RelationScheme, got {scheme!r}")
+            if scheme.name in by_name:
+                raise SchemaError(f"duplicate relation scheme name {scheme.name!r}")
+            by_name[scheme.name] = scheme
+        if not by_name:
+            raise SchemaError("a database scheme must contain at least one relation scheme")
+        self._schemes: Mapping[str, RelationScheme] = dict(sorted(by_name.items()))
+
+    @property
+    def universe(self) -> AttributeSet:
+        """The union ``U`` of all attributes mentioned by any relation scheme."""
+        attrs: AttributeSet = AttributeSet()
+        for scheme in self._schemes.values():
+            attrs = attrs | scheme.attributes
+        return attrs
+
+    def scheme(self, name: str) -> RelationScheme:
+        """The relation scheme named ``name``; raises :class:`SchemaError` if absent."""
+        try:
+            return self._schemes[name]
+        except KeyError as exc:
+            raise SchemaError(f"no relation scheme named {name!r}") from exc
+
+    @property
+    def names(self) -> list[str]:
+        """The relation scheme names in sorted order."""
+        return list(self._schemes)
+
+    def __iter__(self) -> Iterator[RelationScheme]:
+        return iter(self._schemes.values())
+
+    def __len__(self) -> int:
+        return len(self._schemes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._schemes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseScheme):
+            return NotImplemented
+        return dict(self._schemes) == dict(other._schemes)
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._schemes.items()))
+
+    def __repr__(self) -> str:
+        return f"DatabaseScheme({list(self._schemes.values())!r})"
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(s) for s in self._schemes.values()) + "}"

@@ -1,0 +1,24 @@
+"""Propositional substrate: CNF formulas and NOT-ALL-EQUAL-3SAT solvers (for Theorem 11)."""
+
+from repro.sat.formulas import Clause, CnfFormula, FormulaError, Literal
+from repro.sat.nae3sat import (
+    complement_assignment,
+    count_nae_assignments,
+    nae_backtracking,
+    nae_brute_force,
+    nae_is_satisfiable,
+    to_proper_nae3cnf,
+)
+
+__all__ = [
+    "Literal",
+    "Clause",
+    "CnfFormula",
+    "FormulaError",
+    "nae_brute_force",
+    "nae_backtracking",
+    "nae_is_satisfiable",
+    "to_proper_nae3cnf",
+    "complement_assignment",
+    "count_nae_assignments",
+]

@@ -1,0 +1,138 @@
+"""CNF formulas and literals — the substrate for the Theorem 11 reduction (§6.1).
+
+Theorem 11 reduces NOT-ALL-EQUAL-3SAT to consistency under CAD + EAP.  This
+module provides the minimal propositional vocabulary: literals, clauses and
+CNF formulas, with the usual satisfaction and the *not-all-equal* satisfaction
+(every clause must contain at least one true and at least one false literal).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+class FormulaError(ReproError):
+    """A malformed propositional formula."""
+
+
+@dataclass(frozen=True, order=True)
+class Literal:
+    """A propositional literal: a variable name and a polarity."""
+
+    variable: str
+    positive: bool = True
+
+    def negate(self) -> "Literal":
+        """The opposite literal."""
+        return Literal(self.variable, not self.positive)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Truth value under a (total) assignment."""
+        try:
+            value = assignment[self.variable]
+        except KeyError as exc:
+            raise FormulaError(f"assignment does not cover variable {self.variable!r}") from exc
+        return value if self.positive else not value
+
+    def __str__(self) -> str:
+        return self.variable if self.positive else f"~{self.variable}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Literal":
+        """Parse ``"x1"`` / ``"~x1"`` / ``"-x1"`` / ``"¬x1"``."""
+        stripped = text.strip()
+        if stripped[:1] in ("~", "-", "¬"):
+            return cls(stripped[1:].strip(), False)
+        if not stripped:
+            raise FormulaError("cannot parse an empty literal")
+        return cls(stripped, True)
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A disjunction of literals."""
+
+    literals: tuple[Literal, ...]
+
+    def __post_init__(self) -> None:
+        if not self.literals:
+            raise FormulaError("a clause must contain at least one literal")
+
+    @classmethod
+    def of(cls, *literals: Literal | str) -> "Clause":
+        """Build a clause from literals or literal strings."""
+        parsed = tuple(
+            literal if isinstance(literal, Literal) else Literal.parse(literal)
+            for literal in literals
+        )
+        return cls(parsed)
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return frozenset(literal.variable for literal in self.literals)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Ordinary clause satisfaction: at least one literal true."""
+        return any(literal.evaluate(assignment) for literal in self.literals)
+
+    def nae_evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Not-all-equal satisfaction: at least one literal true and at least one false."""
+        values = [literal.evaluate(assignment) for literal in self.literals]
+        return any(values) and not all(values)
+
+    def __iter__(self) -> Iterator[Literal]:
+        return iter(self.literals)
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __str__(self) -> str:
+        return "(" + " v ".join(str(literal) for literal in self.literals) + ")"
+
+
+@dataclass(frozen=True)
+class CnfFormula:
+    """A conjunction of clauses."""
+
+    clauses: tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        if not self.clauses:
+            raise FormulaError("a CNF formula must contain at least one clause")
+
+    @classmethod
+    def of(cls, clause_specs: Iterable[Iterable[str | Literal]]) -> "CnfFormula":
+        """Build from nested literal specs, e.g. ``[["x1", "x2", "~x3"], ["x2", "x3", "x4"]]``."""
+        return cls(tuple(Clause.of(*spec) for spec in clause_specs))
+
+    @property
+    def variables(self) -> list[str]:
+        """All variable names, sorted."""
+        names: set[str] = set()
+        for clause in self.clauses:
+            names |= clause.variables
+        return sorted(names)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Ordinary CNF satisfaction."""
+        return all(clause.evaluate(assignment) for clause in self.clauses)
+
+    def nae_evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Not-all-equal satisfaction of every clause."""
+        return all(clause.nae_evaluate(assignment) for clause in self.clauses)
+
+    def is_3cnf(self) -> bool:
+        """True iff every clause has at most three literals."""
+        return all(len(clause) <= 3 for clause in self.clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __str__(self) -> str:
+        return " & ".join(str(clause) for clause in self.clauses)

@@ -1,0 +1,219 @@
+"""NOT-ALL-EQUAL-3SAT: the NP-complete problem behind Theorem 11 (§6.1).
+
+An instance is a 3CNF formula; the question is whether some truth assignment
+makes every clause contain at least one true and at least one false literal.
+(The paper phrases it as "one true and one false literal" — the classical
+Garey–Johnson problem LO3.)
+
+Two solvers are provided and cross-checked by the tests:
+
+* :func:`nae_brute_force` — enumerate all assignments (fine up to ~20
+  variables, and the obviously-correct oracle);
+* :func:`nae_backtracking` — DPLL-style backtracking with clause-state
+  pruning, noticeably faster on the benchmark sweep.
+
+Both return a satisfying assignment or ``None``; they are the ground truth
+the CAD-consistency reduction (EXP-T11 / Figure 3) is validated against.
+A useful structural fact, used by the benchmark's sanity checks: under NAE
+semantics an assignment works iff its complement does.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.sat.formulas import Clause, CnfFormula, FormulaError, Literal
+
+
+def to_proper_nae3cnf(formula: CnfFormula, fresh_prefix: str = "w_pad") -> CnfFormula:
+    """Rewrite a 3CNF formula into an NAE-equisatisfiable *proper* 3CNF.
+
+    "Proper" means every clause has exactly three distinct variables — the
+    form the Garey–Johnson problem (and the Theorem 11 reduction) assumes.
+    The rewriting, clause by clause:
+
+    * clauses containing a variable with both polarities are dropped (they
+      are NAE-satisfied by every assignment);
+    * duplicate literals inside a clause are removed;
+    * a clause with two distinct literals ``(l1 ∨ l2)`` — whose NAE reading
+      is ``l1 ≠ l2`` — becomes the pair ``(l1 ∨ l2 ∨ w)``, ``(l1 ∨ l2 ∨ ¬w)``
+      with a fresh variable ``w``: if ``l1 = l2`` one of the two new clauses
+      has all literals equal, and if ``l1 ≠ l2`` both are NAE-satisfied for
+      either value of ``w``;
+    * a clause with a single distinct literal is NAE-unsatisfiable; it is
+      kept verbatim so the whole formula stays unsatisfiable;
+    * exact duplicates of already-emitted clauses are dropped.
+
+    Any NAE-satisfying assignment of the result restricts to one of the
+    original formula, and conversely every NAE-satisfying assignment of the
+    original extends to the result (choose the fresh variables arbitrarily).
+    """
+    emitted: list[Clause] = []
+    seen_keys: set[frozenset[tuple[str, bool]]] = set()
+    counter = 0
+
+    def emit(literals: tuple[Literal, ...]) -> None:
+        key = frozenset((literal.variable, literal.positive) for literal in literals)
+        if key not in seen_keys:
+            seen_keys.add(key)
+            emitted.append(Clause(literals))
+
+    for clause in formula.clauses:
+        polarity: dict[str, bool] = {}
+        tautological = False
+        for literal in clause:
+            if literal.variable in polarity and polarity[literal.variable] != literal.positive:
+                tautological = True
+                break
+            polarity[literal.variable] = literal.positive
+        if tautological:
+            continue
+        distinct = tuple(Literal(v, p) for v, p in sorted(polarity.items()))
+        if len(distinct) >= 3:
+            emit(distinct)
+        elif len(distinct) == 2:
+            counter += 1
+            fresh = f"{fresh_prefix}{counter}"
+            while fresh in formula.variables:
+                counter += 1
+                fresh = f"{fresh_prefix}{counter}"
+            emit(distinct + (Literal(fresh, True),))
+            emit(distinct + (Literal(fresh, False),))
+        else:
+            emit(distinct)
+    if not emitted:
+        # Every clause was tautological: the formula is NAE-satisfied by any
+        # assignment; keep one always-satisfiable proper clause on fresh
+        # variables so the result is still a well-formed CNF.
+        emitted.append(
+            Clause(
+                (
+                    Literal(f"{fresh_prefix}_t1", True),
+                    Literal(f"{fresh_prefix}_t2", True),
+                    Literal(f"{fresh_prefix}_t3", False),
+                )
+            )
+        )
+    return CnfFormula(tuple(emitted))
+
+
+def ensure_both_polarities(
+    formula: CnfFormula, fresh_variables: tuple[str, str, str] = ("p_anchor", "q_anchor", "r_anchor")
+) -> CnfFormula:
+    """Make every variable occur both positively and negatively, preserving NAE-satisfiability.
+
+    The Theorem 11 reduction needs both "truth value" symbols of every
+    variable to occur in the constructed database, which is the case exactly
+    when the variable occurs with both polarities in the formula.  When some
+    variable does not, we add:
+
+    * two *anchor* clauses ``(p ∨ ¬q ∨ r)`` and ``(¬p ∨ q ∨ ¬r)`` on three
+      fresh variables — always NAE-satisfiable (e.g. ``p=q=True, r=False``)
+      and giving each anchor variable both polarities;
+    * for every single-polarity variable ``x``, the clause
+      ``(p ∨ ¬q ∨ l)`` where ``l`` is the missing-polarity literal of ``x``
+      — NAE-satisfied by ``p=True, q=True`` regardless of ``x``.
+
+    Restricting a NAE assignment of the result to the original variables
+    NAE-satisfies the original formula, and any NAE assignment of the
+    original extends by ``p=q=True, r=False``.
+    """
+    polarities: dict[str, set[bool]] = {}
+    for clause in formula.clauses:
+        for literal in clause:
+            polarities.setdefault(literal.variable, set()).add(literal.positive)
+    missing = {
+        variable: next(iter({True, False} - seen))
+        for variable, seen in sorted(polarities.items())
+        if len(seen) == 1
+    }
+    if not missing:
+        return formula
+    p, q, r = fresh_variables
+    for fresh in fresh_variables:
+        if fresh in formula.variables:
+            raise FormulaError(f"fresh anchor variable {fresh!r} already occurs in the formula")
+    extra: list[Clause] = [
+        Clause((Literal(p, True), Literal(q, False), Literal(r, True))),
+        Clause((Literal(p, False), Literal(q, True), Literal(r, False))),
+    ]
+    for variable, polarity in missing.items():
+        extra.append(Clause((Literal(p, True), Literal(q, False), Literal(variable, polarity))))
+    return CnfFormula(formula.clauses + tuple(extra))
+
+
+def nae_brute_force(formula: CnfFormula) -> Optional[dict[str, bool]]:
+    """Exhaustive search for a not-all-equal satisfying assignment."""
+    variables = formula.variables
+    for values in itertools.product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if formula.nae_evaluate(assignment):
+            return assignment
+    return None
+
+
+def nae_backtracking(formula: CnfFormula) -> Optional[dict[str, bool]]:
+    """Backtracking search with per-clause pruning.
+
+    A partial assignment is pruned as soon as some clause has all literals
+    assigned true or all assigned false.
+    """
+    variables = formula.variables
+    clauses = list(formula.clauses)
+    assignment: dict[str, bool] = {}
+
+    def clause_state(clause: Clause) -> str:
+        """"ok" (already NAE-satisfied), "dead" (already violated) or "open"."""
+        values = []
+        unassigned = 0
+        for literal in clause:
+            if literal.variable in assignment:
+                values.append(literal.evaluate(assignment))
+            else:
+                unassigned += 1
+        if values and any(values) and not all(values):
+            return "ok"
+        if unassigned == 0:
+            return "dead"
+        # All assigned literals (if any) share one value but free literals remain.
+        return "open"
+
+    def consistent() -> bool:
+        return all(clause_state(clause) != "dead" for clause in clauses)
+
+    def backtrack(index: int) -> bool:
+        if index == len(variables):
+            return formula.nae_evaluate(assignment)
+        variable = variables[index]
+        for value in (False, True):
+            assignment[variable] = value
+            if consistent() and backtrack(index + 1):
+                return True
+            del assignment[variable]
+        return False
+
+    if backtrack(0):
+        return dict(assignment)
+    return None
+
+
+def nae_is_satisfiable(formula: CnfFormula, method: str = "backtracking") -> bool:
+    """Boolean wrapper selecting a solver by name (``"backtracking"`` or ``"brute_force"``)."""
+    solver = nae_backtracking if method == "backtracking" else nae_brute_force
+    return solver(formula) is not None
+
+
+def complement_assignment(assignment: dict[str, bool]) -> dict[str, bool]:
+    """Flip every value — NAE satisfaction is invariant under complementation."""
+    return {variable: not value for variable, value in assignment.items()}
+
+
+def count_nae_assignments(formula: CnfFormula) -> int:
+    """The number of NAE-satisfying assignments (brute force; used in tests and benchmarks)."""
+    variables = formula.variables
+    count = 0
+    for values in itertools.product([False, True], repeat=len(variables)):
+        if formula.nae_evaluate(dict(zip(variables, values))):
+            count += 1
+    return count

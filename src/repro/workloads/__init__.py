@@ -1,0 +1,45 @@
+"""Workload generators: random relations, databases, dependency sets, expressions, graphs, formulas.
+
+Everything is seeded and deterministic; these are the inputs of the
+benchmark harness and of the randomized cross-check tests.
+"""
+
+from repro.workloads.random_dependencies import (
+    random_fd,
+    random_fd_set,
+    random_fpd_set,
+    random_pd,
+    random_pd_set,
+)
+from repro.workloads.random_expressions import (
+    random_expression,
+    random_expression_of_exact_complexity,
+)
+from repro.workloads.random_formulas import random_3cnf, random_nae_satisfiable_3cnf
+from repro.workloads.random_graphs import random_graph_relation, random_sparse_forest_relation
+from repro.workloads.random_relations import (
+    attribute_names,
+    random_consistent_database,
+    random_database,
+    random_functional_relation,
+    random_relation,
+)
+
+__all__ = [
+    "attribute_names",
+    "random_relation",
+    "random_functional_relation",
+    "random_database",
+    "random_consistent_database",
+    "random_fd",
+    "random_fd_set",
+    "random_pd",
+    "random_pd_set",
+    "random_fpd_set",
+    "random_expression",
+    "random_expression_of_exact_complexity",
+    "random_graph_relation",
+    "random_sparse_forest_relation",
+    "random_3cnf",
+    "random_nae_satisfiable_3cnf",
+]

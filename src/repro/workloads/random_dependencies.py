@@ -1,0 +1,63 @@
+"""Random FD and PD sets for benchmarks and property-based tests."""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+from repro.dependencies.pd import PartitionDependency
+from repro.relational.attributes import AttributeSet
+from repro.relational.functional_dependencies import FunctionalDependency
+from repro.workloads.random_expressions import random_expression
+from repro.workloads.random_relations import attribute_names
+
+RandomLike = Union[int, random.Random]
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def random_fd(universe: list[str], seed: RandomLike = 0, max_side: int = 3) -> FunctionalDependency:
+    """A random FD over ``universe`` with 1..max_side attributes per side."""
+    rng = _rng(seed)
+    lhs = rng.sample(universe, rng.randint(1, min(max_side, len(universe))))
+    rhs = rng.sample(universe, rng.randint(1, min(max_side, len(universe))))
+    return FunctionalDependency(AttributeSet(lhs), AttributeSet(rhs))
+
+
+def random_fd_set(
+    attribute_count: int, fd_count: int, seed: RandomLike = 0, max_side: int = 3
+) -> list[FunctionalDependency]:
+    """A random set of FDs over ``attribute_count`` attributes."""
+    rng = _rng(seed)
+    universe = attribute_names(attribute_count)
+    return [random_fd(universe, rng, max_side) for _ in range(fd_count)]
+
+
+def random_pd(
+    universe: list[str], seed: RandomLike = 0, max_complexity: int = 3
+) -> PartitionDependency:
+    """A random PD over ``universe``: an equation between two random expressions."""
+    rng = _rng(seed)
+    left = random_expression(universe, rng, max_complexity)
+    right = random_expression(universe, rng, max_complexity)
+    return PartitionDependency(left, right)
+
+
+def random_pd_set(
+    attribute_count: int, pd_count: int, seed: RandomLike = 0, max_complexity: int = 3
+) -> list[PartitionDependency]:
+    """A random set of PDs over ``attribute_count`` attributes."""
+    rng = _rng(seed)
+    universe = attribute_names(attribute_count)
+    return [random_pd(universe, rng, max_complexity) for _ in range(pd_count)]
+
+
+def random_fpd_set(
+    attribute_count: int, count: int, seed: RandomLike = 0, max_side: int = 3
+) -> list[PartitionDependency]:
+    """A random set of FPDs (as PDs of the shape ``X = X·Y``)."""
+    from repro.dependencies.conversion import fd_to_pd
+
+    return [fd_to_pd(fd) for fd in random_fd_set(attribute_count, count, seed, max_side)]

@@ -1,0 +1,62 @@
+"""Random partition expressions (lattice terms) for benchmarks and property tests."""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+from repro.expressions.ast import Attr, PartitionExpression, Product, Sum
+
+RandomLike = Union[int, random.Random]
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def random_expression(
+    universe: list[str],
+    seed: RandomLike = 0,
+    max_complexity: int = 3,
+    product_bias: float = 0.5,
+) -> PartitionExpression:
+    """A random expression over ``universe`` with at most ``max_complexity`` operators.
+
+    ``product_bias`` is the probability that an internal node is a product
+    rather than a sum; 1.0 produces FD-like (product-only) terms, 0.0
+    produces pure sums.
+    """
+    rng = _rng(seed)
+
+    def build(budget: int) -> PartitionExpression:
+        if budget <= 0 or rng.random() < 0.3:
+            return Attr(rng.choice(universe))
+        left_budget = rng.randint(0, budget - 1)
+        right_budget = budget - 1 - left_budget
+        left = build(left_budget)
+        right = build(right_budget)
+        if rng.random() < product_bias:
+            return Product(left, right)
+        return Sum(left, right)
+
+    return build(max_complexity)
+
+
+def random_expression_of_exact_complexity(
+    universe: list[str], complexity: int, seed: RandomLike = 0, product_bias: float = 0.5
+) -> PartitionExpression:
+    """A random expression with *exactly* ``complexity`` operators (for scaling sweeps)."""
+    rng = _rng(seed)
+
+    def build(budget: int) -> PartitionExpression:
+        if budget == 0:
+            return Attr(rng.choice(universe))
+        left_budget = rng.randint(0, budget - 1)
+        right_budget = budget - 1 - left_budget
+        left = build(left_budget)
+        right = build(right_budget)
+        if rng.random() < product_bias:
+            return Product(left, right)
+        return Sum(left, right)
+
+    return build(complexity)

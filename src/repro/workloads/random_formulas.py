@@ -1,0 +1,59 @@
+"""Random 3CNF formulas for the NP-completeness experiments (EXP-T11, Figure 3)."""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+from repro.sat.formulas import CnfFormula, Clause, Literal
+
+RandomLike = Union[int, random.Random]
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def random_3cnf(
+    variable_count: int, clause_count: int, seed: RandomLike = 0, proper: bool = True
+) -> CnfFormula:
+    """A random 3CNF formula over ``x1 ... xn``.
+
+    With ``proper=True`` every clause gets three *distinct* variables (the
+    shape NOT-ALL-EQUAL-3SAT assumes); otherwise variables may repeat inside
+    a clause, exercising the normalization path of the reduction.
+    """
+    rng = _rng(seed)
+    variables = [f"x{i}" for i in range(1, variable_count + 1)]
+    clauses = []
+    for _ in range(clause_count):
+        if proper and variable_count >= 3:
+            chosen = rng.sample(variables, 3)
+        else:
+            chosen = [rng.choice(variables) for _ in range(3)]
+        literals = tuple(Literal(v, rng.random() < 0.5) for v in chosen)
+        clauses.append(Clause(literals))
+    return CnfFormula(tuple(clauses))
+
+
+def random_nae_satisfiable_3cnf(
+    variable_count: int, clause_count: int, seed: RandomLike = 0
+) -> CnfFormula:
+    """A random proper 3CNF that is guaranteed NAE-satisfiable (planted assignment).
+
+    A hidden assignment is drawn first; each clause is resampled until it has
+    at least one true and one false literal under it.
+    """
+    rng = _rng(seed)
+    variables = [f"x{i}" for i in range(1, variable_count + 1)]
+    hidden = {v: rng.random() < 0.5 for v in variables}
+    clauses = []
+    for _ in range(clause_count):
+        while True:
+            chosen = rng.sample(variables, min(3, variable_count))
+            literals = tuple(Literal(v, rng.random() < 0.5) for v in chosen)
+            clause = Clause(literals)
+            if clause.nae_evaluate(hidden):
+                clauses.append(clause)
+                break
+    return CnfFormula(tuple(clauses))

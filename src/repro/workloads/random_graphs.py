@@ -1,0 +1,42 @@
+"""Random graph workloads for the connectivity experiments (EXP-T4)."""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+from repro.graphs.encoding import graph_to_relation
+from repro.graphs.families import random_graph
+from repro.relational.relations import Relation
+
+RandomLike = Union[int, random.Random]
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def random_graph_relation(
+    vertex_count: int, edge_probability: float, seed: RandomLike = 0, name: str | None = None
+) -> Relation:
+    """The Example e relation of a random graph, with correct component labels."""
+    rng = _rng(seed)
+    vertices, edges = random_graph(vertex_count, edge_probability, seed=rng.randint(0, 2**31))
+    return graph_to_relation(vertices, edges, name=name or f"random_graph_{vertex_count}")
+
+
+def random_sparse_forest_relation(
+    vertex_count: int, seed: RandomLike = 0, name: str | None = None
+) -> Relation:
+    """A random forest (each vertex attaches to a random earlier vertex or starts a tree).
+
+    Forests maximize the ratio of components to edges, which is the
+    interesting regime for the connectivity PD (lots of distinct C values).
+    """
+    rng = _rng(seed)
+    vertices = list(range(vertex_count))
+    edges = []
+    for v in range(1, vertex_count):
+        if rng.random() < 0.7:
+            edges.append(frozenset({v, rng.randrange(0, v)}))
+    return graph_to_relation(vertices, edges, name=name or f"forest_{vertex_count}")

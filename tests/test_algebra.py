@@ -1,0 +1,114 @@
+"""Tests for repro.relational.algebra (the §7 relational-algebra substrate)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import algebra
+from repro.relational.relations import Relation
+from repro.relational.tuples import Row
+
+
+@pytest.fixture
+def left() -> Relation:
+    return Relation.from_strings("left", "AB", ["a1.b1", "a2.b1", "a2.b2"])
+
+
+@pytest.fixture
+def right() -> Relation:
+    return Relation.from_strings("right", "BC", ["b1.c1", "b2.c2", "b3.c3"])
+
+
+class TestProjectionSelection:
+    def test_project_removes_duplicates(self, left):
+        projected = algebra.project(left, "B")
+        assert len(projected) == 2
+        assert projected.column("B") == {"b1", "b2"}
+
+    def test_project_missing_attribute(self, left):
+        with pytest.raises(SchemaError):
+            algebra.project(left, "C")
+
+    def test_project_empty_attribute_set(self, left):
+        with pytest.raises(SchemaError):
+            algebra.project(left, [])
+
+    def test_select_by_predicate(self, left):
+        selected = algebra.select(left, lambda row: row["A"] == "a2")
+        assert len(selected) == 2
+
+    def test_select_eq(self, left):
+        assert len(algebra.select_eq(left, "B", "b1")) == 2
+
+    def test_select_eq_missing_attribute(self, left):
+        with pytest.raises(SchemaError):
+            algebra.select_eq(left, "Z", "z")
+
+
+class TestRename:
+    def test_rename_attribute(self, left):
+        renamed = algebra.rename(left, {"A": "X"})
+        assert set(renamed.attributes) == {"X", "B"}
+        assert Row(X="a1", B="b1") in renamed
+
+    def test_rename_to_duplicate_rejected(self, left):
+        with pytest.raises(SchemaError):
+            algebra.rename(left, {"A": "B"})
+
+    def test_rename_unknown_attribute_rejected(self, left):
+        with pytest.raises(SchemaError):
+            algebra.rename(left, {"Z": "Y"})
+
+
+class TestSetOperations:
+    def test_union_difference_intersection(self, left):
+        other = Relation.from_strings("other", "AB", ["a1.b1", "a9.b9"])
+        assert len(algebra.union(left, other)) == 4
+        assert len(algebra.difference(left, other)) == 2
+        assert len(algebra.intersection(left, other)) == 1
+
+    def test_set_operations_require_same_attributes(self, left, right):
+        with pytest.raises(SchemaError):
+            algebra.union(left, right)
+
+
+class TestJoins:
+    def test_cartesian_product_requires_disjoint_attributes(self, left):
+        with pytest.raises(SchemaError):
+            algebra.cartesian_product(left, left)
+
+    def test_cartesian_product_size(self, left):
+        other = Relation.from_strings("other", "CD", ["c1.d1", "c2.d2"])
+        assert len(algebra.cartesian_product(left, other)) == 6
+
+    def test_natural_join_on_shared_attribute(self, left, right):
+        joined = algebra.natural_join(left, right)
+        assert set(joined.attributes) == {"A", "B", "C"}
+        assert Row(A="a1", B="b1", C="c1") in joined
+        assert Row(A="a2", B="b2", C="c2") in joined
+        assert len(joined) == 3
+
+    def test_natural_join_disjoint_is_product(self, left):
+        other = Relation.from_strings("other", "CD", ["c1.d1"])
+        assert len(algebra.natural_join(left, other)) == 3
+
+    def test_join_then_project_recovers_contained_projection(self, left, right):
+        # Classic lossless-ish sanity check: projecting the join back onto the
+        # left attributes yields a subset of the left relation.
+        joined = algebra.natural_join(left, right)
+        back = algebra.project(joined, left.attributes)
+        assert back.rows <= left.rows
+
+    def test_divide(self):
+        dividend = Relation.from_strings("div", "AB", ["a1.b1", "a1.b2", "a2.b1"])
+        divisor = Relation.from_strings("d", "B", ["b1", "b2"])
+        result = algebra.divide(dividend, divisor)
+        assert result.column("A") == {"a1"}
+
+    def test_divide_requires_proper_subset(self, left):
+        with pytest.raises(SchemaError):
+            algebra.divide(left, left)
+
+    def test_divide_by_empty_returns_projection(self):
+        dividend = Relation.from_strings("div", "AB", ["a1.b1"])
+        divisor = Relation(Relation.from_strings("d", "B", ["b1"]).scheme, [])
+        assert algebra.divide(dividend, divisor).column("A") == {"a1"}

@@ -1,0 +1,67 @@
+"""Tests for repro.partitions.assumptions (CAD and EAP, Definition 4)."""
+
+from repro.partitions.assumptions import cad_violations, satisfies_cad, satisfies_eap
+from repro.partitions.canonical import canonical_interpretation
+from repro.partitions.interpretation import PartitionInterpretation
+from repro.relational.database import Database
+from repro.relational.relations import Relation
+
+
+class TestEap:
+    def test_equal_populations(self):
+        interpretation = PartitionInterpretation.from_named_blocks(
+            {"A": {"a": {1, 2}}, "B": {"b1": {1}, "b2": {2}}}
+        )
+        assert satisfies_eap(interpretation)
+
+    def test_unequal_populations(self):
+        interpretation = PartitionInterpretation.from_named_blocks(
+            {"A": {"a": {1}}, "B": {"b": {1, 2}}}
+        )
+        assert not satisfies_eap(interpretation)
+
+    def test_canonical_interpretation_always_eap(self):
+        relation = Relation.from_strings("r", "AB", ["a.b", "a2.b2"])
+        assert satisfies_eap(canonical_interpretation(relation))
+
+
+class TestCad:
+    def test_cad_holds_when_named_symbols_match_database(self):
+        relation = Relation.from_strings("r", "AB", ["a1.b1", "a2.b1"])
+        database = Database.single(relation)
+        interpretation = canonical_interpretation(relation)
+        assert satisfies_cad(interpretation, database)
+
+    def test_cad_fails_with_extra_named_symbol(self):
+        relation = Relation.from_strings("r", "AB", ["a1.b1"])
+        database = Database.single(relation)
+        interpretation = PartitionInterpretation.from_named_blocks(
+            {"A": {"a1": {1}, "ghost": {2}}, "B": {"b1": {1, 2}}}
+        )
+        assert not satisfies_cad(interpretation, database)
+        extra, missing = cad_violations(interpretation, database)["A"]
+        assert "ghost" in extra and not missing
+
+    def test_cad_fails_with_missing_symbol(self):
+        relation = Relation.from_strings("r", "AB", ["a1.b1", "a2.b2"])
+        database = Database.single(relation)
+        interpretation = PartitionInterpretation.from_named_blocks(
+            {"A": {"a1": {1, 2}}, "B": {"b1": {1}, "b2": {2}}}
+        )
+        assert not satisfies_cad(interpretation, database)
+        extra, missing = cad_violations(interpretation, database)["A"]
+        assert "a2" in missing
+
+    def test_figure1_interpretation_satisfies_cad_and_eap(self):
+        interpretation = PartitionInterpretation.from_named_blocks(
+            {
+                "A": {"a": {1}, "a1": {4}, "a2": {2, 3}},
+                "B": {"b": {1, 4}, "b1": {2, 3}},
+                "C": {"c": {1, 2}, "c1": {3, 4}},
+            }
+        )
+        database = Database.single(
+            Relation.from_strings("R", "ABC", ["a.b.c", "a2.b1.c", "a2.b1.c1", "a1.b.c1"])
+        )
+        assert satisfies_cad(interpretation, database)
+        assert satisfies_eap(interpretation)

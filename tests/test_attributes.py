@@ -1,0 +1,73 @@
+"""Tests for repro.relational.attributes."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.attributes import AttributeSet, as_attribute_set, validate_attribute, validate_symbol
+
+
+class TestValidation:
+    def test_valid_attribute_passes_through(self):
+        assert validate_attribute("A") == "A"
+        assert validate_attribute("employee_nr") == "employee_nr"
+
+    def test_empty_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_attribute("")
+
+    def test_non_string_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_attribute(3)
+
+    def test_symbol_validation(self):
+        assert validate_symbol("a1") == "a1"
+        with pytest.raises(SchemaError):
+            validate_symbol(None)
+
+
+class TestAttributeSet:
+    def test_string_constructor_splits_characters(self):
+        assert AttributeSet("ABC") == AttributeSet(["A", "B", "C"])
+
+    def test_iterable_constructor(self):
+        assert set(AttributeSet(["A", "B1"])) == {"A", "B1"}
+
+    def test_iteration_is_sorted(self):
+        assert list(AttributeSet("CBA")) == ["A", "B", "C"]
+
+    def test_union_intersection_difference_preserve_type(self):
+        left = AttributeSet("AB")
+        right = AttributeSet("BC")
+        assert isinstance(left | right, AttributeSet)
+        assert isinstance(left & right, AttributeSet)
+        assert isinstance(left - right, AttributeSet)
+        assert (left | right) == AttributeSet("ABC")
+        assert (left & right) == AttributeSet("B")
+        assert (left - right) == AttributeSet("A")
+
+    def test_union_method(self):
+        assert AttributeSet("A").union("BC") == AttributeSet("ABC")
+
+    def test_str_compact_for_single_char_attributes(self):
+        assert str(AttributeSet("BA")) == "AB"
+
+    def test_str_comma_separated_for_long_names(self):
+        assert str(AttributeSet(["Emp", "Mgr"])) == "Emp,Mgr"
+
+    def test_empty_set_allowed(self):
+        assert len(AttributeSet()) == 0
+
+    def test_invalid_member_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeSet(["A", ""])
+
+    def test_as_attribute_set_idempotent(self):
+        original = AttributeSet("AB")
+        assert as_attribute_set(original) is original
+
+    def test_as_attribute_set_from_string(self):
+        assert as_attribute_set("AB") == AttributeSet(["A", "B"])
+
+    def test_hashable_and_usable_as_key(self):
+        mapping = {AttributeSet("AB"): 1}
+        assert mapping[AttributeSet("BA")] == 1

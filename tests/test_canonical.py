@@ -1,0 +1,100 @@
+"""Tests for repro.partitions.canonical: I(r), R(I), and their round-trips (§4.1)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import PartitionError
+from repro.partitions.assumptions import satisfies_eap
+from repro.partitions.canonical import (
+    canonical_interpretation,
+    canonical_relation,
+    canonical_roundtrip,
+    eap_extension,
+    restrict_to_attributes,
+)
+from repro.partitions.interpretation import PartitionInterpretation
+from repro.lattice.interpretation_lattice import InterpretationLattice
+from repro.relational.relations import Relation
+from repro.relational.schema import RelationScheme
+
+from tests.conftest import small_relations
+
+
+class TestCanonicalInterpretation:
+    def test_populations_are_tuple_identifiers(self, employee_relation):
+        interpretation = canonical_interpretation(employee_relation)
+        assert interpretation.population("A") == frozenset(range(1, len(employee_relation) + 1))
+
+    def test_always_satisfies_eap(self, employee_relation):
+        assert satisfies_eap(canonical_interpretation(employee_relation))
+
+    def test_satisfies_its_own_relation(self, employee_relation):
+        interpretation = canonical_interpretation(employee_relation)
+        assert interpretation.satisfies_relation(employee_relation)
+
+    def test_blocks_group_tuples_by_symbol(self):
+        relation = Relation.from_strings("r", "AB", ["a.b1", "a.b2"])
+        interpretation = canonical_interpretation(relation)
+        assert interpretation.meaning("A").block_count() == 1
+        assert interpretation.meaning("B").block_count() == 2
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(PartitionError):
+            canonical_interpretation(Relation(RelationScheme("r", "A"), []))
+
+    def test_custom_identifiers_must_be_unique(self, employee_relation):
+        with pytest.raises(PartitionError):
+            canonical_interpretation(employee_relation, identifier=lambda row: 1)
+
+
+class TestCanonicalRelation:
+    def test_roundtrip_recovers_relation(self, employee_relation, figure1_relation):
+        # R(I(r)) = r (remark after Definition 6).
+        for relation in (employee_relation, figure1_relation):
+            assert canonical_roundtrip(relation).rows == relation.rows
+
+    @given(small_relations())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, relation):
+        assert canonical_roundtrip(relation).rows == relation.rows
+
+    def test_padding_symbols_for_missing_population_elements(self):
+        interpretation = PartitionInterpretation.from_named_blocks(
+            {"A": {"a": {1, 2}}, "B": {"b": {2, 3}}}
+        )
+        relation = canonical_relation(interpretation)
+        # element 3 is outside p_A, so its tuple gets a unique padding symbol under A
+        rows = {str(row) for row in relation.rows}
+        assert any("@A" in row for row in rows)
+        assert len(relation) == 3
+
+    def test_lattice_preserved_for_eap_interpretations(self, employee_relation):
+        # If EAP holds in I then L(I(R(I))) = L(I) (remark before Theorem 3).
+        interpretation = canonical_interpretation(employee_relation)
+        back = canonical_interpretation(canonical_relation(interpretation))
+        first = InterpretationLattice.from_interpretation(interpretation)
+        second = InterpretationLattice.from_interpretation(back)
+        assert first.isomorphic_to(second)
+
+
+class TestEapExtension:
+    def test_extension_satisfies_eap_and_preserves_pds(self):
+        interpretation = PartitionInterpretation.from_named_blocks(
+            {"A": {"a1": {1}, "a2": {2}}, "B": {"b": {1, 2, 3}}}
+        )
+        assert not satisfies_eap(interpretation)
+        extended = eap_extension(interpretation)
+        assert satisfies_eap(extended)
+        # The homomorphism argument of Theorem 7: PDs satisfied by I are satisfied by J.
+        for pd in ("A = A*B", "A <= B"):
+            if interpretation.satisfies_pd(pd):
+                assert extended.satisfies_pd(pd)
+
+    def test_restrict_to_attributes(self):
+        interpretation = PartitionInterpretation.from_named_blocks(
+            {"A": {"a": {1}}, "B": {"b": {1}}}
+        )
+        restricted = restrict_to_attributes(interpretation, interpretation.attributes - {"B"})
+        assert set(restricted.attributes) == {"A"}
+        with pytest.raises(PartitionError):
+            restrict_to_attributes(restricted, interpretation.attributes)

@@ -1,0 +1,118 @@
+"""Tests for repro.relational.chase (labelled nulls, representative instance, FD chase)."""
+
+import pytest
+
+from repro.errors import ConsistencyError
+from repro.relational.chase import (
+    Tableau,
+    TableauValue,
+    chase_database,
+    chase_fds,
+    representative_instance,
+)
+from repro.relational.database import Database
+from repro.relational.functional_dependencies import parse_fd_set
+from repro.relational.relations import Relation
+
+
+class TestTableau:
+    def test_add_row_pads_with_fresh_nulls(self):
+        tableau = Tableau("ABC")
+        index = tableau.add_row({"A": "a"})
+        assert tableau.value(index, "A") == TableauValue.constant("a")
+        assert not tableau.value(index, "B").is_constant
+        assert tableau.value(index, "B") != tableau.value(index, "C")
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ConsistencyError):
+            Tableau([])
+
+    def test_equate_null_with_constant_prefers_constant(self):
+        tableau = Tableau("A")
+        i = tableau.add_row({})
+        null = tableau.value(i, "A")
+        assert tableau.equate(null, TableauValue.constant("a"))
+        assert tableau.value(i, "A") == TableauValue.constant("a")
+
+    def test_equate_two_distinct_constants_fails(self):
+        tableau = Tableau("A")
+        assert not tableau.equate(TableauValue.constant("a"), TableauValue.constant("b"))
+
+    def test_to_relation_renders_nulls_distinctly(self):
+        tableau = Tableau("AB")
+        tableau.add_row({"A": "a"})
+        relation = tableau.to_relation()
+        row = next(iter(relation.rows))
+        assert row["A"] == "a"
+        assert row["B"].startswith("⊥")
+
+
+class TestRepresentativeInstance:
+    def test_one_row_per_tuple_padded_to_universe(self):
+        database = Database(
+            [
+                Relation.from_strings("R", "AB", ["a1.b1", "a2.b2"]),
+                Relation.from_strings("S", "BC", ["b1.c1"]),
+            ]
+        )
+        tableau = representative_instance(database)
+        assert tableau.row_count == 3
+        assert tableau.attributes == database.universe
+
+    def test_universe_must_cover_database(self):
+        database = Database([Relation.from_strings("R", "AB", ["a.b"])])
+        with pytest.raises(ConsistencyError):
+            representative_instance(database, universe=database.universe - {"B"})
+
+
+class TestChase:
+    def test_consistent_database(self):
+        database = Database(
+            [
+                Relation.from_strings("R", "AB", ["a1.b1"]),
+                Relation.from_strings("S", "BC", ["b1.c1"]),
+            ]
+        )
+        result = chase_database(database, parse_fd_set(["A -> B", "B -> C"]))
+        assert result.consistent
+
+    def test_inconsistent_database(self):
+        # B -> C is violated across the two S tuples once they join through b1.
+        database = Database([Relation.from_strings("S", "BC", ["b1.c1", "b1.c2"])])
+        result = chase_database(database, parse_fd_set(["B -> C"]))
+        assert not result.consistent
+        assert result.violation is not None
+
+    def test_cross_relation_propagation(self):
+        # R(a1, b1), R'(a1, b2) with A -> B: chase must equate b1 and b2 -> inconsistent.
+        database = Database(
+            [
+                Relation.from_strings("R", "AB", ["a1.b1"]),
+                Relation.from_strings("S", "AB", ["a1.b2"]).rename_relation("T"),
+            ]
+        )
+        result = chase_database(database, parse_fd_set(["A -> B"]))
+        assert not result.consistent
+
+    def test_null_equating_counts_steps(self):
+        database = Database(
+            [
+                Relation.from_strings("R", "AB", ["a1.b1"]),
+                Relation.from_strings("S", "AC", ["a1.c1"]),
+            ]
+        )
+        result = chase_database(database, parse_fd_set(["A -> B"]))
+        assert result.consistent
+        assert result.steps >= 1  # the S tuple's B null is equated with b1
+
+    def test_chase_extends_universe_with_fd_attributes(self):
+        database = Database([Relation.from_strings("R", "AB", ["a.b"])])
+        result = chase_database(database, parse_fd_set(["A -> C"]))
+        assert result.consistent
+        assert "C" in result.tableau.attributes
+
+    def test_chase_is_idempotent(self):
+        database = Database([Relation.from_strings("R", "AB", ["a1.b1", "a2.b1"])])
+        fds = parse_fd_set(["B -> A"])
+        result = chase_database(database, fds)
+        assert not result.consistent

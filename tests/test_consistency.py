@@ -1,0 +1,140 @@
+"""Tests for the consistency engines: Theorems 6, 7, 12 (weak-instance and PD consistency)."""
+
+import pytest
+
+from repro.consistency.pd_consistency import (
+    consistency_with_explicit_weak_instance,
+    is_pd_consistent,
+    pd_consistency,
+    repair_sum_constraints_once,
+    sum_constraint_violations,
+)
+from repro.consistency.normalization import SumConstraint
+from repro.consistency.weak_instance_fd import fd_consistency, fpd_consistency, is_fpd_consistent
+from repro.errors import ConsistencyError
+from repro.relational.database import Database
+from repro.relational.functional_dependencies import parse_fd_set
+from repro.relational.relations import Relation
+from repro.relational.weak_instance import is_weak_instance
+
+
+@pytest.fixture
+def consistent_database() -> Database:
+    return Database(
+        [
+            Relation.from_strings("R", "AB", ["a1.b1", "a2.b2"]),
+            Relation.from_strings("S", "BC", ["b1.c1"]),
+        ]
+    )
+
+
+@pytest.fixture
+def inconsistent_database() -> Database:
+    # Both relations mention a1 with different B values -> A -> B cannot hold in any weak instance.
+    return Database(
+        [
+            Relation.from_strings("R", "AB", ["a1.b1"]),
+            Relation.from_strings("T", "AB", ["a1.b2"]),
+        ]
+    )
+
+
+class TestTheorem6FpdConsistency:
+    def test_consistent_case_builds_interpretation_witness(self, consistent_database):
+        result = fpd_consistency(consistent_database, ["A = A*B", "B = B*C"])
+        assert result.consistent
+        assert result.weak_instance is not None
+        assert is_weak_instance(result.weak_instance, consistent_database)
+        # The proof's witness: I(w) satisfies d and E.
+        assert result.interpretation is not None
+        assert result.interpretation.satisfies_database(consistent_database)
+        assert result.interpretation.satisfies_pd("A = A*B")
+        assert result.interpretation.satisfies_pd("B = B*C")
+        assert result.interpretation.satisfies_eap()
+
+    def test_inconsistent_case(self, inconsistent_database):
+        assert not is_fpd_consistent(inconsistent_database, ["A = A*B"])
+
+    def test_rejects_non_fpds(self, consistent_database):
+        with pytest.raises(ConsistencyError):
+            fpd_consistency(consistent_database, ["C = A + B"])
+
+    def test_fd_consistency_entry_point(self, consistent_database):
+        result = fd_consistency(consistent_database, parse_fd_set(["A -> B"]))
+        assert result.consistent
+        assert all(fd.is_satisfied_by(result.weak_instance) for fd in result.fds)
+
+
+class TestTheorem12PdConsistency:
+    def test_single_relation_fd_style(self):
+        good = Database.single(Relation.from_strings("R", "AB", ["a1.b1", "a2.b2"]))
+        bad = Database.single(Relation.from_strings("R", "AB", ["a1.b1", "a1.b2"]))
+        assert is_pd_consistent(good, ["A = A*B"])
+        assert not is_pd_consistent(bad, ["A = A*B"])
+
+    def test_general_pd_with_sum(self, consistent_database):
+        assert is_pd_consistent(consistent_database, ["C = A + B"]) in (True, False)  # smoke: runs
+        # A concrete inconsistent case: two C values forced into one A+B component.
+        database = Database(
+            [
+                Relation.from_strings("R", "AB", ["a1.b1"]),
+                Relation.from_strings("S", "BC", ["b1.c1", "b1.c2"]),
+            ]
+        )
+        assert not is_pd_consistent(database, ["C = A + B"])
+
+    def test_cross_relation_fd_propagation(self, inconsistent_database):
+        assert not is_pd_consistent(inconsistent_database, ["A = A*B"])
+        assert is_pd_consistent(inconsistent_database, ["B = B*A"])
+
+    def test_result_carries_normalization_and_witness(self, consistent_database):
+        result = pd_consistency(consistent_database, ["C = A + B", "A = A*B"])
+        assert result.consistent
+        assert result.weak_instance is not None
+        assert is_weak_instance(result.weak_instance, consistent_database)
+        assert all(fd.is_satisfied_by(result.weak_instance) for fd in result.normalized.fds)
+
+    def test_agrees_with_fpd_route_on_fpd_sets(self, consistent_database, inconsistent_database):
+        for database in (consistent_database, inconsistent_database):
+            for E in (["A = A*B"], ["A = A*B", "B = B*C"], ["C = C*A"]):
+                assert is_pd_consistent(database, E) == is_fpd_consistent(database, E)
+
+    def test_empty_dependency_set_always_consistent(self, consistent_database):
+        assert is_pd_consistent(consistent_database, [])
+
+
+class TestLemma121Repair:
+    def test_violations_detected_and_repaired(self):
+        relation = Relation.from_strings("w", "ABC", ["a1.b1.c1", "a2.b2.c1"])
+        constraint = SumConstraint("C", "A", "B")
+        violations = sum_constraint_violations(relation, constraint)
+        assert len(violations) == 1
+        from repro.consistency.normalization import normalize_dependencies
+
+        normalized = normalize_dependencies([])  # no FDs: closures are singletons
+        # normalize_dependencies requires a non-empty list to be meaningful here;
+        # craft a minimal NormalizedDependencies by hand instead.
+        normalized.sum_constraints = [constraint]
+        repaired, added = repair_sum_constraints_once(relation, normalized)
+        assert added == 1
+        assert not sum_constraint_violations(repaired, constraint)
+
+    def test_no_violations_no_tuples_added(self):
+        relation = Relation.from_strings("w", "ABC", ["a1.b1.c1", "a1.b2.c1"])
+        constraint = SumConstraint("C", "A", "B")
+        assert sum_constraint_violations(relation, constraint) == []
+
+
+class TestTheorem7ExplicitWitness:
+    def test_hand_built_weak_instance_accepted(self):
+        database = Database(
+            [Relation.from_strings("R", "AB", ["a1.b1"]), Relation.from_strings("S", "BC", ["b1.c1"])]
+        )
+        candidate = Relation.from_strings("w", "ABC", ["a1.b1.c1"])
+        assert consistency_with_explicit_weak_instance(database, ["A = A*B", "C = A + B"], candidate)
+
+    def test_hand_built_weak_instance_rejected_when_pd_fails(self):
+        database = Database([Relation.from_strings("R", "AB", ["a1.b1"])])
+        candidate = Relation.from_strings("w", "ABC", ["a1.b1.c1", "a1.b2.c2"])
+        # candidate is a weak instance but violates A = A*B.
+        assert not consistency_with_explicit_weak_instance(database, ["A = A*B"], candidate)

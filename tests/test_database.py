@@ -1,0 +1,69 @@
+"""Tests for repro.relational.database."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.attributes import AttributeSet
+from repro.relational.database import Database
+from repro.relational.relations import Relation
+
+
+@pytest.fixture
+def database() -> Database:
+    return Database(
+        [
+            Relation.from_strings("R", "AB", ["a1.b1", "a2.b2"]),
+            Relation.from_strings("S", "BC", ["b1.c1"]),
+        ]
+    )
+
+
+class TestDatabase:
+    def test_universe(self, database):
+        assert database.universe == AttributeSet("ABC")
+
+    def test_duplicate_relation_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Database(
+                [Relation.from_strings("R", "AB", ["a.b"]), Relation.from_strings("R", "BC", ["b.c"])]
+            )
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(SchemaError):
+            Database([])
+
+    def test_lookup(self, database):
+        assert database.relation("R").name == "R"
+        with pytest.raises(SchemaError):
+            database.relation("T")
+
+    def test_symbols_under_unions_columns(self, database):
+        assert database.symbols_under("B") == {"b1", "b2"}
+        assert database.symbols_under("A") == {"a1", "a2"}
+        assert database.symbols_under("Z") == frozenset()
+
+    def test_active_domain_and_total_tuples(self, database):
+        assert database.total_tuples() == 3
+        assert "c1" in database.active_domain()
+
+    def test_single_constructor(self):
+        relation = Relation.from_strings("R", "A", ["a"])
+        assert len(Database.single(relation)) == 1
+
+    def test_with_relation_replaces_by_name(self, database):
+        replacement = Relation.from_strings("R", "AB", ["a9.b9"])
+        updated = database.with_relation(replacement)
+        assert updated.relation("R").column("A") == {"a9"}
+        assert database.relation("R").column("A") == {"a1", "a2"}  # original untouched
+
+    def test_iteration_sorted_by_name(self, database):
+        assert [relation.name for relation in database] == ["R", "S"]
+
+    def test_equality(self, database):
+        same = Database(
+            [
+                Relation.from_strings("R", "AB", ["a1.b1", "a2.b2"]),
+                Relation.from_strings("S", "BC", ["b1.c1"]),
+            ]
+        )
+        assert database == same

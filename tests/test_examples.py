@@ -1,0 +1,39 @@
+"""Smoke tests: every example program runs to completion through its public ``main()``.
+
+The examples double as end-to-end integration tests of the public API; they
+are executed in-process (not via subprocess) so coverage tools see them and
+failures produce useful tracebacks.  Stdout is captured by pytest.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_module(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"examples_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_has_expected_programs(self):
+        names = {path.stem for path in EXAMPLE_FILES}
+        assert "quickstart" in names
+        assert len(names) >= 3
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_runs(self, path, capsys):
+        module = _load_module(path)
+        assert hasattr(module, "main"), f"{path.name} must define a main() function"
+        module.main()
+        captured = capsys.readouterr()
+        assert captured.out.strip(), f"{path.name} should print something"
+        assert "Traceback" not in captured.out

@@ -1,0 +1,139 @@
+"""Tests for repro.expressions: AST, parser, printers, evaluation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ExpressionError
+from repro.expressions.ast import (
+    Attr,
+    Product,
+    Sum,
+    all_subexpressions,
+    as_expression,
+    attr,
+    attribute_set_expression,
+    attrs,
+    product_of,
+    sum_of,
+)
+from repro.expressions.evaluation import evaluate
+from repro.expressions.parser import parse_expression, tokenize
+from repro.expressions.printer import to_infix, to_paper, to_prefix
+from repro.partitions.interpretation import PartitionInterpretation
+
+from tests.conftest import expressions
+
+
+class TestAst:
+    def test_operator_sugar(self):
+        A, B = attrs("A", "B")
+        assert A * B == Product(A, B)
+        assert A + B == Sum(A, B)
+
+    def test_structural_equality_is_syntactic(self):
+        A, B = attrs("A", "B")
+        assert A * B != B * A  # different strings, same semantics
+        assert A * B == Attr("A") * Attr("B")
+
+    def test_hashable(self):
+        A, B = attrs("A", "B")
+        assert len({A * B, A * B, A + B}) == 2
+
+    def test_attributes_and_sizes(self):
+        expression = parse_expression("A * (B + A)")
+        assert set(expression.attributes()) == {"A", "B"}
+        assert expression.complexity() == 2
+        assert expression.size() == 5
+
+    def test_subexpressions(self):
+        expression = parse_expression("A * (B + C)")
+        subs = set(expression.subexpressions())
+        assert Attr("A") in subs and parse_expression("B + C") in subs and expression in subs
+        assert len(subs) == 5
+
+    def test_all_subexpressions_union(self):
+        exprs = [parse_expression("A*B"), parse_expression("B+C")]
+        assert len(all_subexpressions(exprs)) == 5
+
+    def test_dual_swaps_operators(self):
+        expression = parse_expression("A * (B + C)")
+        assert expression.dual() == parse_expression("A + (B * C)")
+        assert expression.dual().dual() == expression
+
+    def test_is_product_of_attributes(self):
+        assert parse_expression("A*B*C").is_product_of_attributes()
+        assert not parse_expression("A*(B+C)").is_product_of_attributes()
+
+    def test_product_of_and_sum_of(self):
+        assert product_of("ABC") == parse_expression("(A*B)*C")
+        assert sum_of(["A", "B"]) == parse_expression("A+B")
+        with pytest.raises(ExpressionError):
+            product_of([])
+
+    def test_attribute_set_expression_sorted(self):
+        assert attribute_set_expression("CBA") == parse_expression("(A*B)*C")
+
+    def test_invalid_operand_rejected(self):
+        with pytest.raises(ExpressionError):
+            attr("A") * "B"  # type: ignore[operator]
+
+    def test_as_expression_dispatch(self):
+        assert as_expression("A + B") == Sum(Attr("A"), Attr("B"))
+        assert as_expression(Attr("A")) == Attr("A")
+        with pytest.raises(ExpressionError):
+            as_expression(42)
+
+
+class TestParser:
+    def test_precedence_product_binds_tighter(self):
+        assert parse_expression("A + B * C") == Sum(Attr("A"), Product(Attr("B"), Attr("C")))
+
+    def test_parentheses_override(self):
+        assert parse_expression("(A + B) * C") == Product(Sum(Attr("A"), Attr("B")), Attr("C"))
+
+    def test_left_associativity(self):
+        assert parse_expression("A * B * C") == Product(Product(Attr("A"), Attr("B")), Attr("C"))
+
+    def test_dot_and_middle_dot_as_product(self):
+        assert parse_expression("A . B") == parse_expression("A · B") == parse_expression("A * B")
+
+    def test_long_attribute_names(self):
+        expression = parse_expression("employee_nr * manager_nr")
+        assert set(expression.attributes()) == {"employee_nr", "manager_nr"}
+
+    def test_errors(self):
+        for bad in ["", "A +", "(A + B", "A ++ B", "A % B", ")A("]:
+            with pytest.raises(ExpressionError):
+                parse_expression(bad)
+
+    def test_tokenize_positions(self):
+        tokens = tokenize("A*(B+C)")
+        assert [t.kind for t in tokens] == ["attr", "*", "(", "attr", "+", "attr", ")"]
+
+
+class TestPrinters:
+    def test_infix_roundtrip_simple(self):
+        for text in ["A", "A * B", "A + B * C", "(A + B) * C", "A * (B + C) + D"]:
+            expression = parse_expression(text)
+            assert parse_expression(to_infix(expression)) == expression
+
+    @given(expressions())
+    @settings(max_examples=100)
+    def test_infix_roundtrip_property(self, expression):
+        assert parse_expression(to_infix(expression)) == expression
+
+    def test_paper_rendering(self):
+        assert to_paper(parse_expression("A*B + C")) == "((A * B) + C)"
+        assert to_paper(parse_expression("A*B"), product_symbol="·") == "(A · B)"
+
+    def test_prefix_rendering(self):
+        assert to_prefix(parse_expression("A * (B + C)")) == "(* A (+ B C))"
+
+
+class TestEvaluation:
+    def test_evaluate_matches_interpretation_meaning(self):
+        interpretation = PartitionInterpretation.from_named_blocks(
+            {"A": {"a1": {1}, "a2": {2}}, "B": {"b": {1, 2}}}
+        )
+        assert evaluate("A + B", interpretation) == interpretation.meaning("A + B")
+        assert evaluate(parse_expression("A * B"), interpretation) == interpretation.meaning("A * B")

@@ -1,0 +1,103 @@
+"""Tests for repro.implication.fd_implication and word_problems (§5.3)."""
+
+import random
+
+from repro.implication.fd_implication import (
+    ArmstrongDerivation,
+    closure_sequence,
+    derive_fd,
+    fd_closure,
+    fd_implies,
+    fd_implies_via_pds,
+    is_superkey,
+)
+from repro.implication.word_problems import (
+    fd_implication_as_semigroup_problem,
+    lattice_identity,
+    lattice_word_problem,
+    semigroup_word_problem,
+)
+from repro.relational.attributes import AttributeSet
+from repro.relational.functional_dependencies import FunctionalDependency, parse_fd_set
+from repro.workloads.random_dependencies import random_fd_set
+
+
+class TestArmstrongDerivations:
+    def test_derivation_exists_iff_implied(self):
+        fds = parse_fd_set(["A -> B", "B -> C"])
+        assert derive_fd(fds, FunctionalDependency("A", "C")) is not None
+        assert derive_fd(fds, FunctionalDependency("C", "A")) is None
+
+    def test_derivations_check(self):
+        rng = random.Random(3)
+        for trial in range(15):
+            fds = random_fd_set(4, rng.randint(1, 4), seed=rng.randint(0, 10**6), max_side=2)
+            target = random_fd_set(4, 1, seed=rng.randint(0, 10**6), max_side=2)[0]
+            derivation = derive_fd(fds, target)
+            if fd_implies(fds, target):
+                assert derivation is not None
+                assert derivation.check(), str(derivation)
+                assert derivation.conclusion == target
+            else:
+                assert derivation is None
+
+    def test_trivial_fd_derivation(self):
+        derivation = derive_fd([], FunctionalDependency("AB", "A"))
+        assert derivation is not None and derivation.check()
+
+    def test_manual_bad_derivation_rejected(self):
+        derivation = ArmstrongDerivation()
+        derivation.add(FunctionalDependency("A", "B"), "transitivity", ())
+        assert not derivation.check()
+
+    def test_forward_reference_rejected(self):
+        derivation = ArmstrongDerivation()
+        derivation.add(FunctionalDependency("A", "A"), "reflexivity", (1,))
+        assert not derivation.check()
+
+
+class TestClosureHelpers:
+    def test_closure_sequence_is_increasing_and_ends_at_closure(self):
+        fds = parse_fd_set(["A -> B", "B -> C"])
+        sequence = closure_sequence("A", fds)
+        assert sequence[0] == AttributeSet("A")
+        assert sequence[-1] == fd_closure("A", fds)
+        assert all(earlier <= later for earlier, later in zip(sequence, sequence[1:]))
+
+    def test_is_superkey(self):
+        fds = parse_fd_set(["A -> B", "B -> C"])
+        assert is_superkey("A", "ABC", fds)
+        assert not is_superkey("B", "ABC", fds)
+
+
+class TestSection53Correspondences:
+    def test_fd_implication_via_pds_agrees(self):
+        rng = random.Random(5)
+        for trial in range(15):
+            fds = random_fd_set(4, rng.randint(1, 3), seed=rng.randint(0, 10**6), max_side=2)
+            target = random_fd_set(4, 1, seed=rng.randint(0, 10**6), max_side=2)[0]
+            assert fd_implies_via_pds(fds, target) == fd_implies(fds, target)
+
+    def test_semigroup_word_problem_basic(self):
+        equations = [("A", "A*B"), ("B", "B*C")]
+        assert semigroup_word_problem(equations, ("A", "A*C"))
+        assert not semigroup_word_problem(equations, ("C", "C*A"))
+
+    def test_semigroup_word_problem_with_sets(self):
+        assert semigroup_word_problem([({"A"}, {"A", "B"})], ({"A"}, {"A", "B"}))
+
+    def test_fd_implication_as_semigroup_problem_agrees(self):
+        rng = random.Random(9)
+        for trial in range(15):
+            fds = random_fd_set(4, rng.randint(1, 3), seed=rng.randint(0, 10**6), max_side=2)
+            target = random_fd_set(4, 1, seed=rng.randint(0, 10**6), max_side=2)[0]
+            assert fd_implication_as_semigroup_problem(fds, target) == fd_implies(fds, target)
+
+    def test_lattice_word_problem_wrapper(self):
+        assert lattice_word_problem(["A = A*B", "B = B*C"], "A = A*C")
+        assert lattice_word_problem([("A", "B")], ("B", "A"))
+        assert not lattice_word_problem(["A = A*B"], "B = B*A")
+
+    def test_lattice_identity_wrapper(self):
+        assert lattice_identity("A * (A + B) = A")
+        assert not lattice_identity("A * (B + C) = (A*B) + (A*C)")

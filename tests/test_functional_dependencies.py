@@ -1,0 +1,133 @@
+"""Tests for repro.relational.functional_dependencies."""
+
+import pytest
+
+from repro.errors import DependencyError
+from repro.relational.attributes import AttributeSet
+from repro.relational.functional_dependencies import (
+    FunctionalDependency,
+    candidate_keys,
+    closure,
+    equivalent,
+    implies,
+    minimal_cover,
+    parse_fd_set,
+    project_fds,
+)
+from repro.relational.relations import Relation
+
+
+class TestFdBasics:
+    def test_parse(self):
+        fd = FunctionalDependency.parse("AB -> C")
+        assert fd.lhs == AttributeSet("AB") and fd.rhs == AttributeSet("C")
+
+    def test_parse_unicode_arrow(self):
+        assert FunctionalDependency.parse("A→B") == FunctionalDependency("A", "B")
+
+    def test_parse_missing_arrow(self):
+        with pytest.raises(DependencyError):
+            FunctionalDependency.parse("AB C")
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(DependencyError):
+            FunctionalDependency("", "A")
+        with pytest.raises(DependencyError):
+            FunctionalDependency("A", [])
+
+    def test_trivial(self):
+        assert FunctionalDependency("AB", "A").is_trivial()
+        assert not FunctionalDependency("A", "B").is_trivial()
+
+    def test_decompose(self):
+        parts = FunctionalDependency("A", "BC").decompose()
+        assert FunctionalDependency("A", "B") in parts and FunctionalDependency("A", "C") in parts
+
+    def test_equality_and_hash(self):
+        assert FunctionalDependency("AB", "C") == FunctionalDependency("BA", "C")
+        assert hash(FunctionalDependency("AB", "C")) == hash(FunctionalDependency("BA", "C"))
+
+
+class TestSatisfaction:
+    def test_satisfied(self):
+        relation = Relation.from_strings("r", "AB", ["a1.b1", "a2.b1", "a1.b1"])
+        assert FunctionalDependency("A", "B").is_satisfied_by(relation)
+
+    def test_violated(self):
+        relation = Relation.from_strings("r", "AB", ["a1.b1", "a1.b2"])
+        fd = FunctionalDependency("A", "B")
+        assert not fd.is_satisfied_by(relation)
+        assert len(list(fd.violating_pairs(relation))) == 1
+
+    def test_missing_attributes_raise(self):
+        relation = Relation.from_strings("r", "AB", ["a.b"])
+        with pytest.raises(DependencyError):
+            FunctionalDependency("A", "C").is_satisfied_by(relation)
+
+    def test_empty_relation_satisfies_everything(self):
+        from repro.relational.schema import RelationScheme
+
+        empty = Relation(RelationScheme("r", "AB"), [])
+        assert FunctionalDependency("A", "B").is_satisfied_by(empty)
+
+
+class TestClosureAndImplication:
+    def test_transitive_closure(self):
+        fds = parse_fd_set(["A -> B", "B -> C", "C -> D"])
+        assert closure("A", fds) == AttributeSet("ABCD")
+
+    def test_closure_requires_full_lhs(self):
+        fds = parse_fd_set(["AB -> C"])
+        assert closure("A", fds) == AttributeSet("A")
+        assert closure("AB", fds) == AttributeSet("ABC")
+
+    def test_implies(self):
+        fds = parse_fd_set(["A -> B", "B -> C"])
+        assert implies(fds, FunctionalDependency("A", "C"))
+        assert not implies(fds, FunctionalDependency("C", "A"))
+
+    def test_implies_trivial(self):
+        assert implies([], FunctionalDependency("AB", "A"))
+
+    def test_equivalent_sets(self):
+        first = parse_fd_set(["A -> BC"])
+        second = parse_fd_set(["A -> B", "A -> C"])
+        assert equivalent(first, second)
+        assert not equivalent(first, parse_fd_set(["A -> B"]))
+
+    def test_closure_with_compound_lhs_chain(self):
+        fds = parse_fd_set(["A -> B", "BC -> D", "D -> E"])
+        assert closure("AC", fds) == AttributeSet("ABCDE")
+
+
+class TestDesignTheoryToolkit:
+    def test_minimal_cover_is_equivalent_and_singleton_rhs(self):
+        fds = parse_fd_set(["A -> BC", "B -> C", "AB -> C"])
+        cover = minimal_cover(fds)
+        assert equivalent(fds, cover)
+        assert all(len(fd.rhs) == 1 for fd in cover)
+
+    def test_minimal_cover_removes_redundant_fd(self):
+        fds = parse_fd_set(["A -> B", "B -> C", "A -> C"])
+        cover = minimal_cover(fds)
+        assert FunctionalDependency("A", "C") not in cover
+
+    def test_minimal_cover_removes_extraneous_lhs_attribute(self):
+        fds = parse_fd_set(["A -> B", "AB -> C"])
+        cover = minimal_cover(fds)
+        assert FunctionalDependency("A", "C") in cover
+
+    def test_candidate_keys_simple(self):
+        fds = parse_fd_set(["A -> B", "B -> C"])
+        keys = candidate_keys("ABC", fds)
+        assert keys == [AttributeSet("A")]
+
+    def test_candidate_keys_multiple(self):
+        fds = parse_fd_set(["A -> BC", "BC -> A"])
+        keys = candidate_keys("ABC", fds)
+        assert AttributeSet("A") in keys and AttributeSet("BC") in keys
+
+    def test_project_fds_keeps_implied_dependencies(self):
+        fds = parse_fd_set(["A -> B", "B -> C"])
+        projected = project_fds(fds, "AC")
+        assert implies(projected, FunctionalDependency("A", "C"))

@@ -1,0 +1,149 @@
+"""Tests for repro.graphs: the Example e encoding, connectivity PD, Theorem 4 family."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import SchemaError
+from repro.graphs.connectivity import (
+    component_labels_from_relation,
+    components_by_partition_sum,
+    connectivity_pd,
+    number_of_components,
+    satisfies_connectivity_pd,
+)
+from repro.graphs.encoding import (
+    connected_components,
+    graph_to_relation,
+    graph_to_relation_with_labels,
+    relation_to_graph,
+)
+from repro.graphs.families import (
+    cycle_graph,
+    disjoint_cliques,
+    mislabeled_path_relation,
+    path_graph,
+    path_relation,
+    random_graph,
+    theorem4_designated_tuples,
+    theorem4_path_relation,
+)
+from repro.relational.tuples import row_from_string
+
+
+class TestEncoding:
+    def test_edge_produces_four_tuples(self):
+        relation = graph_to_relation([1, 2], [{1, 2}])
+        assert len(relation) == 4  # ab, ba, aa, bb (all with the same component)
+        assert relation.column("C") == {"c1"}
+
+    def test_isolated_vertices_get_diagonal_tuples(self):
+        relation = graph_to_relation([1, 2], [])
+        assert len(relation) == 2
+        assert relation.column("C") == {"c1", "c2"}
+
+    def test_roundtrip_graph(self):
+        vertices, edges = cycle_graph(4)
+        relation = graph_to_relation(vertices, edges)
+        back_vertices, back_edges = relation_to_graph(relation)
+        assert len(back_vertices) == 4
+        assert len(back_edges) == 4
+
+    def test_labels_must_agree_on_edges(self):
+        with pytest.raises(SchemaError):
+            graph_to_relation_with_labels([1, 2], [{1, 2}], {1: "x", 2: "y"})
+
+    def test_unknown_vertex_in_edge_rejected(self):
+        with pytest.raises(SchemaError):
+            graph_to_relation([1], [{1, 9}])
+
+    def test_connected_components_against_networkx(self):
+        vertices, edges = random_graph(12, 0.2, seed=5)
+        ours = connected_components(vertices, edges)
+        graph = nx.Graph()
+        graph.add_nodes_from(vertices)
+        graph.add_edges_from(tuple(edge) for edge in edges if len(edge) == 2)
+        theirs = list(nx.connected_components(graph))
+        assert len(set(ours.values())) == len(theirs)
+        for component in theirs:
+            assert len({ours[v] for v in component}) == 1
+
+
+class TestConnectivityPd:
+    def test_correctly_labelled_graphs_satisfy_c_equals_a_plus_b(self):
+        for vertices, edges in [path_graph(4), cycle_graph(5), disjoint_cliques(3, 3)]:
+            relation = graph_to_relation(vertices, edges)
+            assert satisfies_connectivity_pd(relation, method="canonical")
+            assert satisfies_connectivity_pd(relation, method="direct")
+            assert satisfies_connectivity_pd(relation, method="order")
+
+    def test_mislabeled_graph_violates_equality_but_not_order(self):
+        relation = mislabeled_path_relation(4)
+        assert not satisfies_connectivity_pd(relation, method="canonical")
+        assert not satisfies_connectivity_pd(relation, method="direct")
+        assert satisfies_connectivity_pd(relation, method="order")
+
+    def test_methods_agree(self):
+        for relation in [path_relation(3), mislabeled_path_relation(3), theorem4_path_relation(4)]:
+            assert satisfies_connectivity_pd(relation, "canonical") == satisfies_connectivity_pd(
+                relation, "direct"
+            )
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            satisfies_connectivity_pd(path_relation(2), method="???")
+
+    def test_components_by_partition_sum_counts(self):
+        relation = graph_to_relation(*disjoint_cliques(3, 2))
+        assert components_by_partition_sum(relation).block_count() == 3
+
+    def test_component_labels_recomputed(self):
+        relation = mislabeled_path_relation(3)
+        labels = component_labels_from_relation(relation)
+        assert len(set(labels.values())) == 1  # the path is in fact connected
+
+    def test_number_of_components(self):
+        vertices, edges = disjoint_cliques(4, 3)
+        assert number_of_components(vertices, edges) == 4
+
+    def test_connectivity_pd_shape(self):
+        pd = connectivity_pd()
+        assert str(pd) == "C = A + B"
+
+
+class TestTheorem4Family:
+    def test_path_relation_satisfies_connectivity(self):
+        for i in (2, 4, 8):
+            relation = theorem4_path_relation(i)
+            assert satisfies_connectivity_pd(relation, method="direct")
+
+    def test_designated_tuples_present_and_agree_on_c(self):
+        relation = theorem4_path_relation(6)
+        first, last = theorem4_designated_tuples(6)
+        rows = set(relation.rows)
+        assert row_from_string("ABC", first) in rows
+        assert row_from_string("ABC", last) in rows
+
+    def test_chain_length_grows_with_i(self):
+        # The designated tuples are connected, but removing any middle tuple
+        # disconnects them — i.e. the chain really needs all intermediate tuples.
+        i = 6
+        relation = theorem4_path_relation(i)
+        first, last = (row_from_string("ABC", t) for t in theorem4_designated_tuples(i))
+        full = components_by_partition_sum(relation)
+        rows = relation.sorted_rows()
+        index = {row: k + 1 for k, row in enumerate(rows)}
+        assert full.together(index[first], index[last])
+        from repro.relational.relations import Relation
+
+        middle = [row for row in rows if row not in (first, last)][len(rows) // 2]
+        shrunk = Relation(relation.scheme, set(relation.rows) - {middle})
+        shrunk_components = components_by_partition_sum(shrunk)
+        shrunk_rows = shrunk.sorted_rows()
+        shrunk_index = {row: k + 1 for k, row in enumerate(shrunk_rows)}
+        assert not shrunk_components.together(shrunk_index[first], shrunk_index[last])
+
+    def test_odd_or_small_i_rejected(self):
+        with pytest.raises(SchemaError):
+            theorem4_path_relation(3)
+        with pytest.raises(SchemaError):
+            theorem4_path_relation(0)

@@ -1,0 +1,107 @@
+"""Tests for repro.implication.identities (≤_id, Theorem 10) and the free lattice fragment."""
+
+from hypothesis import given, settings
+
+from repro.dependencies.pd import lattice_axiom_instances
+from repro.implication.identities import (
+    identically_equal,
+    identically_leq,
+    identically_leq_iterative,
+    is_pd_identity,
+)
+from repro.lattice.free_lattice import (
+    bounded_expressions,
+    free_lattice_fragment,
+    free_lattice_size_on_two_generators,
+    whitman_condition_holds,
+)
+
+from tests.conftest import expressions
+
+
+class TestIdenticallyLeq:
+    def test_reflexivity_on_attributes(self):
+        assert identically_leq("A", "A")
+        assert not identically_leq("A", "B")
+
+    def test_meet_below_join_above(self):
+        assert identically_leq("A * B", "A")
+        assert identically_leq("A", "A + B")
+        assert identically_leq("A * B", "A + B")
+        assert not identically_leq("A", "A * B")
+        assert not identically_leq("A + B", "A")
+
+    def test_absorption_identities(self):
+        assert identically_equal("A * (A + B)", "A")
+        assert identically_equal("A + (A * B)", "A")
+
+    def test_associativity_commutativity_idempotence(self):
+        assert identically_equal("(A*B)*C", "A*(B*C)")
+        assert identically_equal("A*B", "B*A")
+        assert identically_equal("A+A", "A")
+
+    def test_distributivity_is_not_an_identity(self):
+        # Only one direction of the distributive law holds in all lattices.
+        assert identically_leq("(A*B) + (A*C)", "A * (B + C)")
+        assert not identically_leq("A * (B + C)", "(A*B) + (A*C)")
+        assert not identically_equal("A * (B + C)", "(A*B) + (A*C)")
+
+    def test_modular_inequality(self):
+        # (A*C) + (B*C) <= (A + B) * C holds in every lattice.
+        assert identically_leq("(A*C) + (B*C)", "(A + B) * C")
+
+    def test_all_lattice_axioms_are_identities(self):
+        for pd in lattice_axiom_instances("A * B", "C", "A + D"):
+            assert is_pd_identity(pd)
+
+    def test_theorem4_equivalences(self):
+        # A + B = (A+B)·C is equivalent to A = A·C and B = B·C -- here we check
+        # the two halves that are pure identities given the FPDs, at the
+        # identity level only the trivial directions hold.
+        assert identically_leq("A", "A + B")
+        assert identically_leq("B", "A + B")
+
+    @given(expressions(), expressions())
+    @settings(max_examples=80, deadline=None)
+    def test_iterative_agrees_with_memoized(self, left, right):
+        assert identically_leq(left, right) == identically_leq_iterative(left, right)
+
+    @given(expressions())
+    @settings(max_examples=60, deadline=None)
+    def test_reflexive_property(self, expression):
+        assert identically_leq(expression, expression)
+
+    @given(expressions(), expressions(), expressions())
+    @settings(max_examples=60, deadline=None)
+    def test_transitivity_property(self, x, y, z):
+        if identically_leq(x, y) and identically_leq(y, z):
+            assert identically_leq(x, z)
+
+    @given(expressions(), expressions())
+    @settings(max_examples=60, deadline=None)
+    def test_meet_is_lower_bound_join_is_upper_bound(self, x, y):
+        assert identically_leq(x * y, x) and identically_leq(x * y, y)
+        assert identically_leq(x, x + y) and identically_leq(y, x + y)
+
+
+class TestFreeLatticeFragment:
+    def test_two_generator_free_lattice_has_four_elements(self):
+        fragment = free_lattice_fragment(["A", "B"], max_complexity=2)
+        assert len(fragment) == free_lattice_size_on_two_generators() == 4
+
+    def test_three_generators_fragment_grows(self):
+        small = free_lattice_fragment(["A", "B", "C"], max_complexity=1)
+        assert len(small) == 3 + 3 + 3  # attributes + pairwise meets + pairwise joins
+
+    def test_class_of_finds_representative(self):
+        fragment = free_lattice_fragment(["A", "B"], max_complexity=2)
+        representative = fragment.class_of(
+            bounded_expressions(["A", "B"], 2)[-1]
+        )
+        assert any(identically_equal(representative, r) for r in fragment.representatives)
+
+    def test_whitman_condition(self):
+        from repro.expressions.parser import parse_expression
+
+        assert whitman_condition_holds(parse_expression("A*B"), parse_expression("A+C"))
+        assert not whitman_condition_holds(parse_expression("A*B"), parse_expression("C+D"))

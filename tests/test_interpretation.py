@@ -1,0 +1,124 @@
+"""Tests for repro.partitions.interpretation (Definitions 1–3 of the paper)."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.partitions.interpretation import AttributeInterpretation, PartitionInterpretation
+from repro.partitions.partition import Partition
+from repro.relational.database import Database
+from repro.relational.relations import Relation
+from repro.relational.tuples import Row
+
+
+@pytest.fixture
+def figure1_interpretation() -> PartitionInterpretation:
+    return PartitionInterpretation.from_named_blocks(
+        {
+            "A": {"a": {1}, "a1": {4}, "a2": {2, 3}},
+            "B": {"b": {1, 4}, "b1": {2, 3}},
+            "C": {"c": {1, 2}, "c1": {3, 4}},
+        }
+    )
+
+
+class TestAttributeInterpretation:
+    def test_naming_must_cover_all_blocks(self):
+        partition = Partition([{1}, {2}])
+        with pytest.raises(PartitionError):
+            AttributeInterpretation(partition, {"x": {1}})
+
+    def test_naming_must_be_injective(self):
+        with pytest.raises(PartitionError):
+            AttributeInterpretation.from_block_names({"x": {1}, "y": {1}})
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(PartitionError):
+            AttributeInterpretation(Partition(), {})
+
+    def test_block_named_and_symbol_of_are_inverse(self):
+        interp = AttributeInterpretation.from_block_names({"x": {1, 2}, "y": {3}})
+        assert interp.block_named("x") == {1, 2}
+        assert interp.block_named("unknown") is None
+        assert interp.symbol_of(frozenset({1, 2})) == "x"
+        with pytest.raises(PartitionError):
+            interp.symbol_of(frozenset({9}))
+
+    def test_named_symbols(self):
+        interp = AttributeInterpretation.from_block_names({"x": {1}, "y": {2}})
+        assert interp.named_symbols() == {"x", "y"}
+
+
+class TestMeanings:
+    def test_attribute_meaning_is_atomic_partition(self, figure1_interpretation):
+        assert figure1_interpretation.meaning("A") == Partition([{1}, {4}, {2, 3}])
+
+    def test_product_meaning(self, figure1_interpretation):
+        assert figure1_interpretation.meaning("A * B") == Partition([{1}, {4}, {2, 3}])
+
+    def test_sum_meaning(self, figure1_interpretation):
+        assert figure1_interpretation.meaning("B + C") == Partition([{1, 2, 3, 4}])
+
+    def test_scheme_meaning_equals_product_of_attributes(self, figure1_interpretation):
+        assert figure1_interpretation.meaning_of_scheme("ABC") == figure1_interpretation.meaning(
+            "A * B * C"
+        )
+
+    def test_scheme_meaning_independent_of_name(self, figure1_interpretation):
+        # R[ABC] and R1[ABC] have the same meaning (§3.1).
+        assert figure1_interpretation.meaning_of_scheme("ABC") == figure1_interpretation.meaning_of_scheme(
+            "CBA"
+        )
+
+    def test_symbol_meaning(self, figure1_interpretation):
+        assert figure1_interpretation.meaning_of_symbol("A", "a") == {1}
+        assert figure1_interpretation.meaning_of_symbol("A", "nonexistent") == frozenset()
+
+    def test_tuple_meaning_is_block_intersection(self, figure1_interpretation):
+        assert figure1_interpretation.meaning_of_tuple(Row(A="a", B="b", C="c")) == {1}
+        assert figure1_interpretation.meaning_of_tuple(Row(A="a", B="b1", C="c")) == frozenset()
+
+    def test_unknown_attribute_raises(self, figure1_interpretation):
+        with pytest.raises(PartitionError):
+            figure1_interpretation.meaning("Z")
+
+
+class TestSatisfaction:
+    def test_satisfies_database(self, figure1_interpretation):
+        good = Database.single(
+            Relation.from_strings("R", "ABC", ["a.b.c", "a2.b1.c", "a2.b1.c1", "a1.b.c1"])
+        )
+        bad = Database.single(Relation.from_strings("R", "ABC", ["a.b1.c"]))
+        assert figure1_interpretation.satisfies_database(good)
+        assert not figure1_interpretation.satisfies_database(bad)
+
+    def test_satisfies_pd_requires_equal_populations(self):
+        # A and B have the same partition structure but different populations:
+        # the PD A = B must fail (Definition 3 checks populations too).
+        interpretation = PartitionInterpretation.from_named_blocks(
+            {"A": {"a": {1, 2}}, "B": {"b": {3, 4}}}
+        )
+        assert not interpretation.satisfies_pd("A = B")
+
+    def test_satisfies_pd_figure1(self, figure1_interpretation):
+        assert figure1_interpretation.satisfies_pd("A = A*B")
+        assert not figure1_interpretation.satisfies_pd("B = B*A")
+        assert figure1_interpretation.satisfies_all_pds(["A = A*B", "A + A = A"])
+
+    def test_example_a_functional_determination(self):
+        # Example a: A = A*B allows managers (B) without employees (A), and
+        # pA ⊆ pB in any satisfying interpretation.
+        interpretation = PartitionInterpretation.from_named_blocks(
+            {
+                "A": {"e13": {1, 2}, "e14": {3}},
+                "B": {"m7": {1, 2, 3}, "m8": {4, 5}},
+            }
+        )
+        assert interpretation.satisfies_pd("A = A*B")
+        assert interpretation.population("A") < interpretation.population("B")
+        # The dual forms express the same constraint (§3.2).
+        assert interpretation.satisfies_pd("B = B + A")
+        assert interpretation.satisfies_pd("A <= B")
+
+    def test_lattice_roundtrip(self, figure1_interpretation):
+        lattice = figure1_interpretation.lattice()
+        assert lattice.satisfies("A = A*B") == figure1_interpretation.satisfies_pd("A = A*B")

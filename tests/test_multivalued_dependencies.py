@@ -1,0 +1,57 @@
+"""Tests for repro.relational.multivalued_dependencies."""
+
+import pytest
+
+from repro.errors import DependencyError
+from repro.relational.multivalued_dependencies import MultivaluedDependency, theorem5_mvd
+from repro.relational.relations import Relation
+
+
+class TestMvd:
+    def test_theorem5_mvd_shape(self):
+        mvd = theorem5_mvd()
+        assert set(mvd.lhs) == {"A"} and set(mvd.rhs) == {"B"} and set(mvd.universe) == {"A", "B", "C"}
+
+    def test_figure2_r1_satisfies(self):
+        r1 = Relation.from_strings("r1", "ABC", ["a.b1.c1", "a.b1.c2", "a.b2.c1", "a.b2.c2"])
+        assert theorem5_mvd().is_satisfied_by(r1)
+
+    def test_figure2_r2_violates(self):
+        r2 = Relation.from_strings("r2", "ABC", ["a.b1.c1", "a.b2.c2", "a.b1.c2"])
+        assert not theorem5_mvd().is_satisfied_by(r2)
+
+    def test_complement_equivalence(self):
+        # X ->> Y and X ->> (U - X - Y) are satisfied by exactly the same relations.
+        r1 = Relation.from_strings("r1", "ABC", ["a.b1.c1", "a.b1.c2", "a.b2.c1", "a.b2.c2"])
+        r2 = Relation.from_strings("r2", "ABC", ["a.b1.c1", "a.b2.c2", "a.b1.c2"])
+        mvd = theorem5_mvd()
+        comp = mvd.complement()
+        for relation in (r1, r2):
+            assert mvd.is_satisfied_by(relation) == comp.is_satisfied_by(relation)
+
+    def test_trivial_mvds(self):
+        assert MultivaluedDependency("A", "A", "ABC").is_trivial()
+        assert MultivaluedDependency("A", "BC", "ABC").is_trivial()
+        assert not theorem5_mvd().is_trivial()
+
+    def test_fd_implies_mvd(self):
+        # A relation satisfying the FD A -> B satisfies the MVD A ->> B.
+        relation = Relation.from_strings("r", "ABC", ["a.b.c1", "a.b.c2", "a2.b2.c1"])
+        assert theorem5_mvd().is_satisfied_by(relation)
+
+    def test_scheme_mismatch_rejected(self):
+        relation = Relation.from_strings("r", "AB", ["a.b"])
+        with pytest.raises(DependencyError):
+            theorem5_mvd().is_satisfied_by(relation)
+
+    def test_attributes_outside_universe_rejected(self):
+        with pytest.raises(DependencyError):
+            MultivaluedDependency("A", "D", "ABC")
+
+    def test_empty_side_rejected(self):
+        with pytest.raises(DependencyError):
+            MultivaluedDependency("", "B", "ABC")
+
+    def test_single_tuple_always_satisfies(self):
+        relation = Relation.from_strings("r", "ABC", ["a.b.c"])
+        assert theorem5_mvd().is_satisfied_by(relation)

@@ -1,0 +1,118 @@
+"""Tests for repro.consistency.normalization (the §6.2 pipeline: E → E' → E⁺ → F)."""
+
+import pytest
+
+from repro.consistency.normalization import (
+    binarize,
+    functional_part,
+    normalize_dependencies,
+    validate_only_fpds,
+)
+from repro.errors import ConsistencyError
+from repro.implication.alg import pd_implies
+from repro.relational.functional_dependencies import FunctionalDependency, implies
+
+
+class TestBinarize:
+    def test_fpd_stays_small(self):
+        equations, aliases, fresh = binarize(["A = A*B"])
+        # A = A*B: the right side becomes a fresh attribute Z with Z = A*B and alias A = Z.
+        assert len(equations) == 1 and equations[0][0] == "*"
+        assert len(aliases) == 1
+        assert len(fresh) == 1
+
+    def test_nested_expression_introduces_multiple_fresh_attributes(self):
+        equations, aliases, fresh = binarize(["A = (B + C) * D"])
+        assert len(fresh) == 2  # one for B+C, one for (B+C)*D
+        ops = sorted(op for op, *_ in equations)
+        assert ops == ["*", "+"]
+
+    def test_fresh_names_avoid_existing_attributes(self):
+        equations, aliases, fresh = binarize(["Z1 = A + B"])
+        assert "Z1" not in fresh  # Z1 is taken by the input
+        assert all(name not in {"Z1", "A", "B"} for name in fresh)
+
+    def test_attribute_equality_is_alias_only(self):
+        equations, aliases, fresh = binarize(["A = B"])
+        assert equations == [] and aliases == [("A", "B")] and fresh == []
+
+
+class TestNormalizeDependencies:
+    def test_pure_fpd_set_produces_equivalent_fds(self):
+        normalized = normalize_dependencies(["A = A*B", "B = B*C"])
+        assert not normalized.sum_constraints
+        # The FD part must imply A -> B, B -> C and (transitively) A -> C.
+        assert implies(normalized.fds, FunctionalDependency("A", "B"))
+        assert implies(normalized.fds, FunctionalDependency("B", "C"))
+        assert implies(normalized.fds, FunctionalDependency("A", "C"))
+        assert not implies(normalized.fds, FunctionalDependency("C", "A"))
+
+    def test_sum_pd_produces_sum_constraint_and_order_fds(self):
+        normalized = normalize_dependencies(["C = A + B"])
+        # A <= C and B <= C become FDs; one sum constraint Z <= A+B (Z aliased to C) survives.
+        assert implies(normalized.fds, FunctionalDependency("A", "C"))
+        assert implies(normalized.fds, FunctionalDependency("B", "C"))
+        assert len(normalized.sum_constraints) == 1
+
+    def test_sum_constraint_pruned_when_order_known(self):
+        # With A <= B also in E, C <= A+B is subsumed by C <= B and must be pruned.
+        normalized = normalize_dependencies(["C = A + B", "A = A*B"])
+        assert normalized.sum_constraints == []
+        assert implies(normalized.fds, FunctionalDependency("C", "B"))
+
+    def test_closure_pairs_recorded(self):
+        normalized = normalize_dependencies(["A = A*B", "B = B*C"])
+        assert ("A", "C") in normalized.attribute_closure_pairs
+
+    def test_universe_includes_fresh_attributes(self):
+        normalized = normalize_dependencies(["A = (B + C) * D"])
+        assert len(normalized.fresh_attributes) >= 2
+        assert set(normalized.fresh_attributes) <= set(normalized.universe)
+
+    def test_no_trivial_fds_emitted(self):
+        normalized = normalize_dependencies(["A = A*B", "C = A + B"])
+        assert all(not fd.is_trivial() for fd in normalized.fds)
+
+    def test_functional_part_helper(self):
+        assert functional_part(["A = A*B"]) == normalize_dependencies(["A = A*B"]).fds
+
+    def test_normalized_fds_are_consequences_of_e(self):
+        # Soundness of the pipeline: every produced FD, read as an FPD over the
+        # extended universe, is implied by E' (original E + binarization equations).
+        E = ["C = A + B", "A = A*D"]
+        normalized = normalize_dependencies(E)
+        from repro.consistency.normalization import binarize as _binarize
+        from repro.dependencies.pd import PartitionDependency
+        from repro.expressions.ast import Attr, Product, Sum
+
+        equations, aliases, _ = _binarize(E)
+        e_prime = [PartitionDependency.parse(pd) for pd in E]
+        for left, right in aliases:
+            e_prime.append(PartitionDependency(Attr(left), Attr(right)))
+        for op, c, a, b in equations:
+            node = Product(Attr(a), Attr(b)) if op == "*" else Sum(Attr(a), Attr(b))
+            e_prime.append(PartitionDependency(Attr(c), node))
+        for fd in normalized.fds:
+            from repro.dependencies.conversion import fd_to_pd
+
+            assert pd_implies(e_prime, fd_to_pd(fd)), str(fd)
+
+
+class TestValidateOnlyFpds:
+    def test_accepts_fpds_in_any_of_the_three_forms(self):
+        fds = validate_only_fpds(["A = A*B", "C = C + B", "A <= D"])
+        assert FunctionalDependency("A", "B") in fds
+        assert FunctionalDependency("B", "C") in fds
+        assert FunctionalDependency("A", "D") in fds
+
+    def test_rejects_general_pds(self):
+        with pytest.raises(ConsistencyError):
+            validate_only_fpds(["C = A + B"])
+
+    def test_skips_trivial_fpds(self):
+        # X = X·Y with Y ⊆ X holds in every interpretation and yields no FD.
+        assert validate_only_fpds(["A*B = A*B*A"]) == []
+
+    def test_reversed_sides_still_recognized(self):
+        # "A*B = A" is the FPD A ≤ B with its sides swapped, i.e. the FD A -> B.
+        assert validate_only_fpds(["A*B = A"]) == [FunctionalDependency("A", "B")]

@@ -1,0 +1,123 @@
+"""Tests for repro.partitions.partition (the Partition value type and its operations)."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.partitions.partition import Partition, partition_from_mapping
+
+
+class TestConstruction:
+    def test_blocks_population(self):
+        p = Partition([{1, 2}, {3}])
+        assert p.population == {1, 2, 3}
+        assert p.block_count() == 2
+
+    def test_empty_partition(self):
+        p = Partition()
+        assert p.is_empty() and p.population == frozenset()
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition([set()])
+
+    def test_overlapping_blocks_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition([{1, 2}, {2, 3}])
+
+    def test_discrete_and_indiscrete(self):
+        assert Partition.discrete([1, 2, 3]).block_count() == 3
+        assert Partition.indiscrete([1, 2, 3]).block_count() == 1
+        assert Partition.indiscrete([]).is_empty()
+
+    def test_from_function(self):
+        p = Partition.from_function(range(6), lambda i: i % 2)
+        assert p.block_count() == 2
+        assert p.together(0, 2) and not p.together(0, 1)
+
+    def test_from_equivalence_pairs(self):
+        p = Partition.from_equivalence_pairs([1, 2, 3, 4], [(1, 2), (2, 3)])
+        assert p.together(1, 3)
+        assert not p.together(1, 4)
+
+    def test_from_equivalence_pairs_unknown_element(self):
+        with pytest.raises(PartitionError):
+            Partition.from_equivalence_pairs([1, 2], [(1, 9)])
+
+    def test_from_mapping(self):
+        p = partition_from_mapping({1: "x", 2: "x", 3: "y"})
+        assert p.together(1, 2) and not p.together(1, 3)
+
+
+class TestAccessors:
+    def test_block_of(self):
+        p = Partition([{1, 2}, {3}])
+        assert p.block_of(1) == {1, 2}
+        with pytest.raises(PartitionError):
+            p.block_of(9)
+
+    def test_contains_and_len_and_iter(self):
+        p = Partition([{1, 2}, {3}])
+        assert 1 in p and 9 not in p
+        assert len(p) == 2
+        assert {frozenset(b) for b in p} == {frozenset({1, 2}), frozenset({3})}
+
+    def test_equality_and_hash(self):
+        assert Partition([{1, 2}, {3}]) == Partition([{3}, {2, 1}])
+        assert hash(Partition([{1}])) == hash(Partition([{1}]))
+
+    def test_restrict(self):
+        p = Partition([{1, 2}, {3, 4}])
+        assert p.restrict({1, 3, 4}) == Partition([{1}, {3, 4}])
+        with pytest.raises(PartitionError):
+            p.restrict({9})
+
+
+class TestProductSum:
+    def test_product_same_population_is_common_refinement(self):
+        p = Partition([{1, 2}, {3, 4}])
+        q = Partition([{1, 3}, {2, 4}])
+        assert p * q == Partition.discrete([1, 2, 3, 4])
+
+    def test_sum_same_population_is_common_coarsening(self):
+        p = Partition([{1, 2}, {3, 4}])
+        q = Partition([{2, 3}, {4}, {1}])
+        assert p + q == Partition([{1, 2, 3, 4}])
+
+    def test_product_different_populations_intersects(self):
+        p = Partition([{1, 2}, {3}])
+        q = Partition([{2, 3}, {4}])
+        result = p * q
+        assert result.population == {2, 3}
+        assert result == Partition([{2}, {3}])
+
+    def test_product_disjoint_populations_is_empty(self):
+        assert (Partition([{1}]) * Partition([{2}])).is_empty()
+
+    def test_sum_different_populations_unions(self):
+        # Example c of the paper: disjoint populations -> the sum is the union
+        # of the two block families.
+        cars = Partition([{1, 2}, {3}])
+        bikes = Partition([{4}, {5, 6}])
+        assert cars + bikes == Partition([{1, 2}, {3}, {4}, {5, 6}])
+
+    def test_sum_chains_through_overlapping_blocks(self):
+        p = Partition([{1, 2}, {3, 4}])
+        q = Partition([{2, 3}, {5}])
+        result = p + q
+        assert result.together(1, 4)
+        assert result.population == {1, 2, 3, 4, 5}
+
+    def test_refines_requires_population_containment(self):
+        finer = Partition([{1}, {2}])
+        coarser = Partition([{1, 2}, {3}])
+        assert finer.refines(coarser)
+        assert not coarser.refines(finer)
+
+    def test_natural_order_via_operators(self):
+        finer = Partition([{1}, {2}])
+        coarser = Partition([{1, 2}])
+        assert finer <= coarser
+        assert coarser >= finer
+        # x <= y iff x = x*y iff y = y + x  (§2.2)
+        assert finer * coarser == finer
+        assert coarser + finer == coarser

@@ -1,0 +1,120 @@
+"""Tests for repro.lattice.partition_lattice and interpretation_lattice."""
+
+import pytest
+
+from repro.errors import LatticeError
+from repro.lattice.interpretation_lattice import InterpretationLattice
+from repro.lattice.partition_lattice import (
+    bell_number,
+    is_sublattice_of_partition_lattice,
+    partition_lattice,
+    set_partitions,
+)
+from repro.lattice.properties import is_distributive
+from repro.partitions.canonical import canonical_interpretation
+from repro.partitions.interpretation import PartitionInterpretation
+from repro.partitions.partition import Partition
+from repro.relational.relations import Relation
+
+
+class TestSetPartitions:
+    def test_counts_match_bell_numbers(self):
+        for n in range(0, 6):
+            assert len(list(set_partitions(list(range(n))))) == bell_number(n)
+
+    def test_bell_numbers(self):
+        assert [bell_number(n) for n in range(7)] == [1, 1, 2, 5, 15, 52, 203]
+        with pytest.raises(LatticeError):
+            bell_number(-1)
+
+    def test_all_results_are_partitions_of_the_population(self):
+        population = [1, 2, 3, 4]
+        for partition in set_partitions(population):
+            assert partition.population == set(population)
+
+
+class TestPartitionLattice:
+    def test_top_and_bottom(self):
+        lattice = partition_lattice([1, 2, 3])
+        assert lattice.top() == Partition.indiscrete([1, 2, 3])
+        assert lattice.bottom() == Partition.discrete([1, 2, 3])
+
+    def test_partition_lattice_of_3_is_not_distributive(self):
+        # The partition lattice of a 3-element set contains M3.
+        assert not is_distributive(partition_lattice([1, 2, 3]))
+
+    def test_meet_join_are_product_sum(self):
+        lattice = partition_lattice([1, 2, 3])
+        x = Partition([{1, 2}, {3}])
+        y = Partition([{1, 3}, {2}])
+        assert lattice.meet(x, y) == x * y
+        assert lattice.join(x, y) == x + y
+
+    def test_sublattice_check(self):
+        x = Partition([{1, 2}, {3}])
+        y = Partition([{1, 3}, {2}])
+        assert not is_sublattice_of_partition_lattice([x, y])
+        closed = [x, y, x * y, x + y]
+        assert is_sublattice_of_partition_lattice(closed)
+
+    def test_sublattice_check_requires_common_population(self):
+        with pytest.raises(LatticeError):
+            is_sublattice_of_partition_lattice([Partition([{1}]), Partition([{2}])])
+
+
+class TestInterpretationLattice:
+    def test_figure1_lattice_is_not_distributive(self):
+        interpretation = PartitionInterpretation.from_named_blocks(
+            {
+                "A": {"a": {1}, "a1": {4}, "a2": {2, 3}},
+                "B": {"b": {1, 4}, "b1": {2, 3}},
+                "C": {"c": {1, 2}, "c1": {3, 4}},
+            }
+        )
+        lattice = InterpretationLattice.from_interpretation(interpretation)
+        assert not lattice.is_distributive()
+        assert lattice.find_distributivity_violation() is not None
+        # The specific witness from Figure 1.
+        assert lattice.evaluate("B * (A + C)") != lattice.evaluate("(B*A) + (B*C)")
+
+    def test_theorem1_lattice_satisfaction_equals_interpretation_satisfaction(self):
+        interpretation = PartitionInterpretation.from_named_blocks(
+            {
+                "A": {"a": {1}, "a1": {4}, "a2": {2, 3}},
+                "B": {"b": {1, 4}, "b1": {2, 3}},
+                "C": {"c": {1, 2}, "c1": {3, 4}},
+            }
+        )
+        lattice = InterpretationLattice.from_interpretation(interpretation)
+        for pd in ["A = A*B", "B = B*A", "C = A + B", "A + B = B + A", "A = A*C"]:
+            assert lattice.satisfies(pd) == interpretation.satisfies_pd(pd), pd
+
+    def test_from_relation_closure_is_closed(self):
+        relation = Relation.from_strings("r", "ABC", ["a.b1.c1", "a.b2.c2", "a2.b1.c2"])
+        lattice = InterpretationLattice.from_relation(relation)
+        elements = set(lattice.elements)
+        for x in elements:
+            for y in elements:
+                assert x * y in elements and x + y in elements
+
+    def test_interpretation_lattice_on_common_population_embeds_in_partition_lattice(self):
+        relation = Relation.from_strings("r", "AB", ["a.b1", "a.b2", "a2.b1"])
+        lattice = InterpretationLattice.from_relation(relation)
+        assert is_sublattice_of_partition_lattice(lattice.elements)
+
+    def test_generators_named_by_attributes(self):
+        relation = Relation.from_strings("r", "AB", ["a.b", "a2.b"])
+        lattice = InterpretationLattice.from_relation(relation)
+        assert set(lattice.generators) == {"A", "B"}
+        assert lattice.evaluate("A") == canonical_interpretation(relation).meaning("A")
+
+    def test_empty_generator_set_rejected(self):
+        with pytest.raises(LatticeError):
+            InterpretationLattice({})
+
+    def test_isomorphism_between_lattices(self):
+        r1 = Relation.from_strings("r1", "ABC", ["a.b1.c1", "a.b1.c2", "a.b2.c1", "a.b2.c2"])
+        r2 = Relation.from_strings("r2", "ABC", ["a.b1.c1", "a.b2.c2", "a.b1.c2"])
+        assert InterpretationLattice.from_relation(r1).isomorphic_to(
+            InterpretationLattice.from_relation(r2)
+        )

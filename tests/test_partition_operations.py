@@ -1,0 +1,82 @@
+"""Property-based tests: partitions satisfy the lattice axioms of §2.2 / §3.2."""
+
+from hypothesis import given, settings
+
+from repro.partitions.operations import (
+    check_lattice_axioms,
+    is_refinement_chain,
+    join,
+    meet,
+    product,
+    satisfies_lattice_axioms,
+    sum_,
+)
+from repro.partitions.partition import Partition
+
+from tests.conftest import partitions, partitions_over
+
+
+class TestLatticeAxiomsProperty:
+    @given(partitions(), partitions(), partitions())
+    @settings(max_examples=150)
+    def test_all_axioms_hold_even_across_populations(self, x, y, z):
+        # §3.2: associativity, commutativity, idempotence and absorption are
+        # true in any partition interpretation — also when the populations of
+        # the operands differ.
+        assert satisfies_lattice_axioms(x, y, z), check_lattice_axioms(x, y, z)
+
+    @given(partitions_over(), partitions_over(), partitions_over())
+    @settings(max_examples=100)
+    def test_axioms_on_shared_population(self, x, y, z):
+        assert satisfies_lattice_axioms(x, y, z)
+
+    @given(partitions_over(), partitions_over())
+    @settings(max_examples=100)
+    def test_order_characterizations_agree(self, x, y):
+        # x <= y  iff  x = x*y  iff  y = y + x (the natural order of §2.2).
+        via_product = (x * y == x)
+        via_sum = (x + y == y)
+        assert via_product == via_sum == x.refines(y)
+
+    @given(partitions_over(), partitions_over())
+    @settings(max_examples=100)
+    def test_product_is_glb_and_sum_is_lub(self, x, y):
+        m = x * y
+        j = x + y
+        assert m.refines(x) and m.refines(y)
+        assert x.refines(j) and y.refines(j)
+
+    @given(partitions(), partitions())
+    @settings(max_examples=100)
+    def test_population_arithmetic(self, x, y):
+        # Product lives on the intersection, sum on the union of populations (§3.1).
+        assert (x * y).population == x.population & y.population
+        assert (x + y).population == x.population | y.population
+
+
+class TestNaryWrappers:
+    def test_product_and_sum_fold(self):
+        parts = [Partition([{1, 2}, {3}]), Partition([{1}, {2, 3}]), Partition([{1, 2, 3}])]
+        assert product(parts) == Partition.discrete([1, 2, 3])
+        assert sum_(parts) == Partition([{1, 2, 3}])
+        assert meet(parts) == product(parts)
+        assert join(parts) == sum_(parts)
+
+    def test_empty_fold_rejected(self):
+        import pytest
+
+        from repro.errors import PartitionError
+
+        with pytest.raises(PartitionError):
+            product([])
+        with pytest.raises(PartitionError):
+            sum_([])
+
+    def test_refinement_chain(self):
+        chain = [
+            Partition.discrete([1, 2, 3]),
+            Partition([{1, 2}, {3}]),
+            Partition.indiscrete([1, 2, 3]),
+        ]
+        assert is_refinement_chain(chain)
+        assert not is_refinement_chain(list(reversed(chain)))

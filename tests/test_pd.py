@@ -1,0 +1,140 @@
+"""Tests for repro.dependencies.pd and fpd: PD/FPD value types and conversions."""
+
+import pytest
+
+from repro.dependencies.conversion import (
+    fd_to_fpd,
+    fd_to_pd,
+    fds_to_pds,
+    fpds_to_fds,
+    pd_between_products_to_fds,
+    pds_to_fds,
+    scheme_equation_to_fds,
+)
+from repro.dependencies.fpd import FunctionalPartitionDependency
+from repro.dependencies.pd import (
+    PartitionDependency,
+    as_partition_dependency,
+    lattice_axiom_instances,
+    parse_pd_set,
+)
+from repro.errors import DependencyError
+from repro.relational.attributes import AttributeSet
+from repro.relational.functional_dependencies import FunctionalDependency
+
+
+class TestPartitionDependency:
+    def test_parse_equation(self):
+        pd = PartitionDependency.parse("A * B = C + D")
+        assert pd.left == as_partition_dependency("A*B = A*B").left
+        assert set(pd.attributes) == {"A", "B", "C", "D"}
+
+    def test_parse_order_notation(self):
+        # X <= Y abbreviates X = X * Y (§3.2).
+        pd = PartitionDependency.parse("A <= B")
+        assert pd == PartitionDependency.parse("A = A * B")
+
+    def test_parse_unicode_leq(self):
+        assert PartitionDependency.parse("A ≤ B") == PartitionDependency.parse("A <= B")
+
+    def test_parse_errors(self):
+        with pytest.raises(DependencyError):
+            PartitionDependency.parse("A * B")
+        with pytest.raises(DependencyError):
+            PartitionDependency.parse("A =")
+
+    def test_reversed_and_dual(self):
+        pd = PartitionDependency.parse("A = B + C")
+        assert pd.reversed() == PartitionDependency.parse("B + C = A")
+        assert pd.dual() == PartitionDependency.parse("A = B * C")
+
+    def test_complexity_and_size(self):
+        pd = PartitionDependency.parse("A*B = A*B*C")
+        assert pd.complexity() == 3
+        assert pd.size() == 8
+
+    def test_is_functional(self):
+        assert PartitionDependency.parse("A = A*B").is_functional()
+        assert PartitionDependency.parse("A*B = A*B*C*D").is_functional()
+        assert not PartitionDependency.parse("C = A + B").is_functional()
+
+    def test_as_partition_dependency_coercion(self):
+        assert as_partition_dependency(("A", "A*B")) == PartitionDependency.parse("A = A*B")
+        with pytest.raises(DependencyError):
+            as_partition_dependency(42)
+
+    def test_parse_pd_set(self):
+        assert len(parse_pd_set(["A = A*B", "C = A + B"])) == 2
+
+    def test_lattice_axiom_instances_all_identities(self):
+        from repro.implication.identities import is_pd_identity
+
+        for pd in lattice_axiom_instances("A", "B", "C"):
+            assert is_pd_identity(pd), str(pd)
+
+    def test_equality_and_hash(self):
+        assert PartitionDependency.parse("A = A*B") == PartitionDependency.parse("A = A * B")
+        assert hash(PartitionDependency.parse("A = B")) == hash(PartitionDependency.parse("A = B"))
+
+
+class TestFunctionalPartitionDependency:
+    def test_three_equivalent_forms(self):
+        fpd = FunctionalPartitionDependency("AB", "C")
+        assert fpd.as_product_pd() == PartitionDependency.parse("A*B = (A*B) * C")
+        assert fpd.as_sum_pd() == PartitionDependency.parse("C = C + A*B")
+        assert fpd.as_order_text() == "AB <= C"
+
+    def test_fd_roundtrip(self):
+        fd = FunctionalDependency("AB", "CD")
+        assert fd_to_fpd(fd).to_fd() == fd
+        assert FunctionalPartitionDependency.from_fd(fd).lhs == AttributeSet("AB")
+
+    def test_try_from_pd_product_form(self):
+        fpd = FunctionalPartitionDependency.try_from_pd(PartitionDependency.parse("A*B = A*B*C"))
+        assert fpd is not None
+        assert fpd.to_fd() == FunctionalDependency("AB", "C")
+
+    def test_try_from_pd_sum_form(self):
+        fpd = FunctionalPartitionDependency.try_from_pd(PartitionDependency.parse("C = C + A"))
+        assert fpd is not None
+        assert fpd.to_fd() == FunctionalDependency("A", "C")
+
+    def test_try_from_pd_rejects_mixed(self):
+        assert FunctionalPartitionDependency.try_from_pd(PartitionDependency.parse("C = A + B")) is None
+        assert FunctionalPartitionDependency.try_from_pd(PartitionDependency.parse("A*B = C*D")) is None
+
+    def test_trivial(self):
+        assert FunctionalPartitionDependency("AB", "A").is_trivial()
+        assert not FunctionalPartitionDependency("A", "B").is_trivial()
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(DependencyError):
+            FunctionalPartitionDependency("", "A")
+
+
+class TestConversions:
+    def test_fds_to_pds_and_back(self):
+        fds = [FunctionalDependency("A", "B"), FunctionalDependency("BC", "D")]
+        pds = fds_to_pds(fds)
+        assert pds_to_fds(pds) == fds
+
+    def test_fpds_to_fds(self):
+        fpds = [FunctionalPartitionDependency("A", "B")]
+        assert fpds_to_fds(fpds) == [FunctionalDependency("A", "B")]
+
+    def test_example_f_scheme_equation(self):
+        # X = Y·Z is expressed by the FD pair {X -> YZ, YZ -> X} (Example f).
+        fds = scheme_equation_to_fds("X", "YZ")
+        assert FunctionalDependency("X", "YZ") in fds and FunctionalDependency("YZ", "X") in fds
+
+    def test_pd_between_products_to_fds(self):
+        fds = pd_between_products_to_fds("A = B*C")
+        assert len(fds) == 2
+        with pytest.raises(ValueError):
+            pd_between_products_to_fds("A = B + C")
+
+    def test_fd_to_pd_is_fpd(self):
+        assert fd_to_pd(FunctionalDependency("A", "B")).is_functional()
+
+    def test_pds_to_fds_skips_non_functional(self):
+        assert pds_to_fds(["C = A + B", "A = A*B"]) == [FunctionalDependency("A", "B")]

@@ -1,0 +1,99 @@
+"""Tests for repro.dependencies.satisfaction (Definition 7 and the direct characterizations)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.dependencies.satisfaction import (
+    expression_partition,
+    relation_satisfies_all_pds,
+    relation_satisfies_pd,
+    satisfies_fd_characterization,
+    satisfies_order_sum_characterization,
+    satisfies_product_characterization,
+    satisfies_sum_characterization,
+)
+from repro.errors import DependencyError
+from repro.relational.functional_dependencies import FunctionalDependency
+from repro.relational.relations import Relation
+from repro.relational.schema import RelationScheme
+
+from tests.conftest import small_relations
+
+
+class TestDefinition7:
+    def test_fd_correspondence(self, employee_relation):
+        # Theorem 3b: r |= X -> Y iff I(r) |= X = X·Y.
+        assert employee_relation.satisfies_fd(FunctionalDependency("A", "B"))
+        assert relation_satisfies_pd(employee_relation, "A = A*B")
+        assert not employee_relation.satisfies_fd(FunctionalDependency("B", "A"))
+        assert not relation_satisfies_pd(employee_relation, "B = B*A")
+
+    def test_empty_relation_satisfies_everything(self):
+        empty = Relation(RelationScheme("r", "ABC"), [])
+        assert relation_satisfies_pd(empty, "C = A + B")
+        assert relation_satisfies_all_pds(empty, ["A = B", "C = A*B"])
+
+    def test_missing_attributes_raise(self, employee_relation):
+        with pytest.raises(DependencyError):
+            relation_satisfies_pd(employee_relation, "A = A*Z")
+
+    def test_product_pd_characterization_I(self):
+        # (I): r |= C = A·B iff agreeing on C <=> agreeing on A and B.
+        good = Relation.from_strings("r", "ABC", ["a1.b1.c1", "a1.b2.c2", "a2.b1.c3"])
+        bad = Relation.from_strings("r", "ABC", ["a1.b1.c1", "a1.b1.c2"])
+        assert relation_satisfies_pd(good, "C = A*B")
+        assert satisfies_product_characterization(good, "C", "A", "B")
+        assert not relation_satisfies_pd(bad, "C = A*B")
+        assert not satisfies_product_characterization(bad, "C", "A", "B")
+
+    def test_sum_pd_characterization_II(self):
+        # (II): r |= C = A + B iff C labels the chain-connectivity classes.
+        connected = Relation.from_strings(
+            "r", "ABC", ["x1.y1.c1", "x1.y2.c1", "x3.y2.c1", "x9.y9.c2"]
+        )
+        assert relation_satisfies_pd(connected, "C = A + B")
+        assert satisfies_sum_characterization(connected, "C", "A", "B")
+        broken = Relation.from_strings("r", "ABC", ["x1.y1.c1", "x1.y2.c2"])
+        assert not relation_satisfies_pd(broken, "C = A + B")
+        assert not satisfies_sum_characterization(broken, "C", "A", "B")
+
+    def test_order_sum_characterization(self):
+        # C <= A+B: same C implies chain-connected, but not necessarily conversely.
+        relation = Relation.from_strings("r", "ABC", ["x1.y1.c1", "x1.y2.c2"])
+        assert satisfies_order_sum_characterization(relation, "C", "A", "B")
+        assert not satisfies_sum_characterization(relation, "C", "A", "B")
+
+    def test_fd_characterization_matches_classical(self, employee_relation):
+        assert satisfies_fd_characterization(employee_relation, ["A"], ["B"]) == employee_relation.satisfies_fd(
+            FunctionalDependency("A", "B")
+        )
+
+    def test_expression_partition_block_structure(self):
+        relation = Relation.from_strings("r", "AB", ["a1.b1", "a1.b2", "a2.b2"])
+        by_a = expression_partition(relation, "A")
+        assert by_a.block_count() == 2
+        by_sum = expression_partition(relation, "A + B")
+        assert by_sum.block_count() == 1
+
+
+class TestCharacterizationAgreementProperty:
+    @given(small_relations())
+    @settings(max_examples=60, deadline=None)
+    def test_product_characterization_agrees_with_definition7(self, relation):
+        assert satisfies_product_characterization(relation, "C", "A", "B") == relation_satisfies_pd(
+            relation, "C = A*B"
+        )
+
+    @given(small_relations())
+    @settings(max_examples=60, deadline=None)
+    def test_sum_characterization_agrees_with_definition7(self, relation):
+        assert satisfies_sum_characterization(relation, "C", "A", "B") == relation_satisfies_pd(
+            relation, "C = A + B"
+        )
+
+    @given(small_relations())
+    @settings(max_examples=60, deadline=None)
+    def test_fd_and_fpd_always_agree(self, relation):
+        # Theorem 3b on random relations.
+        fd = FunctionalDependency("AB", "C")
+        assert relation.satisfies_fd(fd) == relation_satisfies_pd(relation, "A*B = A*B*C")

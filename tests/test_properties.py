@@ -1,0 +1,92 @@
+"""Cross-cutting property-based tests: dualities, monotonicity, and semantic invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.implication.alg import ImplicationEngine, pd_implies
+from repro.implication.identities import identically_equal, identically_leq
+from repro.partitions.canonical import canonical_interpretation
+from repro.expressions.ast import attribute_set_expression
+from repro.relational.attributes import AttributeSet
+from repro.workloads.random_dependencies import random_pd_set
+
+from tests.conftest import expressions, partitions_over, small_relations
+
+
+class TestDuality:
+    @given(expressions(max_depth=3))
+    @settings(max_examples=60, deadline=None)
+    def test_dual_is_an_involution(self, expression):
+        assert expression.dual().dual() == expression
+
+    @given(expressions(max_depth=2), expressions(max_depth=2))
+    @settings(max_examples=60, deadline=None)
+    def test_free_lattice_order_reverses_under_duality(self, left, right):
+        # p ≤ q in the free lattice  iff  dual(q) ≤ dual(p): the duality principle.
+        assert identically_leq(left, right) == identically_leq(right.dual(), left.dual())
+
+    @given(expressions(max_depth=2), expressions(max_depth=2))
+    @settings(max_examples=40, deadline=None)
+    def test_identity_preserved_under_duality(self, left, right):
+        assert identically_equal(left, right) == identically_equal(left.dual(), right.dual())
+
+
+class TestPartitionMonotonicity:
+    @given(partitions_over(), partitions_over(), partitions_over())
+    @settings(max_examples=80, deadline=None)
+    def test_product_and_sum_are_monotone(self, x, y, z):
+        if x.refines(y):
+            assert (x * z).refines(y * z)
+            assert (x + z).refines(y + z)
+
+    @given(partitions_over(), partitions_over())
+    @settings(max_examples=60, deadline=None)
+    def test_block_count_ordering(self, x, y):
+        # Product refines both operands, sum is refined by both.
+        assert (x * y).block_count() >= max(x.block_count(), y.block_count())
+        assert (x + y).block_count() <= min(x.block_count(), y.block_count())
+
+
+class TestCanonicalInterpretationInvariants:
+    @given(small_relations())
+    @settings(max_examples=40, deadline=None)
+    def test_scheme_meaning_equals_attribute_set_expression(self, relation):
+        interpretation = canonical_interpretation(relation)
+        attrs = AttributeSet("ABC")
+        assert interpretation.meaning_of_scheme(attrs) == interpretation.meaning(
+            attribute_set_expression(attrs)
+        )
+
+    @given(small_relations())
+    @settings(max_examples=40, deadline=None)
+    def test_population_is_shared_and_covers_all_tuples(self, relation):
+        interpretation = canonical_interpretation(relation)
+        for attribute in "ABC":
+            assert interpretation.population(attribute) == frozenset(range(1, len(relation) + 1))
+
+    @given(small_relations())
+    @settings(max_examples=40, deadline=None)
+    def test_tuple_meanings_are_nonempty_and_pairwise_disjoint_on_products(self, relation):
+        interpretation = canonical_interpretation(relation)
+        meanings = [interpretation.meaning_of_tuple(row) for row in relation.sorted_rows()]
+        assert all(meaning for meaning in meanings)
+
+
+class TestImplicationMonotonicity:
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_larger_e_implies_more(self, seed, extra_count):
+        base = random_pd_set(3, 2, seed=seed, max_complexity=2)
+        extra = random_pd_set(3, extra_count, seed=seed + 1, max_complexity=2)
+        query = random_pd_set(3, 1, seed=seed + 2, max_complexity=2)[0]
+        if pd_implies(base, query):
+            assert pd_implies(base + extra, query)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_e_implies_its_own_members_and_their_reversals(self, seed):
+        dependencies = random_pd_set(3, 3, seed=seed, max_complexity=2)
+        engine = ImplicationEngine(dependencies)
+        for pd in dependencies:
+            assert engine.implies(pd)
+            assert engine.implies(pd.reversed())

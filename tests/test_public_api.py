@@ -1,0 +1,82 @@
+"""Tests for the public API surface: everything re-exported from ``repro`` works."""
+
+import importlib
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackages_importable(self):
+        for subpackage in [
+            "repro.relational",
+            "repro.partitions",
+            "repro.expressions",
+            "repro.dependencies",
+            "repro.lattice",
+            "repro.implication",
+            "repro.consistency",
+            "repro.sat",
+            "repro.graphs",
+            "repro.workloads",
+            "repro.figures",
+        ]:
+            module = importlib.import_module(subpackage)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{subpackage}.{name}"
+
+    def test_exception_hierarchy(self):
+        from repro.errors import (
+            ConsistencyError,
+            DependencyError,
+            ExpressionError,
+            LatticeError,
+            PartitionError,
+            ReproError,
+            SchemaError,
+        )
+
+        for error in (
+            SchemaError,
+            DependencyError,
+            ExpressionError,
+            LatticeError,
+            PartitionError,
+            ConsistencyError,
+        ):
+            assert issubclass(error, ReproError)
+
+    def test_readme_quickstart_snippet(self):
+        # The snippet from README.md, kept executable here so it cannot rot.
+        from repro import (
+            Database,
+            FunctionalDependency,
+            Relation,
+            canonical_interpretation,
+            pd_consistency,
+            pd_implies,
+            relation_satisfies_pd,
+        )
+
+        r = Relation.from_strings("r", "ABC", ["a.b.c", "a.b.c2", "a2.b2.c"])
+        fd = FunctionalDependency("A", "B")
+        assert fd.is_satisfied_by(r)
+        assert relation_satisfies_pd(r, "A = A*B")
+        assert not relation_satisfies_pd(r, "C = A + B")
+        assert pd_implies(["A = A*B", "B = B*C"], "A = A*C")
+        assert pd_implies(["C = A + B"], "A = A*C")
+        interpretation = canonical_interpretation(r)
+        assert interpretation.meaning("A").block_count() == 2
+        db = Database(
+            [
+                Relation.from_strings("R", "AB", ["a1.b1"]),
+                Relation.from_strings("S", "BC", ["b1.c1"]),
+            ]
+        )
+        assert pd_consistency(db, ["A = A*B", "B = B*C"]).consistent

@@ -1,0 +1,71 @@
+"""Tests for repro.lattice.quotient — L_E fragments and finite counterexamples (Theorem 8)."""
+
+import pytest
+
+from repro.dependencies.pd import PartitionDependency
+from repro.errors import LatticeError
+from repro.expressions.parser import parse_expression
+from repro.implication.alg import pd_implies
+from repro.lattice.quotient import finite_counterexample, quotient_fragment, theorem8_pool
+
+
+class TestQuotientFragment:
+    def test_classes_collapse_equivalent_expressions(self):
+        pool = [parse_expression(t) for t in ["A", "B", "A*B", "B*A", "A*A*B"]]
+        fragment = quotient_fragment([], pool)
+        # A*B, B*A, A*A*B are all =_id equivalent: 3 classes remain (A, B, A*B).
+        assert len(fragment) == 3
+
+    def test_equations_merge_classes(self):
+        pool = [parse_expression(t) for t in ["A", "B"]]
+        fragment = quotient_fragment(["A = B"], pool)
+        assert len(fragment) == 1
+
+    def test_order_reflects_leq(self):
+        pool = [parse_expression(t) for t in ["A", "A*B", "A+B"]]
+        fragment = quotient_fragment([], pool)
+        index = {str(r): i for i, r in enumerate(fragment.representatives)}
+        assert fragment.leq(index["(A * B)"], index["A"])
+        assert fragment.leq(index["A"], index["(A + B)"])
+        assert not fragment.leq(index["A"], index["(A * B)"])
+
+    def test_index_of(self):
+        pool = [parse_expression(t) for t in ["A", "B", "A*B"]]
+        fragment = quotient_fragment([], pool)
+        assert fragment.index_of(parse_expression("B*A")) >= 0
+        assert fragment.index_of(parse_expression("A + B")) == -1
+
+
+class TestFiniteCounterexample:
+    def test_none_when_implied(self):
+        assert finite_counterexample(["A = A*B", "B = B*C"], "A = A*C") is None
+
+    def test_counterexample_for_unimplied_fpd(self):
+        lattice = finite_counterexample(["A = A*B"], "B = B*A")
+        assert lattice is not None
+        assert lattice.satisfies("A = A*B")
+        assert not lattice.satisfies("B = B*A")
+
+    def test_counterexample_for_sum_query(self):
+        lattice = finite_counterexample([], "A = A + B")
+        assert lattice is not None
+        assert not lattice.satisfies("A = A + B")
+
+    def test_counterexample_satisfies_all_of_e(self):
+        E = ["A = A*B", "C = C*B"]
+        query = "A = A*C"
+        assert not pd_implies(E, query)
+        lattice = finite_counterexample(E, query)
+        assert lattice is not None
+        assert lattice.satisfies_all(E)
+        assert not lattice.satisfies(query)
+
+    def test_pool_budget_enforced(self):
+        with pytest.raises(LatticeError):
+            theorem8_pool([], PartitionDependency.parse("A*(B+C*(D+E)) = A"), max_pool=10)
+
+    def test_pool_contains_all_bounded_expressions(self):
+        pool = theorem8_pool([], PartitionDependency.parse("A = A*B"))
+        assert parse_expression("A") in pool
+        assert parse_expression("B + A") in pool
+        assert len(pool) == 2 + 8  # 2 attributes + 8 expressions with one operator

@@ -1,0 +1,108 @@
+"""Tests for repro.consistency.reduction — the Theorem 11 NAE-3SAT reduction."""
+
+import random
+
+import pytest
+
+from repro.consistency.cad import cad_consistency, verify_cad_witness
+from repro.consistency.reduction import (
+    decode_assignment,
+    reduce_nae3sat_to_cad_consistency,
+    solve_nae3sat_via_reduction,
+)
+from repro.errors import ConsistencyError
+from repro.sat.formulas import CnfFormula
+from repro.sat.nae3sat import nae_brute_force
+from repro.workloads.random_formulas import random_3cnf, random_nae_satisfiable_3cnf
+
+
+class TestInstanceStructure:
+    def test_r0_and_clause_relations(self):
+        formula = CnfFormula.of([["x1", "x2", "~x3"]])
+        instance = reduce_nae3sat_to_cad_consistency(formula, preprocess=False)
+        database = instance.database
+        r0 = database.relation("R0")
+        assert len(r0) == 2
+        assert r0.column("A") == {"a"}
+        r1 = database.relation("R1")
+        assert len(r1) == 1
+        # Clause variables' A columns are omitted from the clause scheme.
+        assert {"A1", "A2", "A3"}.isdisjoint(set(r1.attributes))
+
+    def test_fd_set_shape(self):
+        formula = CnfFormula.of([["x1", "x2", "~x3"], ["x1", "x3", "x4"]])
+        instance = reduce_nae3sat_to_cad_consistency(formula, preprocess=False)
+        bi_to_ai = [fd for fd in instance.fds if len(fd.lhs) == 1]
+        clause_fds = [fd for fd in instance.fds if len(fd.lhs) == 3]
+        assert len(bi_to_ai) == 4  # one per variable
+        assert len(clause_fds) == 2  # one per clause
+        assert all(set(fd.rhs) == {"A"} for fd in clause_fds)
+
+    def test_polarity_encoded_in_clause_tuple(self):
+        formula = CnfFormula.of([["x1", "x2", "~x3"]])
+        instance = reduce_nae3sat_to_cad_consistency(formula, preprocess=False)
+        row = next(iter(instance.database.relation("R1").rows))
+        assert row["B1"] == instance.positive_symbol("x1")
+        assert row["B2"] == instance.positive_symbol("x2")
+        assert row["B3"] == instance.negative_symbol("x3")
+
+    def test_duplicate_clauses_produce_one_gadget(self):
+        formula = CnfFormula.of([["x1", "x2", "x3"], ["x2", "x1", "x3"]])
+        instance = reduce_nae3sat_to_cad_consistency(formula, preprocess=False)
+        clause_relations = [name for name in instance.database.scheme.names if name.startswith("R") and name != "R0"]
+        assert len(clause_relations) == 1
+
+    def test_non_3cnf_rejected(self):
+        with pytest.raises(ConsistencyError):
+            reduce_nae3sat_to_cad_consistency(
+                CnfFormula.of([["x1", "x2", "x3", "x4"]])
+            )
+
+    def test_attribute_lookup_helpers(self):
+        formula = CnfFormula.of([["x1", "x2", "x3"]])
+        instance = reduce_nae3sat_to_cad_consistency(formula, preprocess=False)
+        assert instance.attribute_for_variable("x2") == ("A2", "B2")
+        assert instance.positive_symbol("x1") == "pos1"
+        assert instance.negative_symbol("x3") == "neg3"
+
+
+class TestReductionCorrectness:
+    def test_satisfiable_formula_round_trip(self):
+        formula = CnfFormula.of([["x1", "x2", "~x3"], ["~x1", "x2", "x3"]])
+        assignment = solve_nae3sat_via_reduction(formula)
+        assert assignment is not None
+        assert formula.nae_evaluate(assignment)
+
+    def test_unsatisfiable_formula(self):
+        formula = CnfFormula.of([["x1", "x1", "x1"]])
+        assert solve_nae3sat_via_reduction(formula) is None
+
+    def test_decode_returns_none_on_inconsistent(self):
+        formula = CnfFormula.of([["x1", "x1", "x1"]])
+        instance = reduce_nae3sat_to_cad_consistency(formula)
+        result = cad_consistency(instance.database, list(instance.fds))
+        assert decode_assignment(instance, result) is None
+
+    def test_witness_passes_independent_verification(self):
+        formula = CnfFormula.of([["x1", "x2", "x3"], ["~x1", "~x2", "x3"]])
+        instance = reduce_nae3sat_to_cad_consistency(formula)
+        result = cad_consistency(instance.database, list(instance.fds))
+        assert result.consistent
+        assert verify_cad_witness(instance.database, list(instance.fds), result.witness)
+
+    def test_agreement_with_oracle_on_random_formulas(self):
+        rng = random.Random(42)
+        for trial in range(12):
+            formula = random_3cnf(rng.randint(3, 4), rng.randint(1, 4), seed=rng.randint(0, 10**6))
+            expected = nae_brute_force(formula) is not None
+            assignment = solve_nae3sat_via_reduction(formula)
+            assert (assignment is not None) == expected
+            if assignment is not None:
+                assert formula.nae_evaluate(assignment)
+
+    def test_planted_satisfiable_formulas_always_consistent(self):
+        rng = random.Random(7)
+        for trial in range(5):
+            formula = random_nae_satisfiable_3cnf(4, 4, seed=rng.randint(0, 10**6))
+            assignment = solve_nae3sat_via_reduction(formula)
+            assert assignment is not None and formula.nae_evaluate(assignment)

@@ -1,0 +1,81 @@
+"""Tests for repro.relational.relations."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.attributes import AttributeSet
+from repro.relational.relations import Relation
+from repro.relational.schema import RelationScheme
+from repro.relational.tuples import Row
+
+
+class TestConstruction:
+    def test_from_rows_with_dicts(self):
+        relation = Relation.from_rows("r", "AB", [{"A": "a", "B": "b"}])
+        assert len(relation) == 1
+        assert Row(A="a", B="b") in relation
+
+    def test_from_strings(self):
+        relation = Relation.from_strings("r", "ABC", ["a.b.c", "a.b.c"])
+        assert len(relation) == 1  # duplicates collapse: a relation is a set
+
+    def test_row_scheme_mismatch_rejected(self):
+        scheme = RelationScheme("r", "AB")
+        with pytest.raises(SchemaError):
+            Relation(scheme, [Row(A="a")])
+
+    def test_empty_relation_allowed(self):
+        relation = Relation(RelationScheme("r", "AB"))
+        assert len(relation) == 0
+
+
+class TestAccessors:
+    def test_column(self):
+        relation = Relation.from_strings("r", "AB", ["a1.b1", "a2.b1"])
+        assert relation.column("A") == {"a1", "a2"}
+        assert relation.column("B") == {"b1"}
+
+    def test_column_missing_attribute(self):
+        relation = Relation.from_strings("r", "AB", ["a.b"])
+        with pytest.raises(SchemaError):
+            relation.column("C")
+
+    def test_active_domain(self):
+        relation = Relation.from_strings("r", "AB", ["a.b"])
+        assert relation.active_domain() == {"a", "b"}
+
+    def test_sorted_rows_deterministic(self):
+        relation = Relation.from_strings("r", "AB", ["b.x", "a.x"])
+        assert [str(row) for row in relation.sorted_rows()] == ["a.x", "b.x"]
+
+    def test_equality_and_hash(self):
+        r1 = Relation.from_strings("r", "AB", ["a.b"])
+        r2 = Relation.from_strings("r", "AB", ["a.b"])
+        assert r1 == r2 and hash(r1) == hash(r2)
+        assert r1 != Relation.from_strings("s", "AB", ["a.b"])
+
+
+class TestDependenciesConvenience:
+    def test_satisfies_fd(self):
+        from repro.relational.functional_dependencies import FunctionalDependency
+
+        relation = Relation.from_strings("r", "AB", ["a.b", "a2.b"])
+        assert relation.satisfies_fd(FunctionalDependency.parse("A -> B"))
+        assert not Relation.from_strings("r", "AB", ["a.b", "a.b2"]).satisfies_fd(
+            FunctionalDependency.parse("A -> B")
+        )
+
+    def test_satisfies_pd(self):
+        relation = Relation.from_strings("r", "AB", ["a.b", "a2.b"])
+        assert relation.satisfies_pd("A = A*B")
+
+    def test_rename_relation_keeps_rows(self):
+        relation = Relation.from_strings("r", "AB", ["a.b"])
+        renamed = relation.rename_relation("s")
+        assert renamed.name == "s"
+        assert renamed.rows == relation.rows
+
+    def test_to_table_contains_all_symbols(self):
+        relation = Relation.from_strings("r", "AB", ["a.b"])
+        table = relation.to_table()
+        assert "a" in table and "b" in table and "r:" in table

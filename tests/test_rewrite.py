@@ -1,0 +1,83 @@
+"""Tests for repro.implication.rewrite — the RR rewrite system of Lemma 9.1."""
+
+from repro.expressions.parser import parse_expression
+from repro.implication.alg import pd_leq
+from repro.implication.rewrite import (
+    default_pool,
+    find_rewrite_sequence,
+    one_step_rewrites,
+    rewrite_reachable,
+)
+
+
+class TestOneStepRewrites:
+    def test_product_projects_to_factors(self):
+        results = one_step_rewrites(parse_expression("A*B"), [], [])
+        assert parse_expression("A") in results
+        assert parse_expression("B") in results
+
+    def test_sum_idempotence_collapse(self):
+        results = one_step_rewrites(parse_expression("A + A"), [], [])
+        assert parse_expression("A") in results
+
+    def test_rule4_duplication(self):
+        results = one_step_rewrites(parse_expression("A"), [], [])
+        assert parse_expression("A * A") in results
+
+    def test_rules_5_6_use_pool(self):
+        pool = [parse_expression("B")]
+        results = one_step_rewrites(parse_expression("A"), [], pool)
+        assert parse_expression("A + B") in results
+        assert parse_expression("B + A") in results
+
+    def test_rule7_uses_equations(self):
+        from repro.dependencies.pd import PartitionDependency
+
+        equations = [PartitionDependency.parse("A = B*C")]
+        results = one_step_rewrites(parse_expression("A"), equations, [])
+        assert parse_expression("B*C") in results
+
+    def test_rewrites_inside_subexpressions(self):
+        results = one_step_rewrites(parse_expression("(A*B) + C"), [], [])
+        assert parse_expression("A + C") in results
+
+
+class TestRewriteSequences:
+    def test_identity_needs_no_steps(self):
+        sequence = find_rewrite_sequence("A", "A")
+        assert sequence == [parse_expression("A")]
+
+    def test_simple_leq_has_rewrite_proof(self):
+        # A*B <=_id A: rewrite proof of length 1 (rule 2).
+        assert rewrite_reachable("A*B", "A")
+
+    def test_leq_with_equations(self):
+        # With E = {A = A*B}: A <=_E B has a proof A -> A*B -> B.
+        E = ["A = A*B"]
+        sequence = find_rewrite_sequence("A", "B", E, max_steps=4)
+        assert sequence is not None and len(sequence) <= 3
+        assert pd_leq(E, "A", "B")  # and ALG agrees
+
+    def test_absorption_rewrite(self):
+        assert rewrite_reachable("A * (A + B)", "A", max_steps=3)
+        assert rewrite_reachable("A", "A + (A * B)", max_steps=4)
+
+    def test_sum_transitivity_chain(self):
+        E = ["C = A + B"]
+        # A <=_E C must have a bounded rewrite proof: A -> A + B -> ... -> C.
+        assert rewrite_reachable("A", "C", E, max_steps=5)
+
+    def test_unreachable_within_bounds_returns_false(self):
+        assert not rewrite_reachable("A", "B", max_steps=3)
+
+    def test_every_rewrite_step_is_sound_for_leq(self):
+        # Each RR step p -> q is a sound <=_E inference; check on a generated proof.
+        E = ["A = A*B", "B = B*C"]
+        sequence = find_rewrite_sequence("A", "C", E, max_steps=5)
+        assert sequence is not None
+        for first, second in zip(sequence, sequence[1:]):
+            assert pd_leq(E, first, second)
+
+    def test_default_pool_contains_subexpressions(self):
+        pool = default_pool("A*B", "C", ["C = A + B"])
+        assert parse_expression("A") in pool and parse_expression("A + B") in pool

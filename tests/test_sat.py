@@ -1,0 +1,137 @@
+"""Tests for repro.sat: formulas, NAE solvers, and the 3CNF normalizations."""
+
+import random
+
+import pytest
+
+from repro.sat.formulas import Clause, CnfFormula, FormulaError, Literal
+from repro.sat.nae3sat import (
+    complement_assignment,
+    count_nae_assignments,
+    ensure_both_polarities,
+    nae_backtracking,
+    nae_brute_force,
+    nae_is_satisfiable,
+    to_proper_nae3cnf,
+)
+from repro.workloads.random_formulas import random_3cnf
+
+
+class TestFormulas:
+    def test_literal_parse_and_negate(self):
+        assert Literal.parse("~x1") == Literal("x1", False)
+        assert Literal.parse("x1").negate() == Literal("x1", False)
+        with pytest.raises(FormulaError):
+            Literal.parse("")
+
+    def test_clause_evaluation(self):
+        clause = Clause.of("x1", "~x2")
+        assert clause.evaluate({"x1": False, "x2": False})
+        assert not clause.evaluate({"x1": False, "x2": True})
+
+    def test_clause_nae_evaluation(self):
+        clause = Clause.of("x1", "x2", "x3")
+        assert clause.nae_evaluate({"x1": True, "x2": False, "x3": False})
+        assert not clause.nae_evaluate({"x1": True, "x2": True, "x3": True})
+        assert not clause.nae_evaluate({"x1": False, "x2": False, "x3": False})
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(FormulaError):
+            Clause(())
+
+    def test_formula_variables_sorted(self):
+        formula = CnfFormula.of([["x2", "x1", "~x3"]])
+        assert formula.variables == ["x1", "x2", "x3"]
+
+    def test_missing_variable_in_assignment(self):
+        formula = CnfFormula.of([["x1"]])
+        with pytest.raises(FormulaError):
+            formula.evaluate({})
+
+    def test_is_3cnf(self):
+        assert CnfFormula.of([["x1", "x2", "x3"]]).is_3cnf()
+
+
+class TestSolvers:
+    def test_satisfiable_formula(self):
+        formula = CnfFormula.of([["x1", "x2", "~x3"], ["~x1", "x2", "x3"]])
+        for solver in (nae_brute_force, nae_backtracking):
+            assignment = solver(formula)
+            assert assignment is not None and formula.nae_evaluate(assignment)
+
+    def test_unsatisfiable_formula(self):
+        # NAE(x1, x1, x1) can never have both a true and a false literal.
+        formula = CnfFormula.of([["x1", "x1", "x1"]])
+        assert nae_brute_force(formula) is None
+        assert nae_backtracking(formula) is None
+        assert not nae_is_satisfiable(formula)
+
+    def test_solvers_agree_on_random_formulas(self):
+        rng = random.Random(1)
+        for trial in range(30):
+            formula = random_3cnf(rng.randint(2, 5), rng.randint(1, 6), seed=rng.randint(0, 10**6))
+            assert (nae_brute_force(formula) is None) == (nae_backtracking(formula) is None)
+
+    def test_complement_invariance(self):
+        formula = CnfFormula.of([["x1", "x2", "~x3"]])
+        assignment = nae_brute_force(formula)
+        assert assignment is not None
+        assert formula.nae_evaluate(complement_assignment(assignment))
+
+    def test_count_assignments_even(self):
+        # NAE satisfaction is closed under complement, so the count is even.
+        formula = CnfFormula.of([["x1", "x2", "x3"]])
+        assert count_nae_assignments(formula) % 2 == 0
+        assert count_nae_assignments(formula) == 6
+
+
+class TestNormalizations:
+    def test_proper_3cnf_preserves_satisfiability(self):
+        rng = random.Random(2)
+        for trial in range(30):
+            formula = random_3cnf(
+                rng.randint(2, 4), rng.randint(1, 4), seed=rng.randint(0, 10**6), proper=False
+            )
+            proper = to_proper_nae3cnf(formula)
+            assert (nae_brute_force(formula) is None) == (nae_brute_force(proper) is None)
+            assert all(len(clause.variables) == 3 or len(clause.variables) == 1 for clause in proper)
+
+    def test_proper_3cnf_drops_tautologies(self):
+        formula = CnfFormula.of([["x1", "~x1", "x2"]])
+        proper = to_proper_nae3cnf(formula)
+        assert all("x1" not in clause.variables or "x2" not in clause.variables for clause in proper)
+        assert nae_brute_force(proper) is not None
+
+    def test_two_literal_clause_expansion_means_inequality(self):
+        # (x1 v x2) under NAE is x1 != x2; the expansion must preserve exactly that.
+        formula = CnfFormula.of([["x1", "x2", "x2"]])
+        proper = to_proper_nae3cnf(formula)
+        for x1 in (False, True):
+            for x2 in (False, True):
+                restricted_sat = any(
+                    proper.nae_evaluate({"x1": x1, "x2": x2, w: value})
+                    for w in [v for v in proper.variables if v.startswith("w_pad")]
+                    for value in (False, True)
+                ) if len(proper.variables) > 2 else proper.nae_evaluate({"x1": x1, "x2": x2})
+                assert restricted_sat == (x1 != x2)
+
+    def test_ensure_both_polarities(self):
+        formula = CnfFormula.of([["x1", "x2", "x3"]])
+        balanced = ensure_both_polarities(formula)
+        polarity: dict[str, set[bool]] = {}
+        for clause in balanced:
+            for literal in clause:
+                polarity.setdefault(literal.variable, set()).add(literal.positive)
+        for variable in formula.variables:
+            assert polarity[variable] == {True, False}
+        # Satisfiability preserved.
+        assert (nae_brute_force(formula) is None) == (nae_brute_force(balanced) is None)
+
+    def test_ensure_both_polarities_noop_when_balanced(self):
+        formula = CnfFormula.of([["x1", "~x1", "x2"], ["~x2", "x1", "x2"]])
+        assert ensure_both_polarities(formula) is formula
+
+    def test_fresh_variable_collision_rejected(self):
+        formula = CnfFormula.of([["p_anchor", "x1", "x2"]])
+        with pytest.raises(FormulaError):
+            ensure_both_polarities(formula)

@@ -1,0 +1,68 @@
+"""Tests for repro.relational.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.attributes import AttributeSet
+from repro.relational.schema import DatabaseScheme, RelationScheme
+
+
+class TestRelationScheme:
+    def test_basic_construction(self):
+        scheme = RelationScheme("R", "ABC")
+        assert scheme.name == "R"
+        assert scheme.attributes == AttributeSet("ABC")
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationScheme("R", [])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationScheme("", "A")
+
+    def test_semantic_key_ignores_name(self):
+        # Partition semantics: two schemes over the same attributes have the
+        # same meaning regardless of the relation name (§3.1).
+        assert RelationScheme("R", "ABC").semantic_key() == RelationScheme("R1", "ABC").semantic_key()
+
+    def test_equality_uses_name_and_attributes(self):
+        assert RelationScheme("R", "AB") == RelationScheme("R", "BA")
+        assert RelationScheme("R", "AB") != RelationScheme("S", "AB")
+
+    def test_rename(self):
+        assert RelationScheme("R", "AB").rename("S") == RelationScheme("S", "AB")
+
+    def test_contains(self):
+        assert "A" in RelationScheme("R", "AB")
+        assert "C" not in RelationScheme("R", "AB")
+
+    def test_str(self):
+        assert str(RelationScheme("R", "BA")) == "R[AB]"
+
+
+class TestDatabaseScheme:
+    def test_universe_is_union(self):
+        scheme = DatabaseScheme([RelationScheme("R", "AB"), RelationScheme("S", "BC")])
+        assert scheme.universe == AttributeSet("ABC")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseScheme([RelationScheme("R", "AB"), RelationScheme("R", "BC")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseScheme([])
+
+    def test_lookup_by_name(self):
+        r = RelationScheme("R", "AB")
+        scheme = DatabaseScheme([r])
+        assert scheme.scheme("R") == r
+        with pytest.raises(SchemaError):
+            scheme.scheme("S")
+
+    def test_iteration_and_len(self):
+        scheme = DatabaseScheme([RelationScheme("R", "AB"), RelationScheme("S", "BC")])
+        assert len(scheme) == 2
+        assert [s.name for s in scheme] == ["R", "S"]
+        assert "R" in scheme and "T" not in scheme

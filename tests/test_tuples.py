@@ -1,0 +1,89 @@
+"""Tests for repro.relational.tuples."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.attributes import AttributeSet
+from repro.relational.tuples import Row, row_from_string
+
+
+class TestRowConstruction:
+    def test_from_mapping_and_kwargs_agree(self):
+        assert Row({"A": "a", "B": "b"}) == Row(A="a", B="b")
+
+    def test_empty_row_rejected(self):
+        with pytest.raises(SchemaError):
+            Row({})
+
+    def test_invalid_symbol_rejected(self):
+        with pytest.raises(SchemaError):
+            Row({"A": ""})
+
+    def test_row_from_string_uses_sorted_attribute_order(self):
+        row = row_from_string("ABC", "1.2.0")
+        assert row["A"] == "1" and row["B"] == "2" and row["C"] == "0"
+
+    def test_row_from_string_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            row_from_string("ABC", "1.2")
+
+
+class TestRowBehaviour:
+    def test_mapping_protocol(self):
+        row = Row(A="a", B="b")
+        assert len(row) == 2
+        assert set(row) == {"A", "B"}
+        assert row["A"] == "a"
+
+    def test_missing_attribute_raises_schema_error(self):
+        with pytest.raises(SchemaError):
+            Row(A="a")["B"]
+
+    def test_attributes_property(self):
+        assert Row(A="a", B="b").attributes == AttributeSet("AB")
+
+    def test_restrict(self):
+        row = Row(A="a", B="b", C="c")
+        assert row.restrict("AC") == Row(A="a", C="c")
+
+    def test_restrict_missing_attribute(self):
+        with pytest.raises(SchemaError):
+            Row(A="a").restrict("AB")
+
+    def test_restrict_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Row(A="a").restrict(AttributeSet())
+
+    def test_values_on_sorted_order(self):
+        row = Row(A="a", B="b", C="c")
+        assert row.values_on("CA") == ("a", "c")
+
+    def test_agrees_with(self):
+        t = Row(A="a", B="b")
+        h = Row(A="a", B="x")
+        assert t.agrees_with(h, "A")
+        assert not t.agrees_with(h, "AB")
+
+    def test_merge_compatible(self):
+        assert Row(A="a", B="b").merge(Row(B="b", C="c")) == Row(A="a", B="b", C="c")
+
+    def test_merge_conflicting(self):
+        with pytest.raises(SchemaError):
+            Row(A="a", B="b").merge(Row(B="x"))
+
+    def test_replace(self):
+        assert Row(A="a", B="b").replace(B="b2") == Row(A="a", B="b2")
+
+    def test_replace_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            Row(A="a").replace(B="b")
+
+    def test_hash_and_equality(self):
+        assert hash(Row(A="a", B="b")) == hash(Row(B="b", A="a"))
+        assert Row(A="a") != Row(A="a2")
+
+    def test_equality_with_plain_mapping(self):
+        assert Row(A="a") == {"A": "a"}
+
+    def test_str_is_compact_dot_form(self):
+        assert str(Row(A="1", B="2", C="0")) == "1.2.0"

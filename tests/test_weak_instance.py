@@ -1,0 +1,90 @@
+"""Tests for repro.relational.weak_instance (Honeyman's test, weak-instance checks)."""
+
+import pytest
+
+from repro.errors import ConsistencyError
+from repro.relational.database import Database
+from repro.relational.functional_dependencies import parse_fd_set
+from repro.relational.relations import Relation
+from repro.relational.weak_instance import (
+    is_consistent_with_fds,
+    is_weak_instance,
+    projection_containment_report,
+    universe_of,
+    weak_instance_consistency,
+)
+
+
+@pytest.fixture
+def two_relation_database() -> Database:
+    return Database(
+        [
+            Relation.from_strings("R", "AB", ["a1.b1", "a2.b2"]),
+            Relation.from_strings("S", "BC", ["b1.c1"]),
+        ]
+    )
+
+
+class TestIsWeakInstance:
+    def test_positive(self, two_relation_database):
+        candidate = Relation.from_strings(
+            "w", "ABC", ["a1.b1.c1", "a2.b2.c9"]
+        )
+        assert is_weak_instance(candidate, two_relation_database)
+
+    def test_negative_missing_tuple(self, two_relation_database):
+        candidate = Relation.from_strings("w", "ABC", ["a1.b1.c1"])
+        assert not is_weak_instance(candidate, two_relation_database)
+        report = projection_containment_report(candidate, two_relation_database)
+        assert report["S"] is True and report["R"] is False
+
+    def test_candidate_must_cover_universe(self, two_relation_database):
+        candidate = Relation.from_strings("w", "AB", ["a1.b1"])
+        with pytest.raises(ConsistencyError):
+            is_weak_instance(candidate, two_relation_database)
+
+
+class TestHoneymanTest:
+    def test_consistent_case_produces_witness(self, two_relation_database):
+        result = weak_instance_consistency(two_relation_database, parse_fd_set(["A -> B", "B -> C"]))
+        assert result.consistent
+        assert result.witness is not None
+        assert is_weak_instance(result.witness, two_relation_database)
+        for fd in parse_fd_set(["A -> B", "B -> C"]):
+            assert fd.is_satisfied_by(result.witness)
+
+    def test_inconsistent_case(self):
+        database = Database(
+            [
+                Relation.from_strings("R", "AB", ["a1.b1"]),
+                Relation.from_strings("T", "AB", ["a1.b2"]),
+            ]
+        )
+        assert not is_consistent_with_fds(database, parse_fd_set(["A -> B"]))
+
+    def test_single_relation_reduces_to_direct_satisfaction(self):
+        # For a single-relation database the weak-instance test coincides with
+        # ordinary FD satisfaction (remark after Theorem 6).
+        satisfied = Relation.from_strings("R", "AB", ["a1.b1", "a2.b2"])
+        violated = Relation.from_strings("R", "AB", ["a1.b1", "a1.b2"])
+        fds = parse_fd_set(["A -> B"])
+        assert is_consistent_with_fds(Database.single(satisfied), fds)
+        assert not is_consistent_with_fds(Database.single(violated), fds)
+
+    def test_classic_transitive_inconsistency(self):
+        # R(A,B) = {a b1, a b2} is directly inconsistent with A->B even spread
+        # over two relation schemes that join on A.
+        database = Database(
+            [
+                Relation.from_strings("R1", "AB", ["a.b1"]),
+                Relation.from_strings("R2", "AC", ["a.c1"]),
+                Relation.from_strings("R3", "BC", ["b2.c1"]),
+            ]
+        )
+        # A->B, C->B: the chase equates the R2 tuple's B with b1 (via A->B) and
+        # with b2 (via C->B) -> clash.
+        assert not is_consistent_with_fds(database, parse_fd_set(["A -> B", "C -> B"]))
+
+    def test_universe_of_includes_fd_attributes(self, two_relation_database):
+        fds = parse_fd_set(["A -> D"])
+        assert "D" in universe_of(two_relation_database, fds)

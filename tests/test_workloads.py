@@ -1,0 +1,104 @@
+"""Tests for repro.workloads: generators are deterministic, well-formed, and sized as asked."""
+
+from repro.relational.weak_instance import is_weak_instance
+from repro.workloads.random_dependencies import random_fd_set, random_fpd_set, random_pd_set
+from repro.workloads.random_expressions import (
+    random_expression,
+    random_expression_of_exact_complexity,
+)
+from repro.workloads.random_formulas import random_3cnf, random_nae_satisfiable_3cnf
+from repro.workloads.random_graphs import random_graph_relation, random_sparse_forest_relation
+from repro.workloads.random_relations import (
+    attribute_names,
+    random_consistent_database,
+    random_database,
+    random_functional_relation,
+    random_relation,
+)
+from repro.relational.functional_dependencies import FunctionalDependency
+from repro.sat.nae3sat import nae_brute_force
+
+
+class TestRelationsAndDatabases:
+    def test_attribute_names_are_distinct(self):
+        names = attribute_names(30)
+        assert len(names) == 30 and len(set(names)) == 30
+
+    def test_random_relation_shape(self):
+        relation = random_relation(4, 10, domain_size=3, seed=1)
+        assert len(relation.attributes) == 4
+        assert 1 <= len(relation) <= 10  # duplicates may collapse
+
+    def test_random_relation_deterministic(self):
+        assert random_relation(3, 5, seed=9) == random_relation(3, 5, seed=9)
+        assert random_relation(3, 5, seed=9) != random_relation(3, 5, seed=10)
+
+    def test_random_functional_relation_satisfies_fd(self):
+        relation = random_functional_relation(4, 12, determinant="A", seed=3)
+        assert relation.satisfies_fd(FunctionalDependency("A", "BCD"))
+
+    def test_random_database_shape(self):
+        database = random_database(3, 6, 3, 4, seed=2)
+        assert len(database) == 3
+        assert len(database.universe) <= 6
+
+    def test_random_consistent_database_has_weak_instance(self):
+        database, hidden = random_consistent_database(3, 5, 3, 3, seed=4)
+        assert is_weak_instance(hidden, database)
+
+
+class TestDependencyAndExpressionGenerators:
+    def test_random_fd_set_size_and_determinism(self):
+        fds = random_fd_set(5, 7, seed=1)
+        assert len(fds) == 7
+        assert fds == random_fd_set(5, 7, seed=1)
+
+    def test_random_pd_set(self):
+        pds = random_pd_set(4, 5, seed=2, max_complexity=2)
+        assert len(pds) == 5
+        assert all(pd.complexity() <= 4 for pd in pds)
+
+    def test_random_fpd_set_is_functional(self):
+        assert all(pd.is_functional() for pd in random_fpd_set(4, 6, seed=3))
+
+    def test_random_expression_complexity_bound(self):
+        expression = random_expression(["A", "B"], seed=5, max_complexity=3)
+        assert expression.complexity() <= 3
+
+    def test_exact_complexity(self):
+        for k in range(0, 5):
+            expression = random_expression_of_exact_complexity(["A", "B", "C"], k, seed=k)
+            assert expression.complexity() == k
+
+    def test_product_bias_extremes(self):
+        pure_product = random_expression(["A", "B"], seed=8, max_complexity=4, product_bias=1.0)
+        assert pure_product.is_product_of_attributes()
+
+
+class TestGraphAndFormulaGenerators:
+    def test_random_graph_relation_satisfies_connectivity_pd(self):
+        from repro.graphs.connectivity import satisfies_connectivity_pd
+
+        relation = random_graph_relation(8, 0.3, seed=1)
+        assert satisfies_connectivity_pd(relation, method="direct")
+
+    def test_random_forest_relation_satisfies_connectivity_pd(self):
+        from repro.graphs.connectivity import satisfies_connectivity_pd
+
+        relation = random_sparse_forest_relation(10, seed=2)
+        assert satisfies_connectivity_pd(relation, method="direct")
+
+    def test_random_3cnf_shape(self):
+        formula = random_3cnf(5, 8, seed=1)
+        assert len(formula) == 8
+        assert formula.is_3cnf()
+        assert all(len(clause.variables) == 3 for clause in formula)
+
+    def test_random_3cnf_improper_allows_repeats(self):
+        formula = random_3cnf(2, 6, seed=3, proper=False)
+        assert formula.is_3cnf()
+
+    def test_planted_formula_is_nae_satisfiable(self):
+        for seed in range(3):
+            formula = random_nae_satisfiable_3cnf(5, 6, seed=seed)
+            assert nae_brute_force(formula) is not None
