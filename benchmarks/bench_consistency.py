@@ -13,7 +13,9 @@ an ablation of where the time goes.
 import pytest
 
 from repro.consistency.normalization import normalize_dependencies
-from repro.consistency.pd_consistency import pd_consistency
+from repro.consistency.pd_consistency import pd_consistency, pd_consistency_many
+from repro.relational.chase import chase_database
+from repro.relational.chase_engine import ChaseEngine
 from repro.relational.weak_instance import weak_instance_consistency
 from repro.workloads.random_relations import random_consistent_database
 
@@ -60,3 +62,44 @@ def test_pipeline_stage_costs(benchmark, stage, rng_seed):
     else:
         result = benchmark(pd_consistency, database, CONSTRAINTS)
         assert result.consistent in (True, False)
+
+
+@pytest.mark.benchmark(group="EXP-T12 chase stage: naive restart vs indexed engine")
+@pytest.mark.parametrize("impl", ["naive", "indexed"])
+def test_chase_stage_engine_comparison(benchmark, impl, rng_seed):
+    """The Honeyman chase over the (large) normalized FD set, both strategies.
+
+    The normalized set for the mixed PD constraints has dozens of FDs over
+    the extended universe; the naive chase rescans every row for every FD on
+    every pass, the engine only touches merge deltas.
+    """
+    database = _database(8, rng_seed + 8)
+    normalized = normalize_dependencies(CONSTRAINTS)
+    engine = ChaseEngine(normalized.fds)
+
+    def run_naive():
+        return chase_database(database, normalized.fds)
+
+    def run_indexed():
+        return engine.chase_database(database)
+
+    result = benchmark(run_naive if impl == "naive" else run_indexed)
+    assert result.consistent in (True, False)
+
+
+@pytest.mark.benchmark(group="EXP-T12 batched consistency (normalize once vs per call)")
+@pytest.mark.parametrize("mode", ["per_call", "batched"])
+def test_batched_consistency(benchmark, mode, rng_seed):
+    """Amortizing step 1 (normalization + engine build) across many databases."""
+    databases = [_database(2, rng_seed + 400 + i) for i in range(6)]
+
+    def per_call():
+        return [pd_consistency(database, CONSTRAINTS) for database in databases]
+
+    def batched():
+        return pd_consistency_many(databases, CONSTRAINTS)
+
+    results = benchmark(per_call if mode == "per_call" else batched)
+    assert len(results) == len(databases)
+    verdicts = [r.consistent for r in results]
+    assert all(v in (True, False) for v in verdicts)

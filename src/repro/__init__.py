@@ -43,7 +43,9 @@ from repro.consistency import (
     is_fpd_consistent,
     is_pd_consistent,
     normalize_dependencies,
+    pd_chase_engine,
     pd_consistency,
+    pd_consistency_many,
     reduce_nae3sat_to_cad_consistency,
     solve_nae3sat_via_reduction,
 )
@@ -106,12 +108,14 @@ from repro.partitions import (
     satisfies_eap,
 )
 from repro.relational import (
+    ChaseEngine,
     Database,
     FunctionalDependency,
     MultivaluedDependency,
     Relation,
     RelationScheme,
     Row,
+    chase_many,
     weak_instance_consistency,
 )
 from repro.sat import CnfFormula, nae_backtracking, nae_brute_force
@@ -136,6 +140,8 @@ __all__ = [
     "FunctionalDependency",
     "MultivaluedDependency",
     "weak_instance_consistency",
+    "ChaseEngine",
+    "chase_many",
     # partitions
     "Partition",
     "PartitionInterpretation",
@@ -180,6 +186,8 @@ __all__ = [
     "finite_counterexample",
     # consistency
     "pd_consistency",
+    "pd_consistency_many",
+    "pd_chase_engine",
     "is_pd_consistent",
     "fpd_consistency",
     "is_fpd_consistent",

@@ -18,7 +18,9 @@ from repro.consistency.pd_consistency import (
     PdConsistencyResult,
     consistency_with_explicit_weak_instance,
     is_pd_consistent,
+    pd_chase_engine,
     pd_consistency,
+    pd_consistency_many,
     repair_sum_constraints_once,
     sum_constraint_violations,
 )
@@ -45,6 +47,8 @@ __all__ = [
     "validate_only_fpds",
     "PdConsistencyResult",
     "pd_consistency",
+    "pd_consistency_many",
+    "pd_chase_engine",
     "is_pd_consistent",
     "sum_constraint_violations",
     "repair_sum_constraints_once",

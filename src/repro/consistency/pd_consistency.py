@@ -26,17 +26,18 @@ violations present in the finite witness.
 from __future__ import annotations
 
 import itertools
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.consistency.normalization import NormalizedDependencies, SumConstraint, normalize_dependencies
-from repro.dependencies.pd import PartitionDependency, PartitionDependencyLike, as_partition_dependency
+from repro.dependencies.pd import PartitionDependencyLike, as_partition_dependency
 from repro.partitions.canonical import canonical_interpretation
 from repro.partitions.interpretation import PartitionInterpretation
 from repro.relational.attributes import AttributeSet
+from repro.relational.chase_engine import ChaseEngine
 from repro.relational.database import Database
-from repro.relational.functional_dependencies import FunctionalDependency, closure
+from repro.relational.functional_dependencies import closure
 from repro.relational.relations import Relation
 from repro.relational.schema import RelationScheme
 from repro.relational.tuples import Row
@@ -61,11 +62,30 @@ class PdConsistencyResult:
 
 
 def pd_consistency(
-    database: Database, dependencies: Sequence[PartitionDependencyLike]
+    database: Database,
+    dependencies: Sequence[PartitionDependencyLike],
+    engine: Optional[ChaseEngine] = None,
 ) -> PdConsistencyResult:
-    """Theorem 12: polynomial-time consistency of ``(d, E)`` for an arbitrary PD set ``E``."""
+    """Theorem 12: polynomial-time consistency of ``(d, E)`` for an arbitrary PD set ``E``.
+
+    The chase of step 2 runs on the indexed
+    :class:`~repro.relational.chase_engine.ChaseEngine`.  A prebuilt
+    ``engine`` (from :func:`pd_chase_engine`) skips only the engine's own FD
+    preprocessing — normalization still runs per call because the result
+    carries its artifacts; use :func:`pd_consistency_many` to amortize the
+    full step-1 cost over a batch of databases.
+    """
     normalized = normalize_dependencies([as_partition_dependency(pd) for pd in dependencies])
-    chase_result = weak_instance_consistency(database, normalized.fds)
+    if engine is None:
+        engine = ChaseEngine(normalized.fds)
+    chase_result = weak_instance_consistency(database, normalized.fds, engine=engine)
+    return _result_from_chase(normalized, chase_result)
+
+
+def _result_from_chase(
+    normalized: NormalizedDependencies, chase_result: WeakInstanceResult
+) -> PdConsistencyResult:
+    """Assemble the Theorem 12 result (witness + interpretation) from a chase outcome."""
     if not chase_result.consistent:
         return PdConsistencyResult(False, normalized, None, None, chase_result)
     witness = chase_result.witness
@@ -74,9 +94,43 @@ def pd_consistency(
     return PdConsistencyResult(True, normalized, witness, interpretation, chase_result)
 
 
+def pd_consistency_many(
+    databases: Iterable[Database], dependencies: Sequence[PartitionDependencyLike]
+) -> list[PdConsistencyResult]:
+    """Theorem 12 over a batch of databases sharing one PD set.
+
+    Normalization (step 1 — binarize, re-express with ALG, close, prune) and
+    the chase-engine preprocessing both depend only on ``E``, so the batch
+    pays them once instead of once per database; only the chase itself (step
+    2) runs per database.  Results match per-database :func:`pd_consistency`
+    exactly.
+    """
+    normalized = normalize_dependencies([as_partition_dependency(pd) for pd in dependencies])
+    engine = ChaseEngine(normalized.fds)
+    results = []
+    for database in databases:
+        chase_result = weak_instance_consistency(database, normalized.fds, engine=engine)
+        results.append(_result_from_chase(normalized, chase_result))
+    return results
+
+
 def is_pd_consistent(database: Database, dependencies: Sequence[PartitionDependencyLike]) -> bool:
     """Boolean convenience wrapper around :func:`pd_consistency`."""
     return pd_consistency(database, dependencies).consistent
+
+
+def pd_chase_engine(dependencies: Sequence[PartitionDependencyLike]) -> ChaseEngine:
+    """A reusable chase engine over the FD translation of a PD set.
+
+    Useful for driving the chase directly (e.g. via
+    :func:`repro.relational.weak_instance.weak_instance_consistency` with the
+    normalized FD set) against many databases.  Note that
+    :func:`pd_consistency` re-normalizes per call even when handed this
+    engine — for full step-1 amortization over a batch, use
+    :func:`pd_consistency_many`.
+    """
+    normalized = normalize_dependencies([as_partition_dependency(pd) for pd in dependencies])
+    return ChaseEngine(normalized.fds)
 
 
 # -- the Lemma 12.1 repair step -------------------------------------------------------------

@@ -39,7 +39,6 @@ The decoding direction (witness → assignment) follows the proof verbatim:
 
 from __future__ import annotations
 
-from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Optional
 

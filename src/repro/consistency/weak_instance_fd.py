@@ -20,6 +20,7 @@ from repro.consistency.normalization import validate_only_fpds
 from repro.dependencies.pd import PartitionDependencyLike
 from repro.partitions.canonical import canonical_interpretation
 from repro.partitions.interpretation import PartitionInterpretation
+from repro.relational.chase_engine import ChaseEngine
 from repro.relational.database import Database
 from repro.relational.functional_dependencies import FunctionalDependency
 from repro.relational.relations import Relation
@@ -58,10 +59,16 @@ def fpd_consistency(
 
 
 def fd_consistency(
-    database: Database, fds: Sequence[FunctionalDependency]
+    database: Database,
+    fds: Sequence[FunctionalDependency],
+    engine: Optional[ChaseEngine] = None,
 ) -> FpdConsistencyResult:
-    """The same test with the dependencies already given as FDs (``E_F``)."""
-    chase_result = weak_instance_consistency(database, list(fds))
+    """The same test with the dependencies already given as FDs (``E_F``).
+
+    Pass a prebuilt :class:`~repro.relational.chase_engine.ChaseEngine` to
+    amortize FD preprocessing across many databases tested against one set.
+    """
+    chase_result = weak_instance_consistency(database, list(fds), engine=engine)
     if not chase_result.consistent:
         return FpdConsistencyResult(False, list(fds), None, None, chase_result)
     witness = chase_result.witness

@@ -19,7 +19,6 @@ benchmark and the property tests.
 from __future__ import annotations
 
 import random
-from collections.abc import Iterable
 
 from repro.errors import SchemaError
 from repro.graphs.encoding import graph_to_relation, graph_to_relation_with_labels

@@ -24,7 +24,7 @@ from typing import Optional, Union
 
 from repro.dependencies.conversion import fd_to_pd, fds_to_pds
 from repro.implication.alg import pd_implies
-from repro.relational.attributes import Attribute, AttributeSet, as_attribute_set
+from repro.relational.attributes import AttributeSet, as_attribute_set
 from repro.relational.functional_dependencies import FunctionalDependency, closure, implies
 
 #: Re-exported names so callers can treat this module as the FD implication facade.

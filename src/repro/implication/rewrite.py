@@ -39,7 +39,6 @@ from typing import Optional
 
 from repro.dependencies.pd import PartitionDependency, PartitionDependencyLike, as_partition_dependency
 from repro.expressions.ast import (
-    Attr,
     ExpressionLike,
     PartitionExpression,
     Product,

@@ -23,7 +23,7 @@ from collections.abc import Hashable, Iterable, Mapping
 from typing import Callable, Optional
 
 from repro.errors import LatticeError
-from repro.expressions.ast import Attr, ExpressionLike, PartitionExpression, Product, Sum, as_expression
+from repro.expressions.ast import Attr, ExpressionLike, Product, Sum, as_expression
 
 #: Lattice elements can be any hashable value.
 LatticeElement = Hashable

@@ -14,7 +14,7 @@ expressions together with the ``≤_id`` order between them.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.expressions.ast import Attr, PartitionExpression, Product, Sum

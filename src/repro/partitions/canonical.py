@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.errors import PartitionError
-from repro.partitions.interpretation import AttributeInterpretation, PartitionInterpretation
+from repro.partitions.interpretation import PartitionInterpretation
 from repro.partitions.partition import Element
 from repro.relational.attributes import AttributeSet, Symbol
 from repro.relational.relations import Relation
@@ -78,7 +78,9 @@ def canonical_relation(
     if not population:
         raise PartitionError("the interpretation has an empty total population")
     if padding_symbol is None:
-        padding_symbol = lambda element, attribute: f"{element}@{attribute}"
+
+        def padding_symbol(element, attribute):
+            return f"{element}@{attribute}"
 
     attributes = interpretation.attributes
     scheme = RelationScheme(name, attributes)

@@ -28,7 +28,6 @@ from repro.errors import PartitionError
 from repro.expressions.ast import (
     Attr,
     ExpressionLike,
-    PartitionExpression,
     Product,
     Sum,
     as_expression,

@@ -9,11 +9,18 @@ Honeyman's weak-instance consistency test.
 from repro.relational.attributes import Attribute, AttributeSet, Symbol, as_attribute_set
 from repro.relational.chase import (
     ChaseResult,
+    MergeListener,
     Tableau,
     TableauValue,
     chase_database,
     chase_fds,
     representative_instance,
+)
+from repro.relational.chase_engine import (
+    ChaseEngine,
+    chase_database_indexed,
+    chase_fds_indexed,
+    chase_many,
 )
 from repro.relational.database import Database
 from repro.relational.functional_dependencies import (
@@ -61,10 +68,15 @@ __all__ = [
     "theorem5_mvd",
     "Tableau",
     "TableauValue",
+    "MergeListener",
     "ChaseResult",
     "chase_fds",
     "chase_database",
     "representative_instance",
+    "ChaseEngine",
+    "chase_fds_indexed",
+    "chase_database_indexed",
+    "chase_many",
     "WeakInstanceResult",
     "is_weak_instance",
     "weak_instance_consistency",

@@ -25,7 +25,7 @@ its results are reproducible across runs.
 from __future__ import annotations
 
 import itertools
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -43,11 +43,20 @@ class TableauValue:
     """A value in a tableau cell: either a constant or a labelled null.
 
     ``is_constant`` distinguishes the two kinds; ``label`` is the symbol for
-    constants and an opaque unique identifier for nulls.
+    constants and an opaque unique identifier for nulls.  The hash is
+    precomputed: tableau values are the keys of every union-find and chase
+    index dictionary, so hashing them is one of the hottest operations in the
+    repository.
     """
 
     is_constant: bool
     label: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.is_constant, self.label)))
+
+    def __hash__(self) -> int:  # pragma: no cover - exercised by every dict op
+        return self._hash  # type: ignore[attr-defined]
 
     @classmethod
     def constant(cls, symbol: Symbol) -> "TableauValue":
@@ -60,29 +69,61 @@ class TableauValue:
     def __str__(self) -> str:
         return self.label if self.is_constant else f"⊥{self.label}"
 
+    def election_key(self) -> tuple[int, int, str]:
+        """Total order used to elect class representatives deterministically.
+
+        Constants beat nulls; ties break on the shortest, lexicographically
+        smallest label (which orders the generated nulls ``n1 < n2 < ... <
+        n10 < ...`` numerically).  Electing by a merge-order-independent key
+        makes the chased tableau identical no matter which chase strategy
+        produced it — the property the engine/naive cross-check tests rely on.
+        """
+        return (0 if self.is_constant else 1, len(self.label), self.label)
+
+
+#: Signature of a merge-event listener: ``(winner_root, loser_root)`` after a
+#: successful union that actually merged two distinct classes.
+MergeListener = Callable[[TableauValue, TableauValue], None]
+
 
 class _UnionFind:
     """Union-find over tableau values with constant-aware representative election.
 
-    When two classes are merged the representative prefers a constant; merging
-    two classes that contain *different* constants is the hard failure the
-    chase reports.
+    When two classes are merged the representative prefers a constant
+    (ties between nulls break on :meth:`TableauValue.election_key`, so the
+    elected representative does not depend on merge order); merging two
+    classes that contain *different* constants is the hard failure the chase
+    reports.  Every effective merge is reported to the registered listeners
+    — path compression in :meth:`find` never changes a class, so it never
+    fires an event.
     """
 
     def __init__(self) -> None:
         self._parent: dict[TableauValue, TableauValue] = {}
+        self._listeners: list[MergeListener] = []
 
     def add(self, value: TableauValue) -> None:
         self._parent.setdefault(value, value)
 
+    def add_listener(self, listener: MergeListener) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: MergeListener) -> None:
+        self._listeners.remove(listener)
+
     def find(self, value: TableauValue) -> TableauValue:
-        self.add(value)
-        root = value
-        while self._parent[root] != root:
-            root = self._parent[root]
+        parent = self._parent
+        root = parent.setdefault(value, value)
+        if root is value or parent[root] == root:
+            # Fast path: ``value`` is its own root, or its parent is a root —
+            # the overwhelmingly common cases in a chase (fresh nulls, and
+            # values one hop from their representative).
+            return root
+        while parent[root] != root:
+            root = parent[root]
         # Path compression.
-        while self._parent[value] != root:
-            self._parent[value], value = root, self._parent[value]
+        while parent[value] != root:
+            parent[value], value = root, parent[value]
         return root
 
     def union(self, first: TableauValue, second: TableauValue) -> bool:
@@ -90,16 +131,20 @@ class _UnionFind:
 
         Returns ``True`` on success and ``False`` when both classes already
         contain distinct constants (an FD violation that cannot be repaired).
+        On an effective merge, listeners are notified with the surviving and
+        the absorbed root, in registration order.
         """
         root_a, root_b = self.find(first), self.find(second)
         if root_a == root_b:
             return True
         if root_a.is_constant and root_b.is_constant:
             return False
-        if root_b.is_constant:
+        if root_b.election_key() < root_a.election_key():
             root_a, root_b = root_b, root_a
         # root_a is preferred (constant if any); point root_b at it.
         self._parent[root_b] = root_a
+        for listener in self._listeners:
+            listener(root_a, root_b)
         return True
 
 
@@ -150,9 +195,39 @@ class Tableau:
         """The current (representative) value of a cell."""
         return self._uf.find(self._rows[row_index][attribute])
 
+    def raw_row(self, row_index: int) -> Mapping[Attribute, TableauValue]:
+        """The stored (unresolved) cells of a row — treat as read-only.
+
+        Callers that resolve many cells repeatedly (the chase engine) keep a
+        reference to the raw row and pass its cells through :meth:`resolve`,
+        avoiding a row-list lookup per cell.
+        """
+        return self._rows[row_index]
+
+    def resolve(self, value: TableauValue) -> TableauValue:
+        """The current representative of ``value``'s equivalence class."""
+        return self._uf.find(value)
+
     def equate(self, first: TableauValue, second: TableauValue) -> bool:
         """Equate two values; False signals an unrepairable constant clash."""
         return self._uf.union(first, second)
+
+    def add_merge_listener(self, listener: MergeListener) -> None:
+        """Subscribe to merge events.
+
+        ``listener(winner, loser)`` is invoked after every *effective* merge:
+        ``loser`` was a class representative and its whole class now resolves
+        to ``winner``.  No event fires for a no-op equate (values already in
+        one class) or for path compression (which never changes a class).
+        Incremental indexes over the tableau — the chase engine's key maps —
+        subscribe here so that only rows whose representatives actually
+        changed are re-keyed.
+        """
+        self._uf.add_listener(listener)
+
+    def remove_merge_listener(self, listener: MergeListener) -> None:
+        """Unsubscribe a listener previously added with :meth:`add_merge_listener`."""
+        self._uf.remove_listener(listener)
 
     def rows_as_values(self) -> list[dict[Attribute, TableauValue]]:
         """Snapshot of all rows with representatives resolved."""

@@ -22,7 +22,8 @@ from typing import Optional
 
 from repro.errors import ConsistencyError
 from repro.relational.attributes import AttributeSet, as_attribute_set
-from repro.relational.chase import ChaseResult, chase_database
+from repro.relational.chase import ChaseResult
+from repro.relational.chase_engine import ChaseEngine
 from repro.relational.database import Database
 from repro.relational.functional_dependencies import FunctionalDependency
 from repro.relational.relations import Relation
@@ -64,15 +65,32 @@ class WeakInstanceResult:
 
 
 def weak_instance_consistency(
-    database: Database, fds: Sequence[FunctionalDependency], witness_name: str = "weak_instance"
+    database: Database,
+    fds: Sequence[FunctionalDependency],
+    witness_name: str = "weak_instance",
+    engine: Optional[ChaseEngine] = None,
 ) -> WeakInstanceResult:
     """Honeyman's test: is ``database`` consistent with ``fds`` under the weak-instance assumption?
 
-    Runs the FD chase on the representative instance.  On success the chased
-    tableau is materialized into an actual weak instance satisfying the FDs
-    and returned as the witness.
+    Runs the FD chase on the representative instance — via the indexed,
+    delta-driven :class:`~repro.relational.chase_engine.ChaseEngine` (the
+    naive :func:`~repro.relational.chase.chase_fds` produces the identical
+    tableau and survives as a cross-check oracle).  Callers issuing many
+    tests against one FD set can pass a prebuilt ``engine`` to amortize the
+    FD preprocessing; it must have been built from the same dependencies as
+    ``fds`` (a mismatch raises, rather than silently chasing with the
+    engine's set and reporting the verdict against the other).  On success
+    the chased tableau is materialized into an actual weak instance
+    satisfying the FDs and returned as the witness.
     """
-    result = chase_database(database, list(fds))
+    if engine is None:
+        engine = ChaseEngine(fds)
+    elif set(engine.fds) != set(fds):
+        raise ConsistencyError(
+            "the prebuilt chase engine was constructed from a different FD set "
+            "than the one being tested"
+        )
+    result = engine.chase_database(database)
     if not result.consistent:
         return WeakInstanceResult(False, None, result)
     witness = result.tableau.to_relation(witness_name)

@@ -19,6 +19,7 @@ from repro.workloads.random_formulas import random_3cnf, random_nae_satisfiable_
 from repro.workloads.random_graphs import random_graph_relation, random_sparse_forest_relation
 from repro.workloads.random_relations import (
     attribute_names,
+    chained_consistent_database,
     random_consistent_database,
     random_database,
     random_functional_relation,
@@ -31,6 +32,7 @@ __all__ = [
     "random_functional_relation",
     "random_database",
     "random_consistent_database",
+    "chained_consistent_database",
     "random_fd",
     "random_fd_set",
     "random_pd",

@@ -3,7 +3,6 @@
 import random
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.dependencies.conversion import fd_to_pd, fds_to_pds
 from repro.dependencies.pd import PartitionDependency

@@ -7,7 +7,6 @@ from repro.relational.chase import (
     Tableau,
     TableauValue,
     chase_database,
-    chase_fds,
     representative_instance,
 )
 from repro.relational.database import Database

@@ -5,7 +5,9 @@ import pytest
 from repro.consistency.pd_consistency import (
     consistency_with_explicit_weak_instance,
     is_pd_consistent,
+    pd_chase_engine,
     pd_consistency,
+    pd_consistency_many,
     repair_sum_constraints_once,
     sum_constraint_violations,
 )
@@ -138,3 +140,45 @@ class TestTheorem7ExplicitWitness:
         candidate = Relation.from_strings("w", "ABC", ["a1.b1.c1", "a1.b2.c2"])
         # candidate is a weak instance but violates A = A*B.
         assert not consistency_with_explicit_weak_instance(database, ["A = A*B"], candidate)
+
+
+class TestAmortizedChaseEngine:
+    def test_pd_consistency_with_prebuilt_engine(self):
+        constraints = ["A = A*B", "B = B*C", "D = A + B"]
+        engine = pd_chase_engine(constraints)
+        databases = [
+            Database(
+                [
+                    Relation.from_strings("R", "AB", ["a1.b1"]),
+                    Relation.from_strings("S", "BC", ["b1.c1"]),
+                ]
+            ),
+            Database([Relation.from_strings("R", "AB", ["a1.b1", "a1.b2"])]),
+        ]
+        for database in databases:
+            amortized = pd_consistency(database, constraints, engine=engine)
+            one_shot = pd_consistency(database, constraints)
+            assert amortized.consistent == one_shot.consistent
+            assert amortized.weak_instance == one_shot.weak_instance
+
+    def test_pd_consistency_many_matches_per_database(self):
+        constraints = ["A = A*B", "B = B*C"]
+        databases = [
+            Database([Relation.from_strings("R", "AB", ["a1.b1"])]),
+            Database([Relation.from_strings("R", "AB", ["a1.b1", "a1.b2"])]),
+        ]
+        batched = pd_consistency_many(databases, constraints)
+        assert [r.consistent for r in batched] == [
+            pd_consistency(db, constraints).consistent for db in databases
+        ]
+        assert [r.weak_instance for r in batched] == [
+            pd_consistency(db, constraints).weak_instance for db in databases
+        ]
+
+    def test_fd_consistency_with_prebuilt_engine(self):
+        from repro.relational.chase_engine import ChaseEngine
+
+        fds = parse_fd_set(["A -> B"])
+        database = Database([Relation.from_strings("R", "AB", ["a1.b1", "a1.b2"])])
+        assert not fd_consistency(database, fds, engine=ChaseEngine(fds)).consistent
+        assert not fd_consistency(database, fds).consistent

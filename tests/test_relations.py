@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import SchemaError
-from repro.relational.attributes import AttributeSet
 from repro.relational.relations import Relation
 from repro.relational.schema import RelationScheme
 from repro.relational.tuples import Row

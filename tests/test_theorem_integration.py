@@ -7,7 +7,6 @@ which is exactly how the paper's proofs compose them.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 
 from repro.consistency.pd_consistency import is_pd_consistent
@@ -130,7 +129,6 @@ class TestTheorem9AgainstSemantics:
         # relations with at most 3 tuples over a 2-symbol domain per column.
         import itertools
 
-        universe = ["A", "B"]
         symbols = {"A": ["a1", "a2"], "B": ["b1", "b2"]}
         all_rows = [
             {"A": a, "B": b} for a in symbols["A"] for b in symbols["B"]
