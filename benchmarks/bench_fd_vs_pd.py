@@ -15,6 +15,7 @@ import pytest
 
 from repro.dependencies.conversion import fd_to_pd, fds_to_pds
 from repro.implication.alg import pd_implies
+from repro.implication.fd_implication import fd_implies_all_via_pds
 from repro.implication.word_problems import fd_implication_as_semigroup_problem
 from repro.relational.functional_dependencies import implies
 from repro.workloads.random_dependencies import random_fd_set
@@ -47,3 +48,22 @@ def test_fd_implication_deciders(benchmark, fd_count, decider, rng_seed):
     ]
     answers = benchmark(run)
     assert answers == closure_decider()
+
+
+@pytest.mark.benchmark(group="EXP-ALG batched FD implication through one engine")
+@pytest.mark.parametrize("query_count", [10, 25, 50])
+@pytest.mark.parametrize("mode", ["per-target", "batched"])
+def test_fd_implication_amortization(benchmark, mode, query_count, rng_seed):
+    # One ALG run per FD target vs. all targets batched through a single
+    # incremental engine over the same FPD translation.
+    fds, targets = _workload(12, rng_seed + query_count, queries=query_count)
+
+    def per_target():
+        translated = fds_to_pds(fds)
+        return [pd_implies(translated, fd_to_pd(target)) for target in targets]
+
+    def batched():
+        return fd_implies_all_via_pds(fds, targets)
+
+    answers = benchmark(per_target if mode == "per-target" else batched)
+    assert answers == [implies(fds, target) for target in targets]

@@ -19,6 +19,7 @@ def pytest_benchmark_update_json(config, benchmarks, output_json):
         "FIG3": "Figure 3 / Theorem 11 reduction instance",
         "EXP-T4": "connectivity PD on path relations",
         "EXP-T9": "ALG implication scaling",
+        "EXP-ALG": "incremental implication service vs from-scratch closures",
         "EXP-T10": "identity recognition vs ALG",
         "EXP-T11": "CAD consistency (NP-complete) scaling",
         "EXP-T12": "polynomial PD consistency scaling",

@@ -22,7 +22,7 @@ from repro import (
 
 
 def implication_demo() -> None:
-    print("1. implication with ALG (Theorem 9)")
+    print("1. implication with the incremental ALG engine (Theorem 9)")
     engine = ImplicationEngine(
         ["Account = Account*Customer", "Customer = Customer*Branch", "Region = Branch + Customer"]
     )
@@ -30,11 +30,23 @@ def implication_demo() -> None:
         "Account = Account*Branch",      # FD-style transitivity
         "Customer = Customer*Region",    # Customer <= Branch <= ... <= Region via the sum
         "Branch = Branch*Region",
-        "Region = Region*Branch",        # not implied: Region is coarser
+        "Region = Region*Branch",        # Branch+Customer <= Branch since Customer <= Branch
         "Account = Account*Region",
     ]
+    # One engine serves the whole query stream: each query only extends the
+    # closure with its own new subexpressions instead of recomputing it.
     for query in queries:
         print(f"   E implies {query:32s}: {engine.implies(query)}")
+    index = engine.index
+    print(f"   closure state: {index.vertex_count} vertices in "
+          f"{index.class_count} congruence classes, {index.arc_count()} arcs")
+
+    # The theory itself can grow in place; propagation resumes delta-wise.
+    engine.add_dependencies(["Branch = Branch*Account"])
+    print("   after adding Branch = Branch*Account:")
+    print(f"   E implies Account = Branch           : {engine.implies('Account = Branch')}")
+    print(f"   Account and Branch now share a class : "
+          f"{index.equivalent('Account', 'Branch')}")
     print()
 
 

@@ -87,13 +87,16 @@ from repro.graphs import (
 )
 from repro.implication import (
     ImplicationEngine,
+    ImplicationIndex,
     fd_implies,
+    fd_implies_all_via_pds,
     fd_implies_via_pds,
     identically_equal,
     identically_leq,
     is_pd_identity,
     lattice_identity,
     lattice_word_problem,
+    lattice_word_problems,
     pd_implies,
     pd_leq,
     semigroup_word_problem,
@@ -169,6 +172,7 @@ __all__ = [
     "relation_satisfies_all_pds",
     # implication
     "ImplicationEngine",
+    "ImplicationIndex",
     "pd_implies",
     "pd_leq",
     "identically_leq",
@@ -176,7 +180,9 @@ __all__ = [
     "is_pd_identity",
     "fd_implies",
     "fd_implies_via_pds",
+    "fd_implies_all_via_pds",
     "lattice_word_problem",
+    "lattice_word_problems",
     "lattice_identity",
     "semigroup_word_problem",
     # lattices

@@ -178,7 +178,9 @@ def normalize_dependencies(
 
     # Step 3: close under A ≤ B consequences (computed against the *original*
     # PDs plus the binary equations, which are equivalent over the extended
-    # universe) and prune subsumed sum constraints.
+    # universe) and prune subsumed sum constraints.  The engine is the
+    # incremental ALG service: one closure over E ∪ E' answers all |U'|²
+    # attribute-order queries.
     universe: set[Attribute] = set(fresh)
     for pd in pds:
         universe |= set(pd.attributes)

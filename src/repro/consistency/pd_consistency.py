@@ -65,17 +65,21 @@ def pd_consistency(
     database: Database,
     dependencies: Sequence[PartitionDependencyLike],
     engine: Optional[ChaseEngine] = None,
+    normalized: Optional[NormalizedDependencies] = None,
 ) -> PdConsistencyResult:
     """Theorem 12: polynomial-time consistency of ``(d, E)`` for an arbitrary PD set ``E``.
 
     The chase of step 2 runs on the indexed
-    :class:`~repro.relational.chase_engine.ChaseEngine`.  A prebuilt
-    ``engine`` (from :func:`pd_chase_engine`) skips only the engine's own FD
-    preprocessing — normalization still runs per call because the result
-    carries its artifacts; use :func:`pd_consistency_many` to amortize the
-    full step-1 cost over a batch of databases.
+    :class:`~repro.relational.chase_engine.ChaseEngine`.  Callers holding the
+    step-1 artifacts already (from :func:`normalize_dependencies`) can pass
+    ``normalized`` to skip re-normalizing — the ALG implication work of the
+    closure step is then paid once for any number of calls; a prebuilt
+    ``engine`` (from :func:`pd_chase_engine`) additionally skips the chase
+    engine's own FD preprocessing.  :func:`pd_consistency_many` wires both up
+    for a batch of databases.
     """
-    normalized = normalize_dependencies([as_partition_dependency(pd) for pd in dependencies])
+    if normalized is None:
+        normalized = normalize_dependencies([as_partition_dependency(pd) for pd in dependencies])
     if engine is None:
         engine = ChaseEngine(normalized.fds)
     chase_result = weak_instance_consistency(database, normalized.fds, engine=engine)
@@ -95,23 +99,25 @@ def _result_from_chase(
 
 
 def pd_consistency_many(
-    databases: Iterable[Database], dependencies: Sequence[PartitionDependencyLike]
+    databases: Iterable[Database],
+    dependencies: Sequence[PartitionDependencyLike],
+    normalized: Optional[NormalizedDependencies] = None,
 ) -> list[PdConsistencyResult]:
     """Theorem 12 over a batch of databases sharing one PD set.
 
-    Normalization (step 1 — binarize, re-express with ALG, close, prune) and
-    the chase-engine preprocessing both depend only on ``E``, so the batch
-    pays them once instead of once per database; only the chase itself (step
-    2) runs per database.  Results match per-database :func:`pd_consistency`
-    exactly.
+    Normalization (step 1 — binarize, re-express, run one incremental ALG
+    engine for the closure, prune) and the chase-engine preprocessing both
+    depend only on ``E``, so the batch pays them once instead of once per
+    database; only the chase itself (step 2) runs per database.  Results
+    match per-database :func:`pd_consistency` exactly.
     """
-    normalized = normalize_dependencies([as_partition_dependency(pd) for pd in dependencies])
+    if normalized is None:
+        normalized = normalize_dependencies([as_partition_dependency(pd) for pd in dependencies])
     engine = ChaseEngine(normalized.fds)
-    results = []
-    for database in databases:
-        chase_result = weak_instance_consistency(database, normalized.fds, engine=engine)
-        results.append(_result_from_chase(normalized, chase_result))
-    return results
+    return [
+        pd_consistency(database, dependencies, engine=engine, normalized=normalized)
+        for database in databases
+    ]
 
 
 def is_pd_consistent(database: Database, dependencies: Sequence[PartitionDependencyLike]) -> bool:
@@ -119,17 +125,20 @@ def is_pd_consistent(database: Database, dependencies: Sequence[PartitionDepende
     return pd_consistency(database, dependencies).consistent
 
 
-def pd_chase_engine(dependencies: Sequence[PartitionDependencyLike]) -> ChaseEngine:
+def pd_chase_engine(
+    dependencies: Sequence[PartitionDependencyLike],
+    normalized: Optional[NormalizedDependencies] = None,
+) -> ChaseEngine:
     """A reusable chase engine over the FD translation of a PD set.
 
     Useful for driving the chase directly (e.g. via
     :func:`repro.relational.weak_instance.weak_instance_consistency` with the
-    normalized FD set) against many databases.  Note that
-    :func:`pd_consistency` re-normalizes per call even when handed this
-    engine — for full step-1 amortization over a batch, use
-    :func:`pd_consistency_many`.
+    normalized FD set) against many databases.  Pass the ``normalized``
+    artifacts along to :func:`pd_consistency` to skip step 1 there too, or
+    use :func:`pd_consistency_many`, which amortizes both for a batch.
     """
-    normalized = normalize_dependencies([as_partition_dependency(pd) for pd in dependencies])
+    if normalized is None:
+        normalized = normalize_dependencies([as_partition_dependency(pd) for pd in dependencies])
     return ChaseEngine(normalized.fds)
 
 

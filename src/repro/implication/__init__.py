@@ -16,9 +16,11 @@ from repro.implication.fd_implication import (
     derive_fd,
     fd_closure,
     fd_implies,
+    fd_implies_all_via_pds,
     fd_implies_via_pds,
     is_superkey,
 )
+from repro.implication.index import ImplicationIndex, implication_index
 from repro.implication.identities import (
     identically_equal,
     identically_leq,
@@ -35,11 +37,14 @@ from repro.implication.word_problems import (
     fd_implication_as_semigroup_problem,
     lattice_identity,
     lattice_word_problem,
+    lattice_word_problems,
     semigroup_word_problem,
 )
 
 __all__ = [
     "ImplicationEngine",
+    "ImplicationIndex",
+    "implication_index",
     "alg_closure",
     "alg_closure_naive",
     "pd_leq",
@@ -57,12 +62,14 @@ __all__ = [
     "fd_closure",
     "fd_implies",
     "fd_implies_via_pds",
+    "fd_implies_all_via_pds",
     "derive_fd",
     "ArmstrongDerivation",
     "DerivationStep",
     "closure_sequence",
     "is_superkey",
     "lattice_word_problem",
+    "lattice_word_problems",
     "lattice_identity",
     "semigroup_word_problem",
     "fd_implication_as_semigroup_problem",

@@ -46,6 +46,7 @@ from repro.expressions.ast import (
     Sum,
     as_expression,
 )
+from repro.implication.index import ImplicationIndex
 
 
 def _vertex_set(
@@ -241,12 +242,18 @@ def alg_closure_naive(
 
 
 class ImplicationEngine:
-    """Decides ``E ⊨ e = e'`` queries against a fixed set of PDs.
+    """Decides ``E ⊨ e = e'`` queries against a growing set of PDs.
 
-    The closure is recomputed lazily whenever a query mentions an expression
-    whose subexpressions are not yet in the vertex set; callers that know
-    their query expressions up front can pass them to the constructor so
-    the closure is built exactly once.
+    The default engine is a facade over the persistent
+    :class:`~repro.implication.index.ImplicationIndex`: a query mentioning a
+    new expression extends the vertex set and *resumes* rule propagation
+    delta-wise instead of recomputing the closure, so long query streams
+    against one PD set cost little more than one closure overall.
+
+    With ``naive=True`` the engine instead rebuilds the closure from scratch
+    with :func:`alg_closure_naive` whenever the vertex set grows — the
+    behaviour of the paper's literal pseudo-code, kept as a cross-check
+    oracle and benchmark baseline.
     """
 
     def __init__(
@@ -257,28 +264,57 @@ class ImplicationEngine:
     ) -> None:
         self._dependencies = [as_partition_dependency(pd) for pd in dependencies]
         self._naive = naive
-        self._known: set[PartitionExpression] = set()
-        self._relation: Optional[_ArcRelation] = None
-        self._pending: list[PartitionExpression] = [as_expression(e) for e in query_expressions]
+        if naive:
+            self._index: Optional[ImplicationIndex] = None
+            self._known: set[PartitionExpression] = set()
+            self._relation: Optional[_ArcRelation] = None
+            self._pending: list[PartitionExpression] = [
+                as_expression(e) for e in query_expressions
+            ]
+        else:
+            self._index = ImplicationIndex(self._dependencies, query_expressions)
 
     @property
     def dependencies(self) -> list[PartitionDependency]:
         """The PD set ``E`` this engine reasons over."""
         return list(self._dependencies)
 
+    @property
+    def index(self) -> Optional[ImplicationIndex]:
+        """The underlying incremental index (``None`` for a naive engine)."""
+        return self._index
+
     def _ensure(self, expressions: Sequence[PartitionExpression]) -> _ArcRelation:
         missing = [e for e in expressions if e not in self._known]
         if self._relation is None or missing:
             self._pending.extend(missing)
-            closure_fn = alg_closure_naive if self._naive else alg_closure
-            self._relation = closure_fn(self._dependencies, self._pending)
+            self._relation = alg_closure_naive(self._dependencies, self._pending)
             self._known = set(self._relation.vertices)
         return self._relation
+
+    def add_dependencies(self, dependencies: Iterable[PartitionDependencyLike]) -> None:
+        """Extend ``E`` in place; the incremental index resumes propagation."""
+        added = [as_partition_dependency(pd) for pd in dependencies]
+        self._dependencies.extend(added)
+        if self._index is not None:
+            self._index.add_dependencies(added)
+        else:
+            self._relation = None  # force a recompute on the next query
+
+    def prepare(self, expressions: Iterable[ExpressionLike]) -> None:
+        """Register query expressions ahead of time (one propagation for the batch)."""
+        exprs = [as_expression(e) for e in expressions]
+        if self._index is not None:
+            self._index.add_expressions(exprs)
+        else:
+            self._ensure(exprs)
 
     def leq(self, left: ExpressionLike, right: ExpressionLike) -> bool:
         """``left ≤_E right``: the PD ``left = left·right`` is implied by ``E``."""
         p = as_expression(left)
         q = as_expression(right)
+        if self._index is not None:
+            return self._index.leq(p, q)
         relation = self._ensure([p, q])
         return relation.has(relation.index[p], relation.index[q])
 
@@ -288,8 +324,10 @@ class ImplicationEngine:
         return self.leq(pd.left, pd.right) and self.leq(pd.right, pd.left)
 
     def implies_all(self, dependencies: Iterable[PartitionDependencyLike]) -> bool:
-        """True iff every PD in ``dependencies`` is implied."""
-        return all(self.implies(pd) for pd in dependencies)
+        """True iff every PD in ``dependencies`` is implied (single propagation)."""
+        pds = [as_partition_dependency(pd) for pd in dependencies]
+        self.prepare([side for pd in pds for side in (pd.left, pd.right)])
+        return all(self.implies(pd) for pd in pds)
 
     def attribute_order_consequences(
         self, attributes: Iterable[str]
@@ -301,13 +339,11 @@ class ImplicationEngine:
         """
         names = sorted(set(attributes))
         exprs = [Attr(name) for name in names]
-        relation = self._ensure(exprs)
+        self.prepare(exprs)
         result: list[tuple[str, str]] = []
         for a in names:
             for b in names:
-                if a == b:
-                    continue
-                if relation.has(relation.index[Attr(a)], relation.index[Attr(b)]):
+                if a != b and self.leq(Attr(a), Attr(b)):
                     result.append((a, b))
         return result
 
@@ -341,9 +377,29 @@ def pd_implies_all(
 
 
 def pd_equivalent(
-    first: Iterable[PartitionDependencyLike], second: Iterable[PartitionDependencyLike]
+    first: Iterable[PartitionDependencyLike],
+    second: Iterable[PartitionDependencyLike],
+    naive: bool = False,
 ) -> bool:
-    """True iff the two PD sets imply each other."""
+    """True iff the two PD sets imply each other.
+
+    Each direction is decided on one engine whose closure already contains
+    every query expression, so the arc relation is propagated exactly once
+    per PD set (instead of once per query, as rebuilding via two
+    :func:`pd_implies_all` calls used to do).
+    """
     first_list = [as_partition_dependency(pd) for pd in first]
     second_list = [as_partition_dependency(pd) for pd in second]
-    return pd_implies_all(first_list, second_list) and pd_implies_all(second_list, first_list)
+    forward = ImplicationEngine(
+        first_list,
+        query_expressions=[side for pd in second_list for side in (pd.left, pd.right)],
+        naive=naive,
+    )
+    if not forward.implies_all(second_list):
+        return False
+    backward = ImplicationEngine(
+        second_list,
+        query_expressions=[side for pd in first_list for side in (pd.left, pd.right)],
+        naive=naive,
+    )
+    return backward.implies_all(first_list)

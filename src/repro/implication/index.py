@@ -1,0 +1,385 @@
+"""An incremental, congruence-collapsing ALG closure (the implication hot path).
+
+:func:`repro.implication.alg.alg_closure` recomputes the whole digraph ``Γ``
+from scratch for a fixed vertex set.  Every realistic caller, however, issues
+a *stream* of queries against one PD set — the Theorem 12 normalization asks
+for all ``A ≤ B`` pairs, the quotient construction classifies a growing pool
+of expressions, batched FD implication translates many targets — and each new
+query drags a handful of new subexpressions into ``V``.  Recomputing Γ per
+query throws away almost all of the work.
+
+:class:`ImplicationIndex` keeps the ALG worklist state alive between calls:
+
+* **Incremental vertices** — :meth:`add_expressions` registers only the
+  missing subexpressions and *resumes* rule propagation from the existing
+  relation: a new composite catches up on the arcs its operands already have
+  (rules 2–5 restricted to the new vertex) and the worklist derives the rest.
+  :meth:`add_dependencies` likewise extends ``E`` by seeding the two new
+  equation arcs and propagating only their consequences.
+* **Congruence classes** — vertices provably Γ-equivalent (arcs both ways,
+  i.e. ``p ≤_E q`` and ``q ≤_E p``) are collapsed into one class via
+  union-find with deterministic representative election (smallest vertex id
+  wins, mirroring the chase engine's representative election).  Arcs are kept
+  between class representatives only, so successor/predecessor sets — and
+  hence transitivity propagation — stay small when ``E`` forces many
+  equalities (FD-style chains collapse whole towers of expressions).
+
+Soundness of the collapse: Γ is transitively closed, so two-way arcs make the
+members' successor and predecessor sets agree; the class representative
+carries them once.  On a merge the absorbed class's arcs are re-enqueued so
+rules that key on composite structure (a sum/product having an operand in the
+class) observe the enlarged class — this is what keeps the fixpoint identical
+to the from-scratch closure, which ``tests/test_implication_index.py``
+verifies against both :func:`~repro.implication.alg.alg_closure` and
+:func:`~repro.implication.alg.alg_closure_naive` on randomized interleavings.
+
+The index never forgets: dependencies and vertices can only be added, which
+is exactly the monotone shape of ALG (rules only ever insert arcs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.dependencies.pd import (
+    PartitionDependency,
+    PartitionDependencyLike,
+    as_partition_dependency,
+)
+from repro.expressions.ast import (
+    Attr,
+    ExpressionLike,
+    PartitionExpression,
+    Product,
+    as_expression,
+)
+
+
+class ImplicationIndex:
+    """Persistent, incremental arc relation ``Γ`` of ALG over a growing ``(E, V)``.
+
+    ``leq(e, e')`` answers ``e ≤_E e'`` (registering the expressions first if
+    needed); :meth:`add_dependencies` grows ``E``; :meth:`add_expressions`
+    grows the query-expression pool.  All operations leave the relation closed
+    under the seven ALG rules restricted to the current vertex set.
+    """
+
+    def __init__(
+        self,
+        dependencies: Iterable[PartitionDependencyLike] = (),
+        expressions: Iterable[ExpressionLike] = (),
+    ) -> None:
+        self._dependencies: list[PartitionDependency] = []
+        self._vertex: dict[PartitionExpression, int] = {}
+        self._exprs: list[PartitionExpression] = []
+        self._parent: list[int] = []
+        self._members: dict[int, list[int]] = {}
+        # Arcs between class representatives (including explicit self-arcs).
+        self._succ: dict[int, set[int]] = {}
+        self._pred: dict[int, set[int]] = {}
+        # Composite structure: vertex id -> operand vertex ids, and the
+        # reverse maps keyed by the operands' *current* class representative.
+        self._products: dict[int, tuple[int, int]] = {}
+        self._sums: dict[int, tuple[int, int]] = {}
+        self._product_by_operand: dict[int, list[int]] = {}
+        self._sum_by_operand: dict[int, list[int]] = {}
+        self._worklist: deque[tuple[int, int]] = deque()
+        self._pending_merges: deque[tuple[int, int]] = deque()
+        self.add_dependencies(dependencies)
+        self.add_expressions(expressions)
+
+    # -- public surface ---------------------------------------------------------
+
+    @property
+    def dependencies(self) -> list[PartitionDependency]:
+        """The PD set ``E`` accumulated so far."""
+        return list(self._dependencies)
+
+    @property
+    def vertex_count(self) -> int:
+        """Number of registered subexpressions (vertices of ``Γ``)."""
+        return len(self._exprs)
+
+    @property
+    def class_count(self) -> int:
+        """Number of congruence classes (collapsed vertices)."""
+        return len(self._members)
+
+    def arc_count(self) -> int:
+        """Number of arcs between class representatives (not expanded)."""
+        return sum(len(targets) for targets in self._succ.values())
+
+    def add_dependencies(self, dependencies: Iterable[PartitionDependencyLike]) -> None:
+        """Extend ``E`` and resume propagation from the new equation arcs."""
+        for raw in dependencies:
+            pd = as_partition_dependency(raw)
+            self._dependencies.append(pd)
+            left = self._register(pd.left)
+            right = self._register(pd.right)
+            self._insert(left, right)
+            self._insert(right, left)
+        self._drain()
+
+    def add_expressions(self, expressions: Iterable[ExpressionLike]) -> None:
+        """Extend the vertex set with all subexpressions of ``expressions``."""
+        for raw in expressions:
+            self._register(as_expression(raw))
+        self._drain()
+
+    def knows(self, expression: ExpressionLike) -> bool:
+        """True iff the expression is already a vertex (no mutation)."""
+        return as_expression(expression) in self._vertex
+
+    def leq(self, left: ExpressionLike, right: ExpressionLike) -> bool:
+        """``left ≤_E right``, registering the expressions if necessary."""
+        p = self._register(as_expression(left))
+        q = self._register(as_expression(right))
+        self._drain()
+        return self._find(q) in self._succ[self._find(p)]
+
+    def has_arc(self, left: ExpressionLike, right: ExpressionLike) -> bool:
+        """``left ≤_E right`` for already-registered expressions (read-only).
+
+        Raises :class:`KeyError` when either expression was never registered.
+        """
+        p = self._vertex[as_expression(left)]
+        q = self._vertex[as_expression(right)]
+        return self._find(q) in self._succ[self._find(p)]
+
+    def equivalent(self, left: ExpressionLike, right: ExpressionLike) -> bool:
+        """``left =_E right``: the two expressions are in the same congruence class."""
+        p = self._register(as_expression(left))
+        q = self._register(as_expression(right))
+        self._drain()
+        return self._find(p) == self._find(q)
+
+    def congruence_classes(self) -> list[list[PartitionExpression]]:
+        """The current classes of Γ-equivalent vertices, in vertex order."""
+        return [
+            [self._exprs[vid] for vid in sorted(member_ids)]
+            for root, member_ids in sorted(self._members.items())
+        ]
+
+    def representative(self, expression: ExpressionLike) -> PartitionExpression:
+        """The elected representative of the expression's congruence class."""
+        vid = self._register(as_expression(expression))
+        self._drain()
+        return self._exprs[min(self._members[self._find(vid)])]
+
+    def vertices(self) -> list[PartitionExpression]:
+        """All registered subexpressions, in registration order."""
+        return list(self._exprs)
+
+    def as_expression_pairs(self) -> set[tuple[PartitionExpression, PartitionExpression]]:
+        """The full arc relation expanded back to expression pairs.
+
+        Matches :meth:`repro.implication.alg._ArcRelation.as_expression_pairs`
+        exactly (the cross-check oracles rely on this).
+        """
+        pairs: set[tuple[PartitionExpression, PartitionExpression]] = set()
+        for source_root, targets in self._succ.items():
+            source_members = self._members[source_root]
+            for target_root in targets:
+                for i in source_members:
+                    for j in self._members[target_root]:
+                        pairs.add((self._exprs[i], self._exprs[j]))
+        return pairs
+
+    # -- vertex registration ----------------------------------------------------
+
+    def _register(self, expression: PartitionExpression) -> int:
+        """Intern ``expression`` and all its subexpressions as vertices (children first)."""
+        vid = self._vertex.get(expression)
+        if vid is not None:
+            return vid
+        stack: list[tuple[PartitionExpression, bool]] = [(expression, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node in self._vertex:
+                continue
+            if expanded:
+                self._create_vertex(node)
+            else:
+                stack.append((node, True))
+                if not isinstance(node, Attr):
+                    stack.append((node.left, False))  # type: ignore[attr-defined]
+                    stack.append((node.right, False))  # type: ignore[attr-defined]
+        return self._vertex[expression]
+
+    def _create_vertex(self, node: PartitionExpression) -> None:
+        """Add one vertex whose operands are already registered, with rule catch-up."""
+        vid = len(self._exprs)
+        self._vertex[node] = vid
+        self._exprs.append(node)
+        self._parent.append(vid)
+        self._members[vid] = [vid]
+        self._succ[vid] = set()
+        self._pred[vid] = set()
+
+        if isinstance(node, Attr):
+            # Rule 1: reflexivity of attributes.
+            self._insert(vid, vid)
+            return
+
+        left = self._vertex[node.left]  # type: ignore[attr-defined]
+        right = self._vertex[node.right]  # type: ignore[attr-defined]
+        left_root = self._find(left)
+        right_root = self._find(right)
+        if isinstance(node, Product):
+            self._products[vid] = (left, right)
+            self._product_by_operand.setdefault(left_root, []).append(vid)
+            if right_root != left_root:
+                self._product_by_operand.setdefault(right_root, []).append(vid)
+            # Catch-up rule 3: p*q ≤ s for every s one of its operands is ≤.
+            for target in list(self._succ[left_root]):
+                self._insert(vid, target)
+            for target in list(self._succ[right_root]):
+                self._insert(vid, target)
+            # Catch-up rule 4: o ≤ p*q for every o below both operands.
+            for origin in list(self._pred[left_root]):
+                if right_root == left_root or right_root in self._succ[origin]:
+                    self._insert(origin, vid)
+        else:
+            self._sums[vid] = (left, right)
+            self._sum_by_operand.setdefault(left_root, []).append(vid)
+            if right_root != left_root:
+                self._sum_by_operand.setdefault(right_root, []).append(vid)
+            # Catch-up rule 5: o ≤ p+q for every o below an operand.
+            for origin in list(self._pred[left_root]):
+                self._insert(origin, vid)
+            for origin in list(self._pred[right_root]):
+                self._insert(origin, vid)
+            # Catch-up rule 2: p+q ≤ s for every s above both operands.
+            for target in list(self._succ[left_root]):
+                if right_root == left_root or target in self._succ[right_root]:
+                    self._insert(vid, target)
+
+    # -- union-find -------------------------------------------------------------
+
+    def _find(self, vid: int) -> int:
+        parent = self._parent
+        root = vid
+        while parent[root] != root:
+            root = parent[root]
+        while parent[vid] != root:
+            parent[vid], vid = root, parent[vid]
+        return root
+
+    # -- worklist core ----------------------------------------------------------
+
+    def _insert(self, source: int, target: int) -> None:
+        """Record the arc ``source ≤ target`` (by any member id) if new."""
+        source_root = self._find(source)
+        target_root = self._find(target)
+        if target_root in self._succ[source_root]:
+            return
+        self._succ[source_root].add(target_root)
+        self._pred[target_root].add(source_root)
+        self._worklist.append((source_root, target_root))
+        if source_root != target_root and source_root in self._succ[target_root]:
+            self._pending_merges.append((source_root, target_root))
+
+    def _drain(self) -> None:
+        """Run merges and rule propagation to fixpoint."""
+        while self._pending_merges or self._worklist:
+            while self._pending_merges:
+                a, b = self._pending_merges.popleft()
+                self._merge(a, b)
+            if not self._worklist:
+                break
+            p, s = self._worklist.popleft()
+            self._process_arc(self._find(p), self._find(s))
+
+    def _merge(self, a: int, b: int) -> None:
+        """Collapse two mutually-reachable classes; smallest member id wins."""
+        root_a, root_b = self._find(a), self._find(b)
+        if root_a == root_b:
+            return
+        winner, loser = (root_a, root_b) if root_a < root_b else (root_b, root_a)
+        self._parent[loser] = winner
+        self._members[winner].extend(self._members.pop(loser))
+
+        loser_succ = self._succ.pop(loser)
+        loser_pred = self._pred.pop(loser)
+        merged_succ = {winner if t == loser else t for t in self._succ[winner] | loser_succ}
+        merged_pred = {winner if o == loser else o for o in self._pred[winner] | loser_pred}
+        self._succ[winner] = merged_succ
+        self._pred[winner] = merged_pred
+        for target in merged_succ:
+            neighbors = self._pred[target]
+            neighbors.discard(loser)
+            neighbors.add(winner)
+        for origin in merged_pred:
+            neighbors = self._succ[origin]
+            neighbors.discard(loser)
+            neighbors.add(winner)
+
+        # Renaming loser → winner can itself complete a mutual pair (an old
+        # arc into the loser plus an old arc out of the winner, say) without
+        # ever passing through _insert's mutual-arc detection; a merge only
+        # rewrites arcs incident to the merged class, so the winner is the
+        # only vertex a new mutual pair can involve.
+        for neighbor in merged_succ & merged_pred:
+            if neighbor != winner:
+                self._pending_merges.append((winner, neighbor))
+
+        for table in (self._product_by_operand, self._sum_by_operand):
+            absorbed = table.pop(loser, None)
+            if absorbed:
+                existing = table.get(winner)
+                if existing:
+                    table[winner] = list(dict.fromkeys(existing + absorbed))
+                else:
+                    table[winner] = absorbed
+
+        # Re-enqueue every arc incident to the merged class: composites that
+        # key an operand through it must observe the enlarged class, and arcs
+        # absorbed from the loser must fire rules under the winner's indexes.
+        for target in merged_succ:
+            self._worklist.append((winner, target))
+        for origin in merged_pred:
+            self._worklist.append((origin, winner))
+
+    def _process_arc(self, p: int, s: int) -> None:
+        """Fire every ALG rule that has the arc ``(p, s)`` as a premise."""
+        succ = self._succ
+        pred = self._pred
+        # Rule 7 (transitivity): compose with arcs out of s and into p.
+        for target in list(succ[s]):
+            self._insert(p, target)
+        for origin in list(pred[p]):
+            self._insert(origin, s)
+
+        # Rule 2: (p, s) and (q, s) with p + q in V  ⇒  (p + q, s).
+        for composite in self._sum_by_operand.get(p, ()):
+            left, right = self._sums[composite]
+            left_root = self._find(left)
+            other = self._find(right) if left_root == p else left_root
+            if other == p or s in succ[other]:
+                self._insert(composite, s)
+
+        # Rule 3: (p, s) with p * q (or q * p) in V  ⇒  (p * q, s).
+        for composite in self._product_by_operand.get(p, ()):
+            self._insert(composite, s)
+
+        # Rule 4: (p, s') and (p, s'') with s' * s'' in V  ⇒  (p, s' * s'').
+        # Our arc is (p, s) with s an operand of the composite.
+        for composite in self._product_by_operand.get(s, ()):
+            left, right = self._products[composite]
+            left_root = self._find(left)
+            other = self._find(right) if left_root == s else left_root
+            if other == s or other in succ[p]:
+                self._insert(p, composite)
+
+        # Rule 5: (p, s) with s + q (or q + s) in V  ⇒  (p, s + q).
+        for composite in self._sum_by_operand.get(s, ()):
+            self._insert(p, composite)
+
+
+def implication_index(
+    dependencies: Iterable[PartitionDependencyLike] = (),
+    expressions: Iterable[ExpressionLike] = (),
+) -> ImplicationIndex:
+    """Convenience constructor mirroring :func:`repro.implication.alg.alg_closure`."""
+    return ImplicationIndex(dependencies, expressions)

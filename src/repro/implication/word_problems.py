@@ -22,7 +22,7 @@ from collections.abc import Iterable, Sequence
 from repro.dependencies.pd import PartitionDependencyLike, as_partition_dependency
 from repro.errors import DependencyError
 from repro.expressions.ast import ExpressionLike, as_expression
-from repro.implication.alg import pd_implies
+from repro.implication.alg import ImplicationEngine, pd_implies
 from repro.implication.identities import identically_equal
 from repro.relational.attributes import AttributeSet, as_attribute_set
 from repro.relational.functional_dependencies import FunctionalDependency, implies
@@ -40,6 +40,24 @@ def lattice_word_problem(
     """
     pds = [as_partition_dependency(eq) for eq in equations]
     return pd_implies(pds, as_partition_dependency(query))
+
+
+def lattice_word_problems(
+    equations: Iterable[PartitionDependencyLike | tuple[ExpressionLike, ExpressionLike]],
+    queries: Iterable[PartitionDependencyLike | tuple[ExpressionLike, ExpressionLike]],
+) -> list[bool]:
+    """Batch uniform word problems: many query equations against one theory ``E``.
+
+    One incremental :class:`~repro.implication.alg.ImplicationEngine` is
+    shared across the whole query stream, so the closure over ``E`` is
+    computed once and each query only extends it with its own subexpressions.
+    """
+    pds = [as_partition_dependency(eq) for eq in equations]
+    query_pds = [as_partition_dependency(q) for q in queries]
+    engine = ImplicationEngine(
+        pds, query_expressions=[side for pd in query_pds for side in (pd.left, pd.right)]
+    )
+    return [engine.implies(pd) for pd in query_pds]
 
 
 def lattice_identity(query: PartitionDependencyLike | tuple[ExpressionLike, ExpressionLike]) -> bool:

@@ -16,6 +16,10 @@ from repro.workloads.random_expressions import (
     random_expression_of_exact_complexity,
 )
 from repro.workloads.random_formulas import random_3cnf, random_nae_satisfiable_3cnf
+from repro.workloads.random_implication import (
+    implication_query_stream,
+    random_implication_workload,
+)
 from repro.workloads.random_graphs import random_graph_relation, random_sparse_forest_relation
 from repro.workloads.random_relations import (
     attribute_names,
@@ -40,6 +44,8 @@ __all__ = [
     "random_fpd_set",
     "random_expression",
     "random_expression_of_exact_complexity",
+    "implication_query_stream",
+    "random_implication_workload",
     "random_graph_relation",
     "random_sparse_forest_relation",
     "random_3cnf",

@@ -1,0 +1,101 @@
+"""Random implication workloads: PD theories with scalable query streams.
+
+The implication service (:class:`repro.implication.index.ImplicationIndex`)
+is exercised by *streams* of queries against one PD set — every query drags a
+few new subexpressions into the ALG vertex set.  The generators here produce
+exactly that shape, seeded and deterministic, for the EXP-ALG benchmarks and
+the randomized cross-check tests.
+
+Queries are a controlled mixture of
+
+* **derived consequences** — congruence images ``e·g = e'·g`` / ``e+g = e'+g``
+  of a theory equation ``e = e'`` (guaranteed implied, so the positive path
+  through the engine is exercised), and
+* **random equations** — independent random PDs (usually not implied).
+
+``implied_fraction`` tunes the mixture; the defaults give a roughly even
+split so neither branch of ``implies`` dominates the measurements.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from typing import Union
+
+from repro.dependencies.pd import PartitionDependency
+from repro.expressions.ast import Product, Sum
+from repro.workloads.random_dependencies import random_pd, random_pd_set
+from repro.workloads.random_expressions import random_expression
+from repro.workloads.random_relations import attribute_names
+
+RandomLike = Union[int, random.Random]
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def _derived_consequence(
+    rng: random.Random, theory: list[PartitionDependency], universe: list[str], max_complexity: int
+) -> PartitionDependency:
+    """A PD implied by ``theory``: a congruence image of one of its equations.
+
+    If ``e = e'`` is in the theory then ``e ⊛ g = e' ⊛ g`` holds in every
+    lattice satisfying it, for either operator and any expression ``g``.
+    """
+    pd = rng.choice(theory)
+    g = random_expression(universe, rng, max_complexity)
+    operator = Product if rng.random() < 0.5 else Sum
+    if rng.random() < 0.5:
+        return PartitionDependency(operator(pd.left, g), operator(pd.right, g))
+    return PartitionDependency(operator(g, pd.left), operator(g, pd.right))
+
+
+def implication_query_stream(
+    theory: list[PartitionDependency],
+    universe: list[str],
+    seed: RandomLike = 0,
+    max_complexity: int = 3,
+    implied_fraction: float = 0.5,
+) -> Iterator[PartitionDependency]:
+    """An endless, seeded stream of query PDs against a fixed ``theory``.
+
+    Mixes derived consequences (implied by construction) with independent
+    random PDs.  Callers slice off as many queries as their experiment needs,
+    so one generator scales from smoke tests to large benchmark sweeps.
+    """
+    rng = _rng(seed)
+    while True:
+        if theory and rng.random() < implied_fraction:
+            yield _derived_consequence(rng, theory, universe, max_complexity)
+        else:
+            yield random_pd(universe, rng, max_complexity)
+
+
+def random_implication_workload(
+    attribute_count: int,
+    pd_count: int,
+    query_count: int,
+    seed: RandomLike = 0,
+    max_complexity: int = 3,
+    implied_fraction: float = 0.5,
+) -> tuple[list[PartitionDependency], list[PartitionDependency]]:
+    """A complete implication workload: ``(theory, queries)``.
+
+    ``theory`` is a random PD set over ``attribute_count`` attributes and
+    ``queries`` is a ``query_count``-long prefix of
+    :func:`implication_query_stream` against it.
+    """
+    rng = _rng(seed)
+    universe = attribute_names(attribute_count)
+    theory = random_pd_set(attribute_count, pd_count, seed=rng, max_complexity=max_complexity)
+    stream = implication_query_stream(
+        theory,
+        universe,
+        seed=rng,
+        max_complexity=max_complexity,
+        implied_fraction=implied_fraction,
+    )
+    queries = [next(stream) for _ in range(query_count)]
+    return theory, queries

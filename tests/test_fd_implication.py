@@ -8,6 +8,7 @@ from repro.implication.fd_implication import (
     derive_fd,
     fd_closure,
     fd_implies,
+    fd_implies_all_via_pds,
     fd_implies_via_pds,
     is_superkey,
 )
@@ -15,6 +16,7 @@ from repro.implication.word_problems import (
     fd_implication_as_semigroup_problem,
     lattice_identity,
     lattice_word_problem,
+    lattice_word_problems,
     semigroup_word_problem,
 )
 from repro.relational.attributes import AttributeSet
@@ -77,6 +79,22 @@ class TestSection53Correspondences:
             fds = random_fd_set(4, rng.randint(1, 3), seed=rng.randint(0, 10**6), max_side=2)
             target = random_fd_set(4, 1, seed=rng.randint(0, 10**6), max_side=2)[0]
             assert fd_implies_via_pds(fds, target) == fd_implies(fds, target)
+
+    def test_batched_fd_implication_agrees_with_per_target(self):
+        rng = random.Random(7)
+        for trial in range(8):
+            fds = random_fd_set(4, rng.randint(1, 4), seed=rng.randint(0, 10**6), max_side=2)
+            targets = random_fd_set(4, 6, seed=rng.randint(0, 10**6), max_side=2)
+            batched = fd_implies_all_via_pds(fds, targets)
+            assert batched == [fd_implies(fds, target) for target in targets]
+
+    def test_batched_lattice_word_problems_agree(self):
+        equations = [("A", "A*B"), ("B", "B*C")]
+        queries = [("A", "A*C"), ("C", "C*A"), ("A*B", "B*A")]
+        batched = lattice_word_problems(equations, queries)
+        assert batched == [
+            lattice_word_problem(equations, query) for query in queries
+        ]
 
     def test_semigroup_word_problem_basic(self):
         equations = [("A", "A*B"), ("B", "B*C")]

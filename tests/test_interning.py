@@ -1,0 +1,121 @@
+"""Interning invariants of the hash-consed expression AST.
+
+Structural equality must coincide with object identity for every way of
+building an expression — constructors, operator sugar, the parser, pickling,
+copying — and the per-node caches (hash, attributes, complexity, size, dual)
+must agree with recomputation from the structure.
+"""
+
+import copy
+import pickle
+
+from hypothesis import given, settings
+
+from repro.expressions.ast import (
+    Attr,
+    Product,
+    Sum,
+    attr,
+    attribute_set_expression,
+    attrs,
+    interned_counts,
+    product_of,
+    sum_of,
+)
+from repro.expressions.parser import parse_expression
+
+from tests.conftest import expressions
+
+
+class TestIdentityInterning:
+    def test_attrs_intern_by_name(self):
+        assert Attr("A") is Attr("A")
+        assert attr("A") is Attr("A")
+        assert Attr("A") is not Attr("B")
+
+    def test_composites_intern_by_operands(self):
+        a, b = attrs("A", "B")
+        assert Product(a, b) is Product(a, b)
+        assert Sum(a, b) is Sum(a, b)
+        assert Product(a, b) is not Product(b, a)  # syntax, not semantics
+        assert Product(a, b) is not Sum(a, b)
+
+    def test_operator_sugar_interns(self):
+        a, b, c = attrs("A", "B", "C")
+        assert a * (b + c) is Product(a, Sum(b, c))
+        assert (a * b) + c is Sum(Product(a, b), c)
+
+    def test_parser_returns_interned_nodes(self):
+        a, b, c = attrs("A", "B", "C")
+        assert parse_expression("A * (B + C)") is a * (b + c)
+        assert parse_expression("A*B*C") is product_of("ABC")
+        assert parse_expression("A+B+C") is sum_of("ABC")
+        assert attribute_set_expression("CAB") is product_of("ABC")
+
+    def test_structural_equality_is_identity(self):
+        left = parse_expression("(A + B) * (A + C)")
+        right = Product(Sum(Attr("A"), Attr("B")), Sum(Attr("A"), Attr("C")))
+        assert left == right
+        assert left is right
+
+    @given(expressions(max_depth=3), expressions(max_depth=3))
+    @settings(max_examples=100, deadline=None)
+    def test_equal_iff_identical(self, first, second):
+        assert (first == second) == (first is second)
+
+    def test_interned_counts_reports_live_nodes(self):
+        expr = parse_expression("A * (B + C)")
+        counts = interned_counts()
+        assert counts["Attr"] >= 3
+        assert counts["Product"] >= 1
+        assert counts["Sum"] >= 1
+        assert expr is not None  # keep the tree alive through the assertions
+
+
+class TestRoundTrips:
+    def test_pickle_reinterns(self):
+        expr = parse_expression("(A*B) + (C * (A + D))")
+        clone = pickle.loads(pickle.dumps(expr))
+        assert clone is expr
+
+    def test_pickle_attr(self):
+        assert pickle.loads(pickle.dumps(Attr("Account"))) is Attr("Account")
+
+    def test_deepcopy_and_copy_preserve_identity(self):
+        expr = parse_expression("A * (B + C)")
+        assert copy.copy(expr) is expr
+        assert copy.deepcopy(expr) is expr
+
+    @given(expressions(max_depth=3))
+    @settings(max_examples=50, deadline=None)
+    def test_pickle_round_trip_random(self, expr):
+        assert pickle.loads(pickle.dumps(expr)) is expr
+
+
+class TestCachedMetadata:
+    def test_attributes_cached_and_shared(self):
+        expr = parse_expression("A * (B + A)")
+        assert expr.attributes() is expr.attributes()
+        assert set(expr.attributes()) == {"A", "B"}
+
+    def test_complexity_and_size_match_structure(self):
+        expr = parse_expression("(A*B) + (C*D)")
+        assert expr.complexity() == 3
+        assert expr.size() == 7
+        assert Attr("A").complexity() == 0
+        assert Attr("A").size() == 1
+
+    def test_dual_is_cached_involution(self):
+        expr = parse_expression("A * (B + C)")
+        dual = expr.dual()
+        assert dual is parse_expression("A + B*C")
+        assert dual.dual() is expr
+        assert expr.dual() is dual  # cached, not recomputed
+        assert Attr("A").dual() is Attr("A")
+
+    def test_is_product_of_attributes_cached(self):
+        assert parse_expression("A*B*C").is_product_of_attributes()
+        assert not parse_expression("A*(B+C)").is_product_of_attributes()
+
+    def test_hash_stable_across_instances(self):
+        assert hash(parse_expression("A*B")) == hash(Product(Attr("A"), Attr("B")))
