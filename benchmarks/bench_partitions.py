@@ -1,0 +1,125 @@
+"""EXP-PART: the integer-coded partition kernel vs the block-based oracle.
+
+The partition layer (§3.1 product/sum, Definitions 1–3) is the data structure
+every other experiment bottoms out in.  Series produced:
+
+* **product/sum/refines scaling** — the label-array kernel against the
+  frozenset-of-frozensets oracle (``repro.partitions.oracle``) on growing
+  populations; the partition-kernel claim of the README is that the kernel
+  beats the oracle by ≥3× on the largest workload;
+* **canonical-interpretation batch satisfaction** — a batch of PDs decided
+  against one relation: one canonical interpretation + memoized DAG
+  evaluation (``relation_pd_verdicts``) vs one ``I(r)`` per PD (the seed
+  behaviour of ``relation_satisfies_pd`` in a loop);
+* **Bell-lattice enumeration** — ``set_partitions`` emitting restricted
+  growth strings directly as label arrays over one shared universe.
+
+Every benchmark round asserts the computed values against the oracle (or
+``bell_number``), so the implementations cannot silently diverge.
+"""
+
+import random
+
+import pytest
+
+from repro.dependencies.satisfaction import relation_pd_verdicts, relation_satisfies_pd
+from repro.lattice.partition_lattice import bell_number, set_partitions
+from repro.partitions.kernel import Universe
+from repro.partitions.oracle import block_product, block_refines, block_sum
+from repro.partitions.partition import Partition
+from repro.workloads.random_dependencies import random_pd_set
+from repro.workloads.random_relations import attribute_names, random_relation
+
+
+def _partition_pair(n: int, seed: int) -> tuple[Partition, Partition]:
+    """Two random partitions of ``range(n)`` over one shared universe.
+
+    ``q`` is built as a coarsening-biased relabelling so that ``refines`` is
+    non-trivial in both directions.
+    """
+    rng = random.Random(seed)
+    universe = Universe(range(n))
+    groups_p = max(2, n // 8)
+    groups_q = max(2, n // 32)
+    p = Partition.from_labels(universe, (rng.randrange(groups_p) for _ in range(n)))
+    q = Partition.from_labels(universe, (rng.randrange(groups_q) for _ in range(n)))
+    return p, q
+
+
+@pytest.mark.benchmark(group="EXP-PART product: kernel vs block oracle")
+@pytest.mark.parametrize("n", [256, 1024, 4096])
+@pytest.mark.parametrize("variant", ["kernel", "oracle"])
+def test_product_scaling(benchmark, n, variant, rng_seed):
+    p, q = _partition_pair(n, rng_seed + n)
+    if variant == "kernel":
+        result = benchmark(p.product, q)
+    else:
+        result = benchmark(block_product, p, q)
+    assert result == block_product(p, q)
+
+
+@pytest.mark.benchmark(group="EXP-PART sum: kernel vs block oracle")
+@pytest.mark.parametrize("n", [256, 1024, 4096])
+@pytest.mark.parametrize("variant", ["kernel", "oracle"])
+def test_sum_scaling(benchmark, n, variant, rng_seed):
+    p, q = _partition_pair(n, rng_seed + n)
+    if variant == "kernel":
+        result = benchmark(p.sum, q)
+    else:
+        result = benchmark(block_sum, p, q)
+    assert result == block_sum(p, q)
+
+
+@pytest.mark.benchmark(group="EXP-PART refines: kernel vs block oracle")
+@pytest.mark.parametrize("n", [256, 1024, 4096])
+@pytest.mark.parametrize("variant", ["kernel", "oracle"])
+def test_refines_scaling(benchmark, n, variant, rng_seed):
+    p, q = _partition_pair(n, rng_seed + n)
+    fine = p.product(q)  # guaranteed to refine both
+    if variant == "kernel":
+        result = benchmark(fine.refines, q)
+    else:
+        result = benchmark(block_refines, fine, q)
+    assert result is True
+    assert fine.refines(q) == block_refines(fine, q)
+
+
+# -- canonical-interpretation batch satisfaction ---------------------------------
+
+
+def _satisfaction_workload(tuple_count: int, pd_count: int, seed: int):
+    attribute_count = 4
+    relation = random_relation(attribute_count, tuple_count, domain_size=5, seed=seed)
+    pds = random_pd_set(attribute_count, pd_count, seed=seed + 1, max_complexity=4)
+    # Guard against PDs over attributes the relation does not carry.
+    universe = set(attribute_names(attribute_count))
+    pds = [pd for pd in pds if set(pd.attributes) <= universe]
+    return relation, pds
+
+
+@pytest.mark.benchmark(group="EXP-PART canonical batch satisfaction")
+@pytest.mark.parametrize("tuple_count,pd_count", [(30, 10), (60, 25), (120, 50)])
+@pytest.mark.parametrize("variant", ["batched", "per-pd"])
+def test_batch_satisfaction(benchmark, tuple_count, pd_count, variant, rng_seed):
+    relation, pds = _satisfaction_workload(tuple_count, pd_count, rng_seed)
+    if variant == "batched":
+        verdicts = benchmark(relation_pd_verdicts, relation, pds)
+    else:
+        verdicts = benchmark(lambda: [relation_satisfies_pd(relation, pd) for pd in pds])
+    assert verdicts == [relation_satisfies_pd(relation, pd) for pd in pds]
+
+
+# -- Bell-lattice enumeration ------------------------------------------------------
+
+
+@pytest.mark.benchmark(group="EXP-PART Bell-lattice enumeration")
+@pytest.mark.parametrize("n", [7, 9])
+def test_bell_enumeration(benchmark, n):
+    def run():
+        count = 0
+        for _ in set_partitions(list(range(n))):
+            count += 1
+        return count
+
+    count = benchmark(run)
+    assert count == bell_number(n)

@@ -25,6 +25,7 @@ def pytest_benchmark_update_json(config, benchmarks, output_json):
         "EXP-T12": "polynomial PD consistency scaling",
         "EXP-FD": "FD closure vs ALG on FPD translations",
         "EXP-WI": "weak instance chase scaling",
+        "EXP-PART": "integer partition kernel vs block oracle; batch PD satisfaction",
     }
 
 

@@ -21,6 +21,8 @@ from repro.dependencies.pd import (
 )
 from repro.dependencies.satisfaction import (
     expression_partition,
+    expression_partitions,
+    relation_pd_verdicts,
     relation_satisfies_all_pds,
     relation_satisfies_pd,
     satisfies_fd_characterization,
@@ -47,7 +49,9 @@ __all__ = [
     "pd_between_products_to_fds",
     "relation_satisfies_pd",
     "relation_satisfies_all_pds",
+    "relation_pd_verdicts",
     "expression_partition",
+    "expression_partitions",
     "satisfies_product_characterization",
     "satisfies_sum_characterization",
     "satisfies_order_sum_characterization",

@@ -25,10 +25,13 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from typing import Optional
+
 from repro.dependencies.pd import PartitionDependencyLike, as_partition_dependency
 from repro.errors import DependencyError
 from repro.expressions.ast import ExpressionLike, as_expression
 from repro.partitions.canonical import canonical_interpretation
+from repro.partitions.kernel import Universe
 from repro.partitions.partition import Partition
 from repro.relational.attributes import Attribute
 from repro.relational.relations import Relation
@@ -56,12 +59,41 @@ def relation_satisfies_pd(relation: Relation, dependency: PartitionDependencyLik
 def relation_satisfies_all_pds(
     relation: Relation, dependencies: Iterable[PartitionDependencyLike]
 ) -> bool:
-    """Satisfaction of a set of PDs, building ``I(r)`` only once."""
+    """Satisfaction of a set of PDs, building ``I(r)`` only once.
+
+    The batch shares the canonical interpretation's memoized DAG evaluator
+    (subexpressions shared between PDs are evaluated once) and
+    short-circuits on the first violated PD, as the seed did.
+    """
     pds = [as_partition_dependency(d) for d in dependencies]
     if len(relation) == 0 or not pds:
         return True
     interpretation = canonical_interpretation(relation)
-    return all(interpretation.satisfies_pd(pd) for pd in pds)
+    return interpretation.satisfies_all_pds(pds)
+
+
+def relation_pd_verdicts(
+    relation: Relation, dependencies: Iterable[PartitionDependencyLike]
+) -> list[bool]:
+    """Per-PD verdicts for a batch of PDs over one canonical interpretation.
+
+    Mirrors :func:`relation_satisfies_pd`'s contract: the empty relation
+    vacuously satisfies every PD, and (like the singular form) no
+    missing-attribute validation happens in that case.
+    """
+    pds = [as_partition_dependency(d) for d in dependencies]
+    if not pds:
+        return []
+    if len(relation) == 0:
+        return [True] * len(pds)
+    for pd in pds:
+        missing = pd.attributes - relation.attributes
+        if missing:
+            raise DependencyError(
+                f"relation {relation.name!r} lacks attributes {sorted(missing)} of PD {pd}"
+            )
+    interpretation = canonical_interpretation(relation)
+    return interpretation.pd_verdicts(pds)
 
 
 def expression_partition(relation: Relation, expression: ExpressionLike) -> Partition:
@@ -73,13 +105,35 @@ def expression_partition(relation: Relation, expression: ExpressionLike) -> Part
     return canonical_interpretation(relation).meaning(as_expression(expression))
 
 
+def expression_partitions(
+    relation: Relation, expressions: Iterable[ExpressionLike]
+) -> list[Partition]:
+    """The partitions induced by several expressions under one ``I(r)`` (one DAG walk)."""
+    interpretation = canonical_interpretation(relation)
+    return interpretation.meaning_many([as_expression(e) for e in expressions])
+
+
 # -- direct characterizations (I), (II), (IV) -------------------------------------
 
 
-def _column_partition(relation: Relation, attribute: Attribute) -> Partition:
-    """The kernel partition of a column: tuples grouped by their value under ``attribute``."""
-    rows = relation.sorted_rows()
-    return Partition.from_function(range(1, len(rows) + 1), lambda i: rows[i - 1][attribute])
+def _column_partition(
+    relation: Relation,
+    attribute: Attribute,
+    universe: Optional[Universe] = None,
+    rows: Optional[list] = None,
+) -> Partition:
+    """The kernel partition of a column: tuples grouped by their value under ``attribute``.
+
+    Pass a shared ``universe`` (tuple identifiers ``1..n``) and the
+    ``sorted_rows()`` list when several columns of one relation are compared
+    or combined: the partitions then share one universe object (the integer
+    kernel's same-universe fast paths) and the rows are sorted only once.
+    """
+    if rows is None:
+        rows = relation.sorted_rows()
+    if universe is None:
+        universe = Universe(range(1, len(rows) + 1))
+    return Partition.from_labels(universe, (rows[i - 1][attribute] for i in universe.elements))
 
 
 def satisfies_product_characterization(
@@ -107,8 +161,12 @@ def satisfies_sum_characterization(
     """
     if len(relation) == 0:
         return True
-    chain = _column_partition(relation, a) + _column_partition(relation, b)
-    return chain == _column_partition(relation, c)
+    rows = relation.sorted_rows()
+    universe = Universe(range(1, len(rows) + 1))
+    chain = _column_partition(relation, a, universe, rows) + _column_partition(
+        relation, b, universe, rows
+    )
+    return chain == _column_partition(relation, c, universe, rows)
 
 
 def satisfies_order_sum_characterization(
@@ -117,8 +175,12 @@ def satisfies_order_sum_characterization(
     """The one-directional PD ``C ≤ A + B``: agreeing on C *implies* chain-connected via A or B."""
     if len(relation) == 0:
         return True
-    chain = _column_partition(relation, a) + _column_partition(relation, b)
-    return _column_partition(relation, c).refines(chain)
+    rows = relation.sorted_rows()
+    universe = Universe(range(1, len(rows) + 1))
+    chain = _column_partition(relation, a, universe, rows) + _column_partition(
+        relation, b, universe, rows
+    )
+    return _column_partition(relation, c, universe, rows).refines(chain)
 
 
 def satisfies_fd_characterization(
@@ -135,10 +197,11 @@ def satisfies_fd_characterization(
         return True
     rows = relation.sorted_rows()
     lhs_list, rhs_list = list(lhs), list(rhs)
-    x_partition = Partition.from_function(
-        range(1, len(rows) + 1), lambda i: tuple(rows[i - 1][attr] for attr in lhs_list)
+    universe = Universe(range(1, len(rows) + 1))
+    x_partition = Partition.from_labels(
+        universe, (tuple(rows[i - 1][attr] for attr in lhs_list) for i in universe.elements)
     )
-    y_partition = Partition.from_function(
-        range(1, len(rows) + 1), lambda i: tuple(rows[i - 1][attr] for attr in rhs_list)
+    y_partition = Partition.from_labels(
+        universe, (tuple(rows[i - 1][attr] for attr in rhs_list) for i in universe.elements)
     )
     return x_partition.refines(y_partition)

@@ -23,12 +23,21 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 def evaluate(expression: ExpressionLike, interpretation: "PartitionInterpretation") -> "Partition":
-    """The meaning of ``expression`` in ``interpretation`` (a partition with its population)."""
+    """The meaning of ``expression`` in ``interpretation`` (a partition with its population).
+
+    Evaluation is memoized per interpretation on the hash-consed expression
+    DAG, so repeated evaluations (and shared subexpressions) are cache hits.
+    """
     return interpretation.meaning(as_expression(expression))
 
 
 def evaluate_many(
     expressions: list[ExpressionLike], interpretation: "PartitionInterpretation"
 ) -> list["Partition"]:
-    """Evaluate several expressions under the same interpretation."""
-    return [evaluate(expression, interpretation) for expression in expressions]
+    """Evaluate several expressions under the same interpretation.
+
+    Routed through :meth:`PartitionInterpretation.meaning_many`: the union of
+    the expressions' DAGs is walked once per distinct node, so a batch with
+    heavy subexpression sharing costs barely more than its largest member.
+    """
+    return interpretation.meaning_many(expressions)

@@ -20,6 +20,7 @@ from repro.dependencies.satisfaction import (
 )
 from repro.expressions.ast import attr
 from repro.graphs.encoding import Vertex, connected_components, relation_to_graph
+from repro.partitions.kernel import Universe
 from repro.partitions.partition import Partition
 from repro.relational.relations import Relation
 
@@ -37,9 +38,9 @@ def components_by_partition_sum(relation: Relation) -> Partition:
     exactly the chain-connectivity partition of characterization (II).
     """
     rows = relation.sorted_rows()
-    population = range(1, len(rows) + 1)
-    by_a = Partition.from_function(population, lambda i: rows[i - 1]["A"])
-    by_b = Partition.from_function(population, lambda i: rows[i - 1]["B"])
+    universe = Universe(range(1, len(rows) + 1))
+    by_a = Partition.from_labels(universe, (rows[i - 1]["A"] for i in universe.elements))
+    by_b = Partition.from_labels(universe, (rows[i - 1]["B"] for i in universe.elements))
     return by_a + by_b
 
 

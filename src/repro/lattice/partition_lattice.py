@@ -20,6 +20,7 @@ from collections.abc import Iterable, Iterator, Sequence
 
 from repro.errors import LatticeError
 from repro.lattice.core import FiniteLattice
+from repro.partitions.kernel import Universe
 from repro.partitions.partition import Element, Partition
 
 
@@ -27,28 +28,32 @@ def set_partitions(population: Sequence[Element]) -> Iterator[Partition]:
     """Generate every partition of ``population`` (Bell-number many).
 
     Uses the standard "restricted growth string" recursion: each element is
-    either added to an existing block or starts a new one.
+    either added to an existing block (label ``< used``) or starts a new one
+    (label ``used``).  The growth strings *are* canonical first-occurrence
+    label arrays, so each one is handed to the integer kernel directly over
+    one shared :class:`~repro.partitions.kernel.Universe` — no list-of-blocks
+    materialization, no ``Partition(...)`` revalidation, and every emitted
+    partition shares the same universe object (O(n) flat comparisons between
+    lattice elements).
     """
-    items = list(population)
-    if not items:
+    universe = Universe(population)
+    n = len(universe)
+    if n == 0:
         yield Partition()
         return
+    labels = [0] * n
 
-    def recurse(index: int, blocks: list[list[Element]]) -> Iterator[list[list[Element]]]:
-        if index == len(items):
-            yield [list(block) for block in blocks]
+    def recurse(index: int, used: int) -> Iterator[Partition]:
+        if index == n:
+            yield Partition.from_labels(universe, labels)
             return
-        element = items[index]
-        for i in range(len(blocks)):
-            blocks[i].append(element)
-            yield from recurse(index + 1, blocks)
-            blocks[i].pop()
-        blocks.append([element])
-        yield from recurse(index + 1, blocks)
-        blocks.pop()
+        for label in range(used):
+            labels[index] = label
+            yield from recurse(index + 1, used)
+        labels[index] = used
+        yield from recurse(index + 1, used + 1)
 
-    for block_lists in recurse(0, []):
-        yield Partition(block_lists)
+    yield from recurse(0, 0)
 
 
 def bell_number(n: int) -> int:

@@ -15,6 +15,7 @@ from repro.partitions.canonical import (
     restrict_to_attributes,
 )
 from repro.partitions.interpretation import AttributeInterpretation, PartitionInterpretation
+from repro.partitions.kernel import Universe
 from repro.partitions.operations import (
     check_lattice_axioms,
     coarsest_common_refinement,
@@ -31,6 +32,7 @@ from repro.partitions.partition import Element, Partition, partition_from_mappin
 __all__ = [
     "Partition",
     "Element",
+    "Universe",
     "partition_from_mapping",
     "product",
     "sum_",

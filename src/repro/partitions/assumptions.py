@@ -19,11 +19,21 @@ from repro.relational.database import Database
 
 
 def satisfies_eap(interpretation: PartitionInterpretation) -> bool:
-    """True iff all attribute populations are equal (Definition 4.2)."""
-    populations = [
-        interpretation.population(attribute) for attribute in interpretation.attributes
-    ]
-    return all(population == populations[0] for population in populations[1:])
+    """True iff all attribute populations are equal (Definition 4.2).
+
+    Checked with an early exit against the first attribute's population;
+    interpretations built through ``from_named_blocks`` anchor equal
+    populations on one shared universe object, making the common (EAP) case
+    an identity-then-size comparison before any set equality.
+    """
+    first: frozenset | None = None
+    for attribute in interpretation.attributes:
+        population = interpretation.population(attribute)
+        if first is None:
+            first = population
+        elif population is not first and population != first:
+            return False
+    return True
 
 
 def satisfies_cad(interpretation: PartitionInterpretation, database: Database) -> bool:
@@ -38,12 +48,10 @@ def satisfies_cad(interpretation: PartitionInterpretation, database: Database) -
     For attributes appearing in the database the condition is the equality of
     the two symbol sets.
     """
-    for attribute in interpretation.attributes:
-        named = interpretation.attribute(attribute).named_symbols()
-        in_database = database.symbols_under(attribute)
-        if named != in_database:
-            return False
-    return True
+    return all(
+        interpretation.attribute(attribute).named_symbols() == database.symbols_under(attribute)
+        for attribute in interpretation.attributes
+    )
 
 
 def cad_violations(

@@ -84,14 +84,16 @@ def canonical_relation(
 
     attributes = interpretation.attributes
     scheme = RelationScheme(name, attributes)
+    # One flat element -> symbol map per attribute (built once, cached on the
+    # AttributeInterpretation) instead of a block_of + symbol_of frozenset
+    # lookup per (element, attribute) pair.
+    attribute_interps = [(attribute, interpretation.attribute(attribute)) for attribute in attributes]
     rows = []
     for element in sorted(population, key=repr):
         cells: dict[str, Symbol] = {}
-        for attribute in attributes:
-            attr_interp = interpretation.attribute(attribute)
+        for attribute, attr_interp in attribute_interps:
             if element in attr_interp.population:
-                block = attr_interp.partition.block_of(element)
-                cells[attribute] = attr_interp.symbol_of(block)
+                cells[attribute] = attr_interp.symbol_of_element(element)
             else:
                 cells[attribute] = padding_symbol(element, attribute)
         rows.append(Row(cells))

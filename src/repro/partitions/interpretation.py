@@ -28,10 +28,12 @@ from repro.errors import PartitionError
 from repro.expressions.ast import (
     Attr,
     ExpressionLike,
+    PartitionExpression,
     Product,
     Sum,
     as_expression,
 )
+from repro.partitions.kernel import Universe
 from repro.partitions.partition import Element, Partition
 from repro.relational.attributes import Attribute, AttributeSet, Symbol, as_attribute_set
 from repro.relational.database import Database
@@ -49,7 +51,7 @@ class AttributeInterpretation:
     disjoint (hence distinct) blocks.
     """
 
-    __slots__ = ("_partition", "_naming", "_symbol_of_block")
+    __slots__ = ("_partition", "_naming", "_symbol_of_block", "_symbol_of_element")
 
     def __init__(
         self,
@@ -71,6 +73,7 @@ class AttributeInterpretation:
         self._partition = partition
         self._naming = normalized
         self._symbol_of_block = {block: symbol for symbol, block in normalized.items()}
+        self._symbol_of_element: Optional[dict[Element, Symbol]] = None
 
     @classmethod
     def from_block_names(cls, blocks: Mapping[Symbol, Iterable[Element]]) -> "AttributeInterpretation":
@@ -108,6 +111,23 @@ class AttributeInterpretation:
         """The symbols with a non-empty image under ``f_A``."""
         return frozenset(self._naming)
 
+    def symbol_of_element(self, element: Element) -> Symbol:
+        """The symbol naming the block that contains ``element`` (cached element map).
+
+        Equivalent to ``symbol_of(partition.block_of(element))`` but backed by
+        a flat element → symbol dict built once, so bulk consumers (the
+        canonical relation ``R(I)`` walks every (element, attribute) pair) do
+        no per-lookup frozenset hashing.
+        """
+        if self._symbol_of_element is None:
+            self._symbol_of_element = {
+                element: symbol for symbol, block in self._naming.items() for element in block
+            }
+        try:
+            return self._symbol_of_element[element]
+        except KeyError as exc:
+            raise PartitionError(f"{element!r} is not in the population") from exc
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, AttributeInterpretation):
             return NotImplemented
@@ -121,9 +141,23 @@ class AttributeInterpretation:
 
 
 class PartitionInterpretation:
-    """A partition interpretation: one :class:`AttributeInterpretation` per attribute."""
+    """A partition interpretation: one :class:`AttributeInterpretation` per attribute.
 
-    __slots__ = ("_attributes",)
+    Besides the attribute map the instance owns two evaluation caches keyed on
+    the hash-consed expression DAG: ``meaning`` / :meth:`meaning_many` walk
+    every interned node at most once per interpretation, and
+    :meth:`meaning_of_scheme` memoizes per attribute set.  The caches are
+    invisible to equality/hashing (they are derived data).
+    """
+
+    __slots__ = (
+        "_attributes",
+        "_meaning_cache",
+        "_scheme_cache",
+        "_total_population",
+        "_meaning_hits",
+        "_meaning_misses",
+    )
 
     def __init__(self, attributes: Mapping[Attribute, AttributeInterpretation]) -> None:
         if not attributes:
@@ -134,6 +168,11 @@ class PartitionInterpretation:
                     f"attribute {name!r} must map to an AttributeInterpretation, got {interp!r}"
                 )
         self._attributes = dict(sorted(attributes.items()))
+        self._meaning_cache: dict[PartitionExpression, Partition] = {}
+        self._scheme_cache: dict[tuple[Attribute, ...], Partition] = {}
+        self._total_population: Optional[frozenset] = None
+        self._meaning_hits = 0
+        self._meaning_misses = 0
 
     @classmethod
     def from_named_blocks(
@@ -143,13 +182,27 @@ class PartitionInterpretation:
 
         This is the most convenient constructor for worked examples — Figure 1
         of the paper is literally a table of this shape.
+
+        Atomic partitions of attributes that share a population are
+        re-anchored onto one shared :class:`~repro.partitions.kernel.Universe`
+        object, so products/sums/comparisons between them take the kernel's
+        same-universe fast path (canonical interpretations, being EAP, share
+        a single universe across *all* attributes).
         """
-        return cls(
-            {
-                attribute: AttributeInterpretation.from_block_names(blocks)
-                for attribute, blocks in spec.items()
-            }
-        )
+        partitions = {
+            attribute: Partition(blocks.values()) for attribute, blocks in spec.items()
+        }
+        shared: dict[frozenset, Universe] = {}
+        attributes = {}
+        for attribute, blocks in spec.items():
+            partition = partitions[attribute]
+            population = partition.population
+            target = shared.get(population)
+            if target is None:
+                target = partition.universe
+                shared[population] = target
+            attributes[attribute] = AttributeInterpretation(partition.realign(target), blocks)
+        return cls(attributes)
 
     # -- accessors ------------------------------------------------------------
     @property
@@ -173,35 +226,101 @@ class PartitionInterpretation:
         return self.attribute(name).partition
 
     def total_population(self) -> frozenset:
-        """The union of all attribute populations (the ``p`` of Definition 6)."""
-        result: frozenset = frozenset()
-        for interp in self._attributes.values():
-            result |= interp.population
-        return result
+        """The union of all attribute populations (the ``p`` of Definition 6, cached)."""
+        if self._total_population is None:
+            result: frozenset = frozenset()
+            for interp in self._attributes.values():
+                result |= interp.population
+            self._total_population = result
+        return self._total_population
 
     # -- meanings (structural induction of §3.1) ---------------------------------
     def meaning(self, expression: ExpressionLike) -> Partition:
-        """The meaning of a partition expression: a partition of its population."""
+        """The meaning of a partition expression: a partition of its population.
+
+        Memoized on the hash-consed expression DAG (PR 2 interned every node,
+        so structural equality is identity): each distinct subexpression is
+        evaluated at most once over the lifetime of this interpretation, no
+        matter how often it is shared between queries.  The walk is iterative
+        so deep expressions cannot overflow the Python stack.
+        """
         node = as_expression(expression)
-        if isinstance(node, Attr):
-            return self.atomic_partition(node.name)
-        if isinstance(node, Product):
-            return self.meaning(node.left).product(self.meaning(node.right))
-        if isinstance(node, Sum):
-            return self.meaning(node.left).sum(self.meaning(node.right))
-        raise PartitionError(f"unknown expression node {node!r}")
+        cache = self._meaning_cache
+        cached = cache.get(node)
+        if cached is not None:
+            self._meaning_hits += 1
+            return cached
+        computed_now: set[PartitionExpression] = set()
+        stack = [node]
+        while stack:
+            top = stack[-1]
+            if top in cache:
+                stack.pop()
+                continue
+            if isinstance(top, Attr):
+                cache[top] = self.atomic_partition(top.name)
+                computed_now.add(top)
+                self._meaning_misses += 1
+                stack.pop()
+                continue
+            if not isinstance(top, (Product, Sum)):
+                raise PartitionError(f"unknown expression node {top!r}")
+            left, right = top.left, top.right
+            left_value = cache.get(left)
+            right_value = cache.get(right)
+            if left_value is None or right_value is None:
+                if left_value is None:
+                    stack.append(left)
+                if right_value is None:
+                    stack.append(right)
+                continue
+            # A child resolved from an earlier walk's cache is a hit; one we
+            # just computed ourselves is already accounted as a miss.
+            if left not in computed_now:
+                self._meaning_hits += 1
+            if right not in computed_now:
+                self._meaning_hits += 1
+            if isinstance(top, Product):
+                cache[top] = left_value.product(right_value)
+            else:
+                cache[top] = left_value.sum(right_value)
+            computed_now.add(top)
+            self._meaning_misses += 1
+            stack.pop()
+        return cache[node]
+
+    def meaning_many(self, expressions: Iterable[ExpressionLike]) -> list[Partition]:
+        """Bulk evaluation: the shared-subexpression DAG is walked once per node.
+
+        The per-interpretation cache persists across calls, so a batch of PDs
+        evaluated against one (e.g. canonical) interpretation pays for each
+        distinct subexpression exactly once.
+        """
+        return [self.meaning(expression) for expression in expressions]
+
+    def meaning_cache_info(self) -> dict[str, int]:
+        """Cache diagnostics: ``hits`` / ``misses`` (node evaluations) / ``size``."""
+        return {
+            "hits": self._meaning_hits,
+            "misses": self._meaning_misses,
+            "size": len(self._meaning_cache),
+        }
 
     def meaning_of_scheme(self, attributes: Union[str, AttributeSet]) -> Partition:
-        """The meaning of a relation scheme ``R[U]``: the product of its attributes."""
+        """The meaning of a relation scheme ``R[U]``: the n-ary product of its attributes.
+
+        Computed by the single-pass k-ary kernel product (grouping the common
+        population by k-tuples of labels) and memoized per attribute set.
+        """
         attrs = as_attribute_set(attributes)
         if not attrs:
             raise PartitionError("a relation scheme needs at least one attribute")
-        result: Optional[Partition] = None
-        for name in attrs:
-            part = self.atomic_partition(name)
-            result = part if result is None else result.product(part)
-        assert result is not None
-        return result
+        key = tuple(attrs.sorted())
+        cached = self._scheme_cache.get(key)
+        if cached is None:
+            cached = Partition.product_many([self.atomic_partition(name) for name in key])
+            self._scheme_cache[key] = cached
+        return cached
 
     def meaning_of_symbol(self, attribute: Attribute, symbol: Symbol) -> frozenset:
         """The meaning of a symbol in a column: ``f_A(x)`` (∅ rendered as the empty frozenset)."""
@@ -241,8 +360,29 @@ class PartitionInterpretation:
         return left == right and left.population == right.population
 
     def satisfies_all_pds(self, dependencies: Iterable["PartitionDependencyLike"]) -> bool:
-        """Satisfaction of a whole set of PDs."""
+        """Satisfaction of a whole set of PDs.
+
+        Short-circuits on the first violated PD (the seed contract); the
+        per-interpretation meaning cache still gives the batch its
+        shared-subexpression reuse.  Use :meth:`pd_verdicts` to evaluate
+        every PD unconditionally.
+        """
         return all(self.satisfies_pd(pd) for pd in dependencies)
+
+    def pd_verdicts(self, dependencies: Iterable["PartitionDependencyLike"]) -> list[bool]:
+        """Per-PD satisfaction verdicts, evaluating the whole batch over one DAG walk."""
+        from repro.dependencies.pd import as_partition_dependency
+
+        pds = [as_partition_dependency(d) for d in dependencies]
+        sides: list[ExpressionLike] = []
+        for pd in pds:
+            sides.append(pd.left)
+            sides.append(pd.right)
+        meanings = self.meaning_many(sides)
+        return [
+            left == right and left.population == right.population
+            for left, right in zip(meanings[0::2], meanings[1::2])
+        ]
 
     def satisfies_cad(self, database: Database) -> bool:
         """The complete-atomic-data assumption (Definition 4.1); see :mod:`repro.partitions.assumptions`."""

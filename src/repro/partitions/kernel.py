@@ -1,0 +1,259 @@
+"""Dense integer-coded partition kernel (the fast path under §3.1 semantics).
+
+The semantic objects of the paper — partitions with product (Definition of
+``π * π'``: coarsest common refinement on ``p ∩ p'``) and sum (``π + π'``:
+connected components of the block-overlap graph on ``p ∪ p'``) — are, in the
+seed implementation, frozensets of frozensets with a per-element ``dict``.
+Every product then allocates a ``(frozenset, frozenset)`` tuple key per
+element and every sum rebuilds a hash-keyed union-find from scratch.
+
+This module replaces that representation with a *label-array* encoding:
+
+* a :class:`Universe` interns a population once into contiguous ids
+  ``0 .. n-1`` (``elements`` tuple for id → element, ``index`` dict for
+  element → id);
+* a partition of (a subset of) the universe is a **canonical
+  first-occurrence label array**: position ``i`` holds the block label of
+  element ``i``, labels are assigned ``0, 1, 2, ...`` in order of first
+  appearance.  Two partitions over the *same* universe are equal iff their
+  label tuples are equal — an O(n) flat int compare with no hashing of sets.
+
+On label arrays the §3.1 operations become single passes over machine ints:
+
+* **product** groups positions by the pair ``(label, label')`` through one
+  dict of int pairs (radix-style; no frozenset keys);
+* **sum** is an array union-find with union-by-size and path compression,
+  seeded with one anchor per label per operand;
+* **refines** / **restrict** / ``together`` are single scans.
+
+The block-of-frozensets view is materialized lazily by the
+:class:`~repro.partitions.partition.Partition` facade; the block-based
+implementations survive in :mod:`repro.partitions.oracle` as the cross-check
+oracle for the randomized equivalence suite and the EXP-PART benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+Label = int
+Labels = tuple[int, ...]
+
+_MASK = (1 << 64) - 1
+
+
+class Universe:
+    """An interned population: contiguous ids for a fixed tuple of elements.
+
+    ``elements[i]`` is the element with id ``i``; ``index[element] == i``.
+    Construction deduplicates while preserving first-occurrence order, so a
+    universe built from any iterable is deterministic in that iterable's
+    order.  Identity of the :class:`Universe` *object* is what unlocks the
+    fast paths: partitions built over the same universe instance compare and
+    combine without any per-element hashing.
+    """
+
+    __slots__ = ("elements", "index", "_population")
+
+    def __init__(self, population: Iterable[Hashable] = ()) -> None:
+        elements: list[Hashable] = []
+        index: dict[Hashable, int] = {}
+        for element in population:
+            if element not in index:
+                index[element] = len(elements)
+                elements.append(element)
+        self.elements: tuple[Hashable, ...] = tuple(elements)
+        self.index = index
+        self._population: frozenset | None = None
+
+    @classmethod
+    def _trusted(cls, elements: tuple[Hashable, ...], index: dict[Hashable, int]) -> "Universe":
+        """Internal constructor skipping deduplication (inputs already consistent)."""
+        self = object.__new__(cls)
+        self.elements = elements
+        self.index = index
+        self._population = None
+        return self
+
+    def population(self) -> frozenset:
+        """The elements as a frozenset — one shared object per universe.
+
+        Partitions over a shared universe therefore return the *same*
+        population object, so population comparisons between them start with
+        an identity hit.
+        """
+        if self._population is None:
+            self._population = frozenset(self.elements)
+        return self._population
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __contains__(self, element: object) -> bool:
+        return element in self.index
+
+    def __repr__(self) -> str:
+        return f"Universe({len(self.elements)} elements)"
+
+
+def canonical_labels(raw: Iterable[Hashable]) -> tuple[Labels, int]:
+    """Relabel a raw key sequence by first occurrence: ``(labels, block_count)``.
+
+    ``raw`` may hold any hashable keys (ints from a kernel operation, symbols
+    from a column, tuples of labels from an n-ary product); the result is the
+    canonical dense form.
+    """
+    relabel: dict[Hashable, int] = {}
+    setdefault = relabel.setdefault
+    labels = tuple(setdefault(key, len(relabel)) for key in raw)
+    return labels, len(relabel)
+
+
+def product_labels(labels_a: Labels, labels_b: Labels) -> tuple[Labels, int]:
+    """Product of two partitions over one universe: group positions by label pair."""
+    pair_label: dict[tuple[int, int], int] = {}
+    setdefault = pair_label.setdefault
+    labels = tuple(
+        setdefault((la, lb), len(pair_label)) for la, lb in zip(labels_a, labels_b)
+    )
+    return labels, len(pair_label)
+
+
+def product_labels_many(label_arrays: Sequence[Labels]) -> tuple[Labels, int]:
+    """N-ary product over one universe: one pass grouping by the k-tuple of labels."""
+    if len(label_arrays) == 1:
+        return label_arrays[0], (max(label_arrays[0]) + 1 if label_arrays[0] else 0)
+    key_label: dict[tuple[int, ...], int] = {}
+    setdefault = key_label.setdefault
+    labels = tuple(setdefault(key, len(key_label)) for key in zip(*label_arrays))
+    return labels, len(key_label)
+
+
+class UnionFind:
+    """Array union-find with union-by-size and path compression (ids ``0..n-1``)."""
+
+    __slots__ = ("parent", "size")
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+        self.size = [1] * n
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return
+        if self.size[root_a] < self.size[root_b]:
+            root_a, root_b = root_b, root_a
+        self.parent[root_b] = root_a
+        self.size[root_a] += self.size[root_b]
+
+
+def _merge_labelling(uf: UnionFind, labels: Labels, ids: Sequence[int]) -> None:
+    """Union every position of each block: one anchor per label, then anchor–member unions.
+
+    ``ids[i]`` is the union-find id of the element carrying ``labels[i]``.
+    """
+    anchor: dict[int, int] = {}
+    setdefault = anchor.setdefault
+    union = uf.union
+    for label, element_id in zip(labels, ids):
+        first = setdefault(label, element_id)
+        if first != element_id:
+            union(first, element_id)
+
+
+def sum_labels(labelled: Sequence[tuple[Labels, int]]) -> tuple[Labels, int]:
+    """Sum of several partitions over one universe: a *label-graph* union-find.
+
+    ``labelled`` holds ``(labels, block_count)`` per operand.  Instead of
+    unioning element ids (n union-find operations per operand), the blocks
+    themselves are the union-find nodes: position ``i`` connects the first
+    operand's block ``labels_0[i]`` with every other operand's block at ``i``,
+    and each distinct label *pair* is unioned only once (deduplicated through
+    a flat int set).  The overlap-graph components of §3.1 then come out of a
+    flattened root table, so the final labelling pass is one list indexing
+    per element.
+    """
+    base_labels, base_count = labelled[0]
+    total = sum(count for _, count in labelled)
+    uf = UnionFind(total)
+    union = uf.union
+    offset = base_count
+    for labels, count in labelled[1:]:
+        seen: set[int] = set()
+        add = seen.add
+        for base_label, label in zip(base_labels, labels):
+            key = base_label * count + label
+            if key not in seen:
+                add(key)
+                union(base_label, offset + label)
+        offset += count
+    find = uf.find
+    # Canonicalize on the label table instead of per element: base labels are
+    # themselves first-occurrence canonical, so walking them in increasing
+    # order visits components in exactly the order positions first meet them.
+    relabel: dict[int, int] = {}
+    setdefault = relabel.setdefault
+    table = [setdefault(find(label), len(relabel)) for label in range(base_count)]
+    return tuple(map(table.__getitem__, base_labels)), len(relabel)
+
+
+def refines_labels(labels_fine: Labels, labels_coarse: Labels) -> bool:
+    """Same-universe refinement: every fine block maps into one coarse label."""
+    representative: dict[int, int] = {}
+    setdefault = representative.setdefault
+    for fine, coarse in zip(labels_fine, labels_coarse):
+        if setdefault(fine, coarse) != coarse:
+            return False
+    return True
+
+
+def _mix(value: int) -> int:
+    """64-bit finalizer (splitmix64-style) for order-independent hashing."""
+    value &= _MASK
+    value ^= value >> 33
+    value = (value * 0xFF51AFD7ED558CCD) & _MASK
+    value ^= value >> 33
+    value = (value * 0xC4CEB9FE1A85EC53) & _MASK
+    value ^= value >> 33
+    return value
+
+def kernel_hash(elements: Sequence[Hashable], labels: Labels, block_count: int) -> int:
+    """A hash of the partition *as a set of sets*, computed from the label array.
+
+    Commutative at both levels (xor of mixed element hashes within a block,
+    sum of mixed block hashes across blocks), so equal partitions hash equal
+    regardless of the element order of their universes — the property the
+    frozenset-of-frozensets hash provided, without materializing any set.
+    """
+    accumulators = [0] * block_count
+    sizes = [0] * block_count
+    for element, label in zip(elements, labels):
+        accumulators[label] ^= _mix(hash(element))
+        sizes[label] += 1
+    total = 0
+    for accumulator, size in zip(accumulators, sizes):
+        total = (total + _mix(accumulator ^ (size * 0x9E3779B97F4A7C15))) & _MASK
+    return _mix(total ^ (block_count * 0x2545F4914F6CDD1D)) & (_MASK >> 1)
+
+
+def union_universe(first: Universe, second: Universe) -> Universe:
+    """The universe over ``p ∪ p'``: ``first``'s elements, then ``second``'s new ones."""
+    if first is second:
+        return first
+    elements = list(first.elements)
+    index = dict(first.index)
+    for element in second.elements:
+        if element not in index:
+            index[element] = len(elements)
+            elements.append(element)
+    return Universe._trusted(tuple(elements), index)

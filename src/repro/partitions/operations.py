@@ -1,15 +1,17 @@
 """Free functions over partitions: n-ary products and sums, lattice checks.
 
-These are thin wrappers around :class:`~repro.partitions.partition.Partition`
-methods, convenient when folding over collections (the meaning of a relation
-scheme ``R[A1...Ak]`` is the k-ary product of atomic partitions) and when
-verifying the lattice axioms in tests and benchmarks.
+The n-ary operations are *single-pass*: the k-ary product groups the common
+population by the k-tuple of block labels in one sweep, and the k-ary sum
+runs one shared union-find over the combined universe — instead of
+left-folding ``k - 1`` binary calls, each of which would materialize an
+intermediate partition.  The meaning of a relation scheme ``R[A1...Ak]``
+(the k-ary product of atomic partitions) and the lattice-axiom checks of the
+tests and benchmarks all route through here.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
-from functools import reduce
 
 from repro.errors import PartitionError
 from repro.partitions.partition import Partition
@@ -20,7 +22,7 @@ def product(partitions: Iterable[Partition]) -> Partition:
     items = list(partitions)
     if not items:
         raise PartitionError("product of zero partitions is undefined")
-    return reduce(lambda acc, p: acc.product(p), items[1:], items[0])
+    return Partition.product_many(items)
 
 
 def sum_(partitions: Iterable[Partition]) -> Partition:
@@ -28,7 +30,7 @@ def sum_(partitions: Iterable[Partition]) -> Partition:
     items = list(partitions)
     if not items:
         raise PartitionError("sum of zero partitions is undefined")
-    return reduce(lambda acc, p: acc.sum(p), items[1:], items[0])
+    return Partition.sum_many(items)
 
 
 # Lattice-flavoured aliases: on a fixed population the product is the meet

@@ -1,0 +1,106 @@
+"""Block-based partition operations: the seed implementation kept as an oracle.
+
+The integer-coded kernel (:mod:`repro.partitions.kernel`) replaced the
+original frozenset-of-frozensets algorithms on the hot paths.  Following the
+pattern of PR 1 (naive chase vs :class:`ChaseEngine`) and PR 2 (from-scratch
+closures vs :class:`ImplicationIndex`), the original algorithms survive here
+verbatim-in-spirit, operating purely on the materialized ``blocks`` /
+``population`` views:
+
+* the randomized equivalence suite (``tests/test_partition_kernel.py``)
+  cross-checks every kernel operation against these on shared, overlapping
+  and disjoint populations;
+* the EXP-PART benchmarks (``benchmarks/bench_partitions.py``) measure the
+  kernel's speedup against them.
+
+They are deliberately *not* micro-optimized — they are the specification.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.partitions.partition import Element, Partition
+
+
+def block_product(first: Partition, second: Partition) -> Partition:
+    """The product via frozenset-pair grouping (the seed's ``Partition.product``)."""
+    common = first.population & second.population
+    if not common:
+        return Partition()
+    first_block_of = {element: block for block in first.blocks for element in block}
+    second_block_of = {element: block for block in second.blocks for element in block}
+    groups: dict[tuple[frozenset, frozenset], set[Element]] = {}
+    for element in common:
+        key = (first_block_of[element], second_block_of[element])
+        groups.setdefault(key, set()).add(element)
+    return Partition(groups.values())
+
+
+def block_sum(first: Partition, second: Partition) -> Partition:
+    """The sum via a hash-keyed union-find (the seed's ``Partition.sum``)."""
+    population = first.population | second.population
+    parent: dict[Element, Element] = {element: element for element in population}
+
+    def find(x: Element) -> Element:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: Element, b: Element) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[root_a] = root_b
+
+    for block in list(first.blocks) + list(second.blocks):
+        anchor = next(iter(block))
+        for element in block:
+            union(anchor, element)
+    groups: dict[Element, set[Element]] = {}
+    for element in population:
+        groups.setdefault(find(element), set()).add(element)
+    return Partition(groups.values())
+
+
+def block_refines(first: Partition, second: Partition) -> bool:
+    """Refinement with population containment, on materialized blocks."""
+    if not first.population <= second.population:
+        return False
+    second_block_of = {element: block for block in second.blocks for element in block}
+    return all(block <= second_block_of[next(iter(block))] for block in first.blocks)
+
+
+def block_restrict(partition: Partition, subpopulation: Iterable[Element]) -> Partition:
+    """Restriction by intersecting every block (the seed's ``Partition.restrict``)."""
+    from repro.errors import PartitionError
+
+    target = frozenset(subpopulation)
+    if not target <= partition.population:
+        raise PartitionError("cannot restrict a partition to elements outside its population")
+    blocks = []
+    for block in partition.blocks:
+        restricted = block & target
+        if restricted:
+            blocks.append(restricted)
+    return Partition(blocks)
+
+
+def block_product_many(partitions: Iterable[Partition]) -> Partition:
+    """Left-folded binary products (the seed's n-ary ``operations.product``)."""
+    result: Partition | None = None
+    for partition in partitions:
+        result = partition if result is None else block_product(result, partition)
+    if result is None:
+        raise ValueError("product of zero partitions is undefined")
+    return result
+
+
+def block_sum_many(partitions: Iterable[Partition]) -> Partition:
+    """Left-folded binary sums (the seed's n-ary ``operations.sum_``)."""
+    result: Partition | None = None
+    for partition in partitions:
+        result = partition if result is None else block_sum(result, partition)
+    if result is None:
+        raise ValueError("sum of zero partitions is undefined")
+    return result

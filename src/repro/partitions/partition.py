@@ -17,6 +17,15 @@ universe form a lattice (the paper's Theorem 1 builds on exactly this).
 Populations can contain any hashable elements; the canonical interpretation
 of a relation uses integer tuple identifiers, the worked examples use small
 integers, and the property-based tests mix types freely.
+
+Representation: :class:`Partition` is a thin facade over the integer-coded
+kernel of :mod:`repro.partitions.kernel` — a :class:`~repro.partitions.kernel.Universe`
+(elements interned to contiguous ids) plus a canonical first-occurrence label
+array.  Product, sum, refinement, restriction and equality are single passes
+over machine ints; the frozenset-of-frozensets view of the blocks is
+materialized lazily, only when the block-based API is actually used.  The
+original block-based operations survive in :mod:`repro.partitions.oracle` as
+a cross-check oracle.
 """
 
 from __future__ import annotations
@@ -25,6 +34,19 @@ from collections.abc import Hashable, Iterable, Iterator, Mapping
 from typing import Callable, TypeVar
 
 from repro.errors import PartitionError
+from repro.partitions.kernel import (
+    Labels,
+    UnionFind,
+    Universe,
+    _merge_labelling,
+    canonical_labels,
+    kernel_hash,
+    product_labels,
+    product_labels_many,
+    refines_labels,
+    sum_labels,
+    union_universe,
+)
 
 #: Elements of populations can be any hashable value.
 Element = Hashable
@@ -43,46 +65,113 @@ class Partition:
     population-aware lattice.
     """
 
-    __slots__ = ("_blocks", "_population", "_block_of", "_hash")
+    __slots__ = (
+        "_universe",
+        "_labels",
+        "_block_count",
+        "_blocks",
+        "_block_list",
+        "_hash",
+    )
 
     def __init__(self, blocks: Iterable[Iterable[Element]] = ()) -> None:
-        frozen_blocks = frozenset(frozenset(block) for block in blocks)
-        if any(not block for block in frozen_blocks):
-            raise PartitionError("partition blocks must be non-empty")
-        block_of: dict[Element, frozenset] = {}
-        for block in frozen_blocks:
+        elements: list[Element] = []
+        index: dict[Element, int] = {}
+        raw: list[int] = []
+        block_sizes: list[int] = []
+        for block in blocks:
+            block_elements: list[Element] = []
+            local_seen: set[Element] = set()
             for element in block:
-                if element in block_of:
-                    raise PartitionError(
-                        f"element {element!r} appears in two blocks; blocks must be disjoint"
+                if element not in local_seen:
+                    local_seen.add(element)
+                    block_elements.append(element)
+            if not block_elements:
+                raise PartitionError("partition blocks must be non-empty")
+            positions = [index.get(element) for element in block_elements]
+            if all(position is None for position in positions):
+                block_id = len(block_sizes)
+                for element in block_elements:
+                    index[element] = len(elements)
+                    elements.append(element)
+                    raw.append(block_id)
+                block_sizes.append(len(block_elements))
+            else:
+                # Every element already placed, all in one block of the same
+                # size: the input repeats a block (frozensets would collapse
+                # it); anything else is a genuine overlap.
+                seen_labels = {raw[position] for position in positions if position is not None}
+                if (
+                    any(position is None for position in positions)
+                    or len(seen_labels) != 1
+                    or block_sizes[next(iter(seen_labels))] != len(block_elements)
+                ):
+                    offender = next(
+                        element
+                        for element, position in zip(block_elements, positions)
+                        if position is not None
                     )
-                block_of[element] = block
-        self._blocks = frozen_blocks
-        self._population = frozenset(block_of)
-        self._block_of = block_of
-        self._hash = hash(frozen_blocks)
+                    raise PartitionError(
+                        f"element {offender!r} appears in two blocks; blocks must be disjoint"
+                    )
+        self._universe = Universe._trusted(tuple(elements), index)
+        self._labels: Labels = tuple(raw)
+        self._block_count = len(block_sizes)
+        self._blocks = None
+        self._block_list = None
+        self._hash = None
+
+    @classmethod
+    def _from_kernel(cls, universe: Universe, labels: Labels, block_count: int) -> "Partition":
+        """Trusted constructor: ``labels`` must be canonical over ``universe``."""
+        self = object.__new__(cls)
+        self._universe = universe
+        self._labels = labels
+        self._block_count = block_count
+        self._blocks = None
+        self._block_list = None
+        self._hash = None
+        return self
 
     # -- constructors ----------------------------------------------------------
     @classmethod
+    def from_labels(cls, universe: Universe, labels: Iterable[Hashable]) -> "Partition":
+        """The partition grouping universe positions by label (any hashable labels).
+
+        ``labels`` must have one entry per universe element, in universe
+        order; they are canonicalized to dense first-occurrence ints.  This is
+        the bulk entry point used by the canonical interpretation, the column
+        partitions of §4.1 and the Bell-lattice enumeration — no per-block
+        set building, no revalidation.
+        """
+        canonical, block_count = canonical_labels(labels)
+        if len(canonical) != len(universe):
+            raise PartitionError(
+                f"expected {len(universe)} labels (one per universe element), got {len(canonical)}"
+            )
+        return cls._from_kernel(universe, canonical, block_count)
+
+    @classmethod
     def discrete(cls, population: Iterable[Element]) -> "Partition":
         """The finest partition of ``population``: every element is its own block."""
-        return cls([{element} for element in set(population)])
+        universe = Universe(population)
+        n = len(universe)
+        return cls._from_kernel(universe, tuple(range(n)), n)
 
     @classmethod
     def indiscrete(cls, population: Iterable[Element]) -> "Partition":
         """The coarsest partition of ``population``: a single block (if non-empty)."""
-        elements = set(population)
-        return cls([elements] if elements else [])
+        universe = Universe(population)
+        n = len(universe)
+        return cls._from_kernel(universe, (0,) * n, 1 if n else 0)
 
     @classmethod
     def from_function(
         cls, population: Iterable[Element], key: Callable[[Element], Hashable]
     ) -> "Partition":
         """Group ``population`` by the value of ``key`` (the kernel of the function)."""
-        groups: dict[Hashable, set[Element]] = {}
-        for element in population:
-            groups.setdefault(key(element), set()).add(element)
-        return cls(groups.values())
+        universe = Universe(population)
+        return cls.from_labels(universe, (key(element) for element in universe.elements))
 
     @classmethod
     def from_equivalence_pairs(
@@ -91,61 +180,102 @@ class Partition:
         """The finest partition in which each given pair is in a common block.
 
         Computes the partition induced by the reflexive-symmetric-transitive
-        closure of ``pairs`` on ``population`` (a small union-find).
+        closure of ``pairs`` on ``population``: an array union-find with
+        union-by-size and path compression.  Pair elements are validated
+        against the population as each pair is read, before any union.
         """
-        parent: dict[Element, Element] = {element: element for element in population}
-
-        def find(x: Element) -> Element:
-            if x not in parent:
-                raise PartitionError(f"pair element {x!r} is not in the population")
-            while parent[x] != x:
-                parent[x] = parent[parent[x]]
-                x = parent[x]
-            return x
-
+        universe = Universe(population)
+        index = universe.index
+        uf = UnionFind(len(universe))
         for a, b in pairs:
-            root_a, root_b = find(a), find(b)
-            if root_a != root_b:
-                parent[root_a] = root_b
-        groups: dict[Element, set[Element]] = {}
-        for element in parent:
-            groups.setdefault(find(element), set()).add(element)
-        return cls(groups.values())
+            id_a = index.get(a)
+            if id_a is None:
+                raise PartitionError(f"pair element {a!r} is not in the population")
+            id_b = index.get(b)
+            if id_b is None:
+                raise PartitionError(f"pair element {b!r} is not in the population")
+            uf.union(id_a, id_b)
+        find = uf.find
+        labels, count = canonical_labels(find(i) for i in range(len(universe)))
+        return cls._from_kernel(universe, labels, count)
 
     # -- accessors --------------------------------------------------------------
+    def _block_tuple(self) -> tuple[frozenset, ...]:
+        """The blocks indexed by label (materialized lazily, cached)."""
+        if self._block_list is None:
+            groups: list[list[Element]] = [[] for _ in range(self._block_count)]
+            for element, label in zip(self._universe.elements, self._labels):
+                groups[label].append(element)
+            self._block_list = tuple(frozenset(group) for group in groups)
+        return self._block_list
+
     @property
     def blocks(self) -> frozenset[frozenset]:
         """The blocks of the partition."""
+        if self._blocks is None:
+            self._blocks = frozenset(self._block_tuple())
         return self._blocks
 
     @property
     def population(self) -> frozenset:
-        """The underlying population (union of the blocks)."""
-        return self._population
+        """The underlying population (union of the blocks).
+
+        The frozenset is cached on the universe, so partitions sharing a
+        universe share one population object (identity-fast comparisons).
+        """
+        return self._universe.population()
+
+    @property
+    def universe(self) -> Universe:
+        """The interned universe carrying this partition's label array."""
+        return self._universe
+
+    @property
+    def labels(self) -> Labels:
+        """The canonical first-occurrence label array (position ``i`` → block label)."""
+        return self._labels
 
     def block_of(self, element: Element) -> frozenset:
         """The block containing ``element``; raises if the element is not in the population."""
-        try:
-            return self._block_of[element]
-        except KeyError as exc:
-            raise PartitionError(f"{element!r} is not in the population") from exc
+        position = self._universe.index.get(element)
+        if position is None:
+            raise PartitionError(f"{element!r} is not in the population")
+        return self._block_tuple()[self._labels[position]]
 
     def block_count(self) -> int:
         """Number of blocks."""
-        return len(self._blocks)
+        return self._block_count
 
     def together(self, first: Element, second: Element) -> bool:
         """True iff the two elements are in the same block."""
-        return self.block_of(first) == self.block_of(second)
+        index = self._universe.index
+        position_first = index.get(first)
+        if position_first is None:
+            raise PartitionError(f"{first!r} is not in the population")
+        position_second = index.get(second)
+        if position_second is None:
+            raise PartitionError(f"{second!r} is not in the population")
+        return self._labels[position_first] == self._labels[position_second]
 
     def is_empty(self) -> bool:
         """True iff the partition has no blocks (empty population)."""
-        return not self._blocks
+        return self._block_count == 0
 
     def sorted_blocks(self) -> list[list[Element]]:
-        """Blocks as sorted lists, sorted among themselves — a deterministic rendering."""
-        rendered = [sorted(block, key=repr) for block in self._blocks]
-        return sorted(rendered, key=lambda block: [repr(x) for x in block])
+        """Blocks as sorted lists, sorted among themselves — a deterministic rendering.
+
+        Sort keys (element ``repr``) are computed once per element
+        (decorate-sort-undecorate) and reused for the block-level sort, so
+        rendering stays linear in ``repr`` calls even on large populations.
+        """
+        rendered: list[list[Element]] = []
+        keys: list[list[str]] = []
+        for block in self._block_tuple():
+            decorated = sorted([(repr(element), element) for element in block], key=lambda d: d[0])
+            keys.append([key for key, _ in decorated])
+            rendered.append([element for _, element in decorated])
+        order = sorted(range(len(rendered)), key=keys.__getitem__)
+        return [rendered[i] for i in order]
 
     # -- order and operations -----------------------------------------------------
     def refines(self, other: "Partition") -> bool:
@@ -158,54 +288,91 @@ class Partition:
         populations it is exactly the condition Theorem 2 gives for the FPD
         ``X = X·Y``.
         """
-        if not self._population <= other._population:
-            return False
-        return all(
-            block <= other.block_of(next(iter(block))) for block in self._blocks
-        )
+        if self._universe is other._universe:
+            return refines_labels(self._labels, other._labels)
+        other_index = other._universe.index
+        other_labels = other._labels
+        representative: dict[int, int] = {}
+        setdefault = representative.setdefault
+        for element, fine in zip(self._universe.elements, self._labels):
+            position = other_index.get(element)
+            if position is None:
+                return False
+            coarse = other_labels[position]
+            if setdefault(fine, coarse) != coarse:
+                return False
+        return True
 
     def product(self, other: "Partition") -> "Partition":
         """The partition product ``π * π'`` (a partition of ``p ∩ p'``)."""
-        common = self._population & other._population
-        if not common:
-            return Partition()
-        # Group the common elements by the pair (block in self, block in other).
-        groups: dict[tuple[frozenset, frozenset], set[Element]] = {}
-        for element in common:
-            key = (self._block_of[element], other._block_of[element])
-            groups.setdefault(key, set()).add(element)
-        return Partition(groups.values())
+        if self._universe is other._universe:
+            labels, count = product_labels(self._labels, other._labels)
+            return Partition._from_kernel(self._universe, labels, count)
+        # Cross-universe: one pass over self's elements that other also carries.
+        other_index = other._universe.index
+        other_labels = other._labels
+        elements: list[Element] = []
+        index: dict[Element, int] = {}
+        pair_label: dict[tuple[int, int], int] = {}
+        setdefault = pair_label.setdefault
+        raw: list[int] = []
+        for element, label in zip(self._universe.elements, self._labels):
+            position = other_index.get(element)
+            if position is None:
+                continue
+            index[element] = len(elements)
+            elements.append(element)
+            raw.append(setdefault((label, other_labels[position]), len(pair_label)))
+        universe = Universe._trusted(tuple(elements), index)
+        return Partition._from_kernel(universe, tuple(raw), len(pair_label))
 
     def sum(self, other: "Partition") -> "Partition":
         """The partition sum ``π + π'`` (a partition of ``p ∪ p'``).
 
         Two elements of ``p ∪ p'`` are in the same block of the sum iff they
         are linked by a chain of overlapping blocks from ``π ∪ π'``.
-        Implemented with a union-find over the combined population: each
-        block of either partition merges all its elements.
+        Implemented as an array union-find (union-by-size, path compression)
+        over the combined universe, seeded with one anchor per block.
         """
-        population = self._population | other._population
-        parent: dict[Element, Element] = {element: element for element in population}
-
-        def find(x: Element) -> Element:
-            while parent[x] != x:
-                parent[x] = parent[parent[x]]
-                x = parent[x]
-            return x
-
-        def union(a: Element, b: Element) -> None:
-            root_a, root_b = find(a), find(b)
-            if root_a != root_b:
-                parent[root_a] = root_b
-
-        for block in list(self._blocks) + list(other._blocks):
-            first = next(iter(block))
-            for element in block:
-                union(first, element)
-        groups: dict[Element, set[Element]] = {}
-        for element in population:
-            groups.setdefault(find(element), set()).add(element)
-        return Partition(groups.values())
+        if self._universe is other._universe:
+            labels, count = sum_labels(
+                [(self._labels, self._block_count), (other._labels, other._block_count)]
+            )
+            return Partition._from_kernel(self._universe, labels, count)
+        # Cross-universe: union-find over the blocks (not the elements) —
+        # blocks of the two operands are connected through shared elements,
+        # elements in only one population keep that operand's block.
+        universe = union_universe(self._universe, other._universe)
+        own_count = self._block_count
+        uf = UnionFind(own_count + other._block_count)
+        union = uf.union
+        other_index = other._universe.index
+        other_labels = other._labels
+        seen: set[int] = set()
+        add = seen.add
+        stride = other._block_count
+        for element, label in zip(self._universe.elements, self._labels):
+            position = other_index.get(element)
+            if position is None:
+                continue
+            other_label = other_labels[position]
+            key = label * stride + other_label
+            if key not in seen:
+                add(key)
+                union(label, own_count + other_label)
+        find = uf.find
+        root = [find(x) for x in range(own_count + other._block_count)]
+        own_index = self._universe.index
+        own_labels = self._labels
+        raw = []
+        for element in universe.elements:
+            position = own_index.get(element)
+            if position is not None:
+                raw.append(root[own_labels[position]])
+            else:
+                raw.append(root[own_count + other_labels[other_index[element]]])
+        labels, count = canonical_labels(raw)
+        return Partition._from_kernel(universe, labels, count)
 
     # operator sugar mirroring the paper's notation
     def __mul__(self, other: "Partition") -> "Partition":
@@ -223,33 +390,92 @@ class Partition:
 
     def restrict(self, subpopulation: Iterable[Element]) -> "Partition":
         """The restriction of the partition to a subset of its population."""
-        target = frozenset(subpopulation)
-        if not target <= self._population:
-            raise PartitionError("cannot restrict a partition to elements outside its population")
-        blocks = []
-        for block in self._blocks:
-            restricted = block & target
-            if restricted:
-                blocks.append(restricted)
-        return Partition(blocks)
+        target = set(subpopulation)
+        index = self._universe.index
+        for element in target:
+            if element not in index:
+                raise PartitionError(
+                    "cannot restrict a partition to elements outside its population"
+                )
+        if len(target) == len(self._universe):
+            return self
+        elements: list[Element] = []
+        kept_index: dict[Element, int] = {}
+        raw: list[int] = []
+        for element, label in zip(self._universe.elements, self._labels):
+            if element in target:
+                kept_index[element] = len(elements)
+                elements.append(element)
+                raw.append(label)
+        labels, count = canonical_labels(raw)
+        return Partition._from_kernel(Universe._trusted(tuple(elements), kept_index), labels, count)
+
+    def realign(self, universe: Universe) -> "Partition":
+        """The same partition re-anchored onto ``universe`` (same population, any order).
+
+        Used to make partitions of a shared population (e.g. the atomic
+        partitions of an EAP interpretation) carry one universe *object*, so
+        that every later product/sum/equality takes the same-universe fast
+        path.  Raises when the populations differ.
+        """
+        if universe is self._universe:
+            return self
+        own_index = self._universe.index
+        if len(universe) != len(own_index):
+            raise PartitionError("cannot realign a partition onto a universe of different population")
+        labels = self._labels
+        try:
+            raw = [labels[own_index[element]] for element in universe.elements]
+        except KeyError as exc:
+            raise PartitionError(
+                "cannot realign a partition onto a universe of different population"
+            ) from exc
+        canonical, count = canonical_labels(raw)
+        return Partition._from_kernel(universe, canonical, count)
 
     # -- dunder plumbing ------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Partition):
             return NotImplemented
-        return self._blocks == other._blocks
+        if self._universe is other._universe:
+            return self._labels == other._labels
+        if (
+            self._block_count != other._block_count
+            or len(self._universe) != len(other._universe)
+        ):
+            return False
+        # Remap other's labels into self's element order and canonicalize on
+        # the fly; equal partitions yield exactly self's canonical labels.
+        other_index = other._universe.index
+        other_labels = other._labels
+        relabel: dict[int, int] = {}
+        setdefault = relabel.setdefault
+        for element, label in zip(self._universe.elements, self._labels):
+            position = other_index.get(element)
+            if position is None:
+                return False
+            if setdefault(other_labels[position], len(relabel)) != label:
+                return False
+        return True
 
     def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = kernel_hash(self._universe.elements, self._labels, self._block_count)
         return self._hash
 
     def __len__(self) -> int:
-        return len(self._blocks)
+        return self._block_count
 
     def __iter__(self) -> Iterator[frozenset]:
-        return iter(self._blocks)
+        return iter(self._block_tuple())
 
     def __contains__(self, element: object) -> bool:
-        return element in self._population
+        return element in self._universe.index
+
+    def __reduce__(self):
+        return (Partition, ([tuple(block) for block in self._block_tuple()],))
 
     def __repr__(self) -> str:
         return f"Partition({self.sorted_blocks()!r})"
@@ -257,6 +483,61 @@ class Partition:
     def __str__(self) -> str:
         blocks = ["{" + ", ".join(str(x) for x in block) + "}" for block in self.sorted_blocks()]
         return "{" + ", ".join(blocks) + "}"
+
+    # -- n-ary kernels (used by repro.partitions.operations) -----------------------
+    @staticmethod
+    def product_many(partitions: list["Partition"]) -> "Partition":
+        """Single-pass n-ary product: group the common population by k-tuples of labels."""
+        first = partitions[0]
+        if len(partitions) == 1:
+            return first
+        if all(p._universe is first._universe for p in partitions):
+            labels, count = product_labels_many([p._labels for p in partitions])
+            return Partition._from_kernel(first._universe, labels, count)
+        rest = partitions[1:]
+        rest_indexes = [p._universe.index for p in rest]
+        rest_labels = [p._labels for p in rest]
+        elements: list[Element] = []
+        index: dict[Element, int] = {}
+        key_label2: dict[tuple[int, ...], int] = {}
+        setdefault2 = key_label2.setdefault
+        raw_list: list[int] = []
+        for element, label in zip(first._universe.elements, first._labels):
+            key = [label]
+            for other_index, other_labels in zip(rest_indexes, rest_labels):
+                position = other_index.get(element)
+                if position is None:
+                    key = None
+                    break
+                key.append(other_labels[position])
+            if key is None:
+                continue
+            index[element] = len(elements)
+            elements.append(element)
+            raw_list.append(setdefault2(tuple(key), len(key_label2)))
+        universe = Universe._trusted(tuple(elements), index)
+        return Partition._from_kernel(universe, tuple(raw_list), len(key_label2))
+
+    @staticmethod
+    def sum_many(partitions: list["Partition"]) -> "Partition":
+        """Single-pass n-ary sum: one shared union-find over the combined universe."""
+        first = partitions[0]
+        if len(partitions) == 1:
+            return first
+        if all(p._universe is first._universe for p in partitions):
+            labels, count = sum_labels([(p._labels, p._block_count) for p in partitions])
+            return Partition._from_kernel(first._universe, labels, count)
+        universe = first._universe
+        for p in partitions[1:]:
+            universe = union_universe(universe, p._universe)
+        uf = UnionFind(len(universe))
+        combined_index = universe.index
+        for p in partitions:
+            ids = [combined_index[element] for element in p._universe.elements]
+            _merge_labelling(uf, p._labels, ids)
+        find = uf.find
+        labels, count = canonical_labels(find(i) for i in range(len(universe)))
+        return Partition._from_kernel(universe, labels, count)
 
 
 def partition_from_mapping(assignment: Mapping[Element, Hashable]) -> Partition:

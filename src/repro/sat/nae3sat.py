@@ -157,38 +157,38 @@ def nae_backtracking(formula: CnfFormula) -> Optional[dict[str, bool]]:
     """Backtracking search with per-clause pruning.
 
     A partial assignment is pruned as soon as some clause has all literals
-    assigned true or all assigned false.
+    assigned true or all assigned false.  Clauses are indexed by variable, so
+    assigning one variable re-evaluates only the clause gadgets that mention
+    it — clauses over untouched variables cannot have changed state — instead
+    of rescanning the whole formula at every search node.
     """
     variables = formula.variables
-    clauses = list(formula.clauses)
     assignment: dict[str, bool] = {}
-
-    def clause_state(clause: Clause) -> str:
-        """"ok" (already NAE-satisfied), "dead" (already violated) or "open"."""
-        values = []
-        unassigned = 0
+    clauses_of: dict[str, list[Clause]] = {variable: [] for variable in variables}
+    for clause in formula.clauses:
+        seen: set[str] = set()
         for literal in clause:
-            if literal.variable in assignment:
-                values.append(literal.evaluate(assignment))
-            else:
-                unassigned += 1
-        if values and any(values) and not all(values):
-            return "ok"
-        if unassigned == 0:
-            return "dead"
-        # All assigned literals (if any) share one value but free literals remain.
-        return "open"
+            if literal.variable not in seen:
+                seen.add(literal.variable)
+                clauses_of[literal.variable].append(clause)
 
-    def consistent() -> bool:
-        return all(clause_state(clause) != "dead" for clause in clauses)
+    def clause_dead(clause: Clause) -> bool:
+        """Dead iff fully assigned with all literals true or all false."""
+        values = []
+        for literal in clause:
+            if literal.variable not in assignment:
+                return False
+            values.append(literal.evaluate(assignment))
+        return all(values) or not any(values)
 
     def backtrack(index: int) -> bool:
         if index == len(variables):
             return formula.nae_evaluate(assignment)
         variable = variables[index]
+        touched = clauses_of[variable]
         for value in (False, True):
             assignment[variable] = value
-            if consistent() and backtrack(index + 1):
+            if not any(clause_dead(clause) for clause in touched) and backtrack(index + 1):
                 return True
             del assignment[variable]
         return False

@@ -1,0 +1,276 @@
+"""Randomized equivalence suite: integer kernel vs block-based oracle.
+
+The :class:`Partition` facade now computes product/sum/refines/restrict on
+canonical label arrays (``repro.partitions.kernel``); the original
+frozenset-of-frozensets algorithms live on in ``repro.partitions.oracle``.
+Every operation is cross-checked on randomized inputs — shared populations,
+overlapping populations, disjoint populations, mixed element types — and the
+results must be *identical partitions*: same blocks, same populations.
+
+Also pinned here: the canonicalization invariants of the label arrays, the
+n-ary single-pass operations against binary folds, and the memoized
+``meaning_many`` DAG evaluator's cache behaviour.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.expressions.ast import attrs
+from repro.lattice.partition_lattice import bell_number, set_partitions
+from repro.partitions.interpretation import PartitionInterpretation
+from repro.partitions.kernel import Universe, canonical_labels
+from repro.partitions.operations import product, satisfies_lattice_axioms, sum_
+from repro.partitions.oracle import (
+    block_product,
+    block_product_many,
+    block_refines,
+    block_restrict,
+    block_sum,
+    block_sum_many,
+)
+from repro.partitions.partition import Partition
+
+SEED = 20260730
+
+
+def random_partition(rng: random.Random, population: list) -> Partition:
+    """A random partition of ``population`` with a random number of blocks."""
+    if not population:
+        return Partition()
+    group_count = rng.randint(1, len(population))
+    return Partition.from_function(population, lambda _e: rng.randrange(group_count))
+
+
+def random_population(rng: random.Random) -> list:
+    """Populations mixing sizes, offsets and element types."""
+    style = rng.randrange(4)
+    size = rng.randint(0, 24)
+    if style == 0:
+        return list(range(size))
+    if style == 1:
+        offset = rng.randint(0, 10)
+        return list(range(offset, offset + size))
+    if style == 2:
+        return [f"e{i}" for i in range(size)]
+    return [(i % 3, i) for i in range(size)]
+
+
+def assert_same_partition(kernel_result: Partition, oracle_result: Partition) -> None:
+    """Identical partitions: same blocks, same populations, same hash, both ways."""
+    assert kernel_result == oracle_result
+    assert oracle_result == kernel_result
+    assert kernel_result.blocks == oracle_result.blocks
+    assert kernel_result.population == oracle_result.population
+    assert hash(kernel_result) == hash(oracle_result)
+
+
+class TestRandomizedCrossCheck:
+    @pytest.mark.parametrize("trial", range(40))
+    def test_product_sum_refines_match_oracle(self, trial):
+        rng = random.Random(SEED + trial)
+        base = random_population(rng)
+        other = random_population(rng)
+        if rng.random() < 0.5:
+            other = base  # force the shared-population regime half the time
+        p = random_partition(rng, base)
+        q = random_partition(rng, other)
+
+        assert_same_partition(p.product(q), block_product(p, q))
+        assert_same_partition(p.sum(q), block_sum(p, q))
+        assert p.refines(q) == block_refines(p, q)
+        assert q.refines(p) == block_refines(q, p)
+
+    @pytest.mark.parametrize("trial", range(20))
+    def test_restrict_round_trip_matches_oracle(self, trial):
+        rng = random.Random(SEED * 7 + trial)
+        population = random_population(rng)
+        p = random_partition(rng, population)
+        target = [e for e in population if rng.random() < 0.6]
+        assert_same_partition(p.restrict(target), block_restrict(p, target))
+        # Round trip: restricting to the full population is the identity.
+        assert p.restrict(population) == p
+        # Rebuilding from the rendered blocks is the identity too.
+        assert Partition(p.sorted_blocks()) == p
+
+    @pytest.mark.parametrize("trial", range(15))
+    def test_lattice_axioms_on_shared_and_disjoint_populations(self, trial):
+        rng = random.Random(SEED * 13 + trial)
+        shared = random_population(rng)
+        disjoint = [("disjoint", i) for i in range(rng.randint(0, 12))]
+        x = random_partition(rng, shared)
+        y = random_partition(rng, shared if trial % 2 else disjoint)
+        z = random_partition(rng, random_population(rng))
+        assert satisfies_lattice_axioms(x, y, z)
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_nary_operations_match_binary_folds_and_oracle(self, trial):
+        rng = random.Random(SEED * 17 + trial)
+        populations = [random_population(rng) for _ in range(rng.randint(1, 4))]
+        if rng.random() < 0.5:
+            populations = [populations[0]] * len(populations)
+        parts = [random_partition(rng, pop) for pop in populations]
+
+        nary_product = product(parts)
+        nary_sum = sum_(parts)
+        assert_same_partition(nary_product, block_product_many(parts))
+        assert_same_partition(nary_sum, block_sum_many(parts))
+
+        folded_product = parts[0]
+        folded_sum = parts[0]
+        for part in parts[1:]:
+            folded_product = folded_product.product(part)
+            folded_sum = folded_sum.sum(part)
+        assert nary_product == folded_product
+        assert nary_sum == folded_sum
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_from_equivalence_pairs_matches_incremental_sums(self, trial):
+        rng = random.Random(SEED * 19 + trial)
+        population = random_population(rng)
+        pairs = [
+            (rng.choice(population), rng.choice(population))
+            for _ in range(rng.randint(0, 2 * len(population)))
+        ] if population else []
+        by_union_find = Partition.from_equivalence_pairs(population, pairs)
+        reference = Partition.discrete(population)
+        for a, b in pairs:
+            reference = reference.sum(Partition.from_equivalence_pairs(population, [(a, b)]))
+        assert by_union_find == reference
+
+
+class TestKernelInvariants:
+    def test_labels_are_canonical_first_occurrence(self):
+        p = Partition([{"c", "d"}, {"a"}, {"b", "e"}])
+        labels = p.labels
+        seen_max = -1
+        for label in labels:
+            assert label <= seen_max + 1
+            seen_max = max(seen_max, label)
+        assert p.block_count() == seen_max + 1
+
+    def test_canonical_labels_relabels_arbitrary_keys(self):
+        labels, count = canonical_labels(["x", "y", "x", "z", "y"])
+        assert labels == (0, 1, 0, 2, 1)
+        assert count == 3
+
+    def test_from_labels_validates_length(self):
+        universe = Universe([1, 2, 3])
+        with pytest.raises(PartitionError):
+            Partition.from_labels(universe, [0, 1])
+
+    def test_from_labels_groups_by_key(self):
+        universe = Universe([10, 20, 30, 40])
+        p = Partition.from_labels(universe, ["a", "b", "a", "c"])
+        assert p == Partition([{10, 30}, {20}, {40}])
+
+    def test_same_universe_operations_stay_on_that_universe(self):
+        universe = Universe(range(8))
+        p = Partition.from_labels(universe, [i % 2 for i in range(8)])
+        q = Partition.from_labels(universe, [i % 3 for i in range(8)])
+        assert (p * q).universe is universe
+        assert (p + q).universe is universe
+
+    def test_equality_and_hash_across_different_universes(self):
+        p = Partition([{1, 2}, {3}])
+        q = Partition([{3}, {2, 1}])  # same partition, different element order
+        assert p.universe is not q.universe
+        assert p == q
+        assert hash(p) == hash(q)
+
+    def test_duplicate_identical_blocks_collapse(self):
+        # The seed's frozenset-of-frozensets collapsed repeated blocks.
+        assert Partition([{1, 2}, {2, 1}]) == Partition([{1, 2}])
+        with pytest.raises(PartitionError):
+            Partition([{1, 2}, {1}])
+
+    def test_realign_requires_same_population(self):
+        p = Partition([{1, 2}, {3}])
+        with pytest.raises(PartitionError):
+            p.realign(Universe([1, 2]))
+        with pytest.raises(PartitionError):
+            p.realign(Universe([1, 2, 4]))
+        realigned = p.realign(Universe([3, 2, 1]))
+        assert realigned == p
+
+    def test_from_equivalence_pairs_validates_pairs_up_front(self):
+        with pytest.raises(PartitionError):
+            Partition.from_equivalence_pairs([1, 2], [(1, 9)])
+        with pytest.raises(PartitionError):
+            Partition.from_equivalence_pairs([1, 2], [(9, 1)])
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        p = Partition([{1, 2}, {3}])
+        assert pickle.loads(pickle.dumps(p)) == p
+
+
+class TestBellEnumeration:
+    def test_set_partitions_share_one_universe(self):
+        parts = list(set_partitions([1, 2, 3, 4]))
+        assert len(parts) == bell_number(4)
+        assert len(set(parts)) == bell_number(4)
+        universes = {p.universe for p in parts}
+        assert len(universes) == 1
+
+    def test_enumerated_partitions_match_validating_constructor(self):
+        for p in set_partitions(["a", "b", "c"]):
+            assert Partition(p.sorted_blocks()) == p
+
+
+class TestMeaningManyCache:
+    def _interpretation(self):
+        return PartitionInterpretation.from_named_blocks(
+            {
+                "A": {"a1": {1, 2}, "a2": {3, 4}},
+                "B": {"b1": {1, 3}, "b2": {2, 4}},
+                "C": {"c1": {1, 4}, "c2": {2, 3}},
+            }
+        )
+
+    def test_shared_subexpression_evaluated_once(self):
+        interp = self._interpretation()
+        A, B, C = attrs("A", "B", "C")
+        shared = (A * B) + C
+        left = shared * A
+        right = shared + B
+        interp.meaning_many([left, right])
+        info = interp.meaning_cache_info()
+        # Distinct nodes: A, B, C, A*B, (A*B)+C, shared*A, shared+B == 7.
+        assert info["misses"] == 7
+        assert info["size"] == 7
+        # `shared` (and its operands) were found in cache while evaluating `right`.
+        assert info["hits"] >= 2
+
+    def test_repeated_queries_are_pure_cache_hits(self):
+        interp = self._interpretation()
+        A, B, C = attrs("A", "B", "C")
+        expression = (A + B) * (B + C)
+        first = interp.meaning(expression)
+        misses_after_first = interp.meaning_cache_info()["misses"]
+        hits_before = interp.meaning_cache_info()["hits"]
+        for _ in range(5):
+            assert interp.meaning(expression) is first
+        info = interp.meaning_cache_info()
+        assert info["misses"] == misses_after_first
+        assert info["hits"] == hits_before + 5
+
+    def test_meaning_many_matches_meaning(self):
+        interp = self._interpretation()
+        A, B, C = attrs("A", "B", "C")
+        batch = [A * B, A + (B * C), (A * B) + (A * C)]
+        fresh = self._interpretation()
+        assert interp.meaning_many(batch) == [fresh.meaning(e) for e in batch]
+
+    def test_scheme_meaning_uses_nary_product_and_cache(self):
+        interp = self._interpretation()
+        once = interp.meaning_of_scheme("ABC")
+        assert once == interp.meaning("A * B * C")
+        assert interp.meaning_of_scheme("ABC") is once
+
+    def test_atomic_partitions_share_eap_universe(self):
+        interp = self._interpretation()
+        universes = {interp.atomic_partition(a).universe for a in ("A", "B", "C")}
+        assert len(universes) == 1
