@@ -79,10 +79,38 @@ def counterexample_demo() -> None:
     print(f"      r |= E: {relation_satisfies_pd(relation, E[0])}, r |= query: {relation_satisfies_pd(relation, query)}")
 
 
+def large_counterexample_demo() -> None:
+    """A Theorem 8 instance whose L_H is an order of magnitude past the old demo.
+
+    Four attributes drag 36 bounded expressions into the pool and the
+    product closure grows L_H to 43 elements.  The class-driven quotient
+    pipeline (PR 4) collapses the pool with one congruence-class group-by
+    and canonicalizes every product by a dict hit on its class id; the
+    seed's pairwise-leq collapse and linear canonicalization scan made this
+    region painfully quadratic (see the EXP-LAT quotient-collapse series
+    for the isolated gap), and the bitset kernel validates the resulting
+    43-element lattice with O(n²) bitset-row comparisons.
+    """
+    from repro.dependencies.pd import as_partition_dependency
+    from repro.lattice import theorem8_pool
+
+    print("4. a larger L_H: four attributes, 43-element countermodel")
+    E = ["C = C*D"]
+    query = "A = A*B"
+    pool = theorem8_pool([as_partition_dependency(pd) for pd in E], as_partition_dependency(query))
+    lattice = finite_counterexample(E, query)
+    print(f"   E = {E}, query = {query!r}")
+    print(f"   Theorem 8 pool: {len(pool)} expressions over 4 attributes")
+    print(f"   L_H: {len(lattice)} elements, {len(lattice.covers())} Hasse edges, "
+          f"axiom check clean: {not lattice.axiom_violations()}")
+    print(f"      satisfies E: {lattice.satisfies_all(E)}, satisfies query: {lattice.satisfies(query)}")
+
+
 def main() -> None:
     implication_demo()
     identity_demo()
     counterexample_demo()
+    large_counterexample_demo()
 
 
 if __name__ == "__main__":

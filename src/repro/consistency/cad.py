@@ -17,10 +17,19 @@ constraint search:
 * the constraints are the FDs ``E_F``.
 
 The search is backtracking with forward FD-violation checking and a
-most-constrained-cell heuristic.  Exponential in the worst case — that is the
-point of Theorem 11 — but fast enough to run the Figure 3 reduction and the
-EXP-T11 benchmark sweep, and exact (cross-checked against the NAE-3SAT
-oracle in the tests).
+most-constrained-cell heuristic.  FD checking is **incremental**: instead of
+rescanning every row for every FD after each assignment, the solver
+maintains, per FD, buckets of rows keyed by their (fully assigned)
+left-hand-side values; assigning a cell touches only the FDs that mention
+the just-assigned attribute — completing a row's LHS files it into its
+bucket and compares its assigned RHS cells against the bucket's other rows,
+while an RHS assignment compares one cell within the row's existing bucket.
+Undo pops the same updates.  The full rescan survives as
+:func:`full_fd_rescan` and, with ``debug_rescan=True``, cross-checks every
+incremental verdict.  Exponential in the worst case — that is the point of
+Theorem 11 — but fast enough to run the Figure 3 reduction and the EXP-T11
+benchmark sweep, and exact (cross-checked against the NAE-3SAT oracle in the
+tests).
 """
 
 from __future__ import annotations
@@ -59,16 +68,154 @@ class CadConsistencyResult:
     search_nodes: int
 
 
+def full_fd_rescan(
+    template: Sequence[dict[Attribute, Optional[Symbol]]],
+    fds: Sequence[FunctionalDependency],
+) -> bool:
+    """Check the FDs on the currently assigned cells by a full rescan (None = unknown).
+
+    The seed's per-node check, preserved as the oracle for the incremental
+    bucket checker: rows whose LHS is fully assigned are grouped by their
+    LHS values, and assigned RHS cells within a group must agree.
+    """
+    for fd in fds:
+        seen: dict[tuple[Optional[Symbol], ...], list[dict[Attribute, Optional[Symbol]]]] = {}
+        for cells in template:
+            lhs_values = tuple(cells[a] for a in fd.lhs)
+            if any(value is None for value in lhs_values):
+                continue
+            bucket = seen.setdefault(lhs_values, [])
+            for other in bucket:
+                for b in fd.rhs:
+                    left, right = cells[b], other[b]
+                    if left is not None and right is not None and left != right:
+                        return False
+            bucket.append(cells)
+    return True
+
+
+class _IncrementalFdChecker:
+    """Per-assignment FD consistency through maintained LHS-value buckets.
+
+    For each FD the checker tracks, per row, how many LHS cells are still
+    unassigned; rows with a complete LHS live in a bucket keyed by their LHS
+    value tuple.  :meth:`assign` updates only the FDs mentioning the
+    assigned attribute and reports whether the new cell creates a violation;
+    :meth:`undo` reverts the bookkeeping of the matching ``assign``.  The
+    verdict is identical to :func:`full_fd_rescan` run from scratch, because
+    a single new cell can only create violations in pairs that involve it:
+    either its row just entered a bucket (all assigned RHS cells are
+    compared) or its row already sat in one (the new RHS cell is compared).
+    """
+
+    def __init__(
+        self,
+        template: list[dict[Attribute, Optional[Symbol]]],
+        fds: Sequence[FunctionalDependency],
+    ) -> None:
+        self._template = template
+        self._fds = list(fds)
+        self._lhs: list[tuple[Attribute, ...]] = [tuple(fd.lhs) for fd in self._fds]
+        self._rhs: list[tuple[Attribute, ...]] = [tuple(fd.rhs) for fd in self._fds]
+        self._by_lhs_attr: dict[Attribute, list[int]] = {}
+        self._by_rhs_attr: dict[Attribute, list[int]] = {}
+        for k, fd in enumerate(self._fds):
+            for a in self._lhs[k]:
+                self._by_lhs_attr.setdefault(a, []).append(k)
+            for a in self._rhs[k]:
+                self._by_rhs_attr.setdefault(a, []).append(k)
+        # buckets[k]: LHS value tuple -> row indices with that (complete) LHS.
+        self._buckets: list[dict[tuple[Symbol, ...], list[int]]] = [{} for _ in self._fds]
+        # missing[k][r]: number of still-unassigned LHS cells of row r for FD k.
+        self._missing: list[list[int]] = [[0] * len(template) for _ in self._fds]
+        self._key_of: list[dict[int, tuple[Symbol, ...]]] = [{} for _ in self._fds]
+        for k in range(len(self._fds)):
+            lhs = self._lhs[k]
+            missing_k = self._missing[k]
+            for r, cells in enumerate(template):
+                missing_k[r] = sum(1 for a in lhs if cells[a] is None)
+                if missing_k[r] == 0:
+                    key = tuple(cells[a] for a in lhs)
+                    self._buckets[k].setdefault(key, []).append(r)
+                    self._key_of[k][r] = key
+        self._undo_log: list[list[tuple[str, int, int, tuple[Symbol, ...]]]] = []
+
+    def _bucket_conflict(self, k: int, row: int, key: tuple[Symbol, ...], attributes) -> bool:
+        """Any assigned-RHS disagreement between ``row`` and its bucket mates."""
+        template = self._template
+        cells = template[row]
+        for other in self._buckets[k].get(key, ()):
+            if other == row:
+                continue
+            other_cells = template[other]
+            for b in attributes:
+                left, right = cells[b], other_cells[b]
+                if left is not None and right is not None and left != right:
+                    return True
+        return False
+
+    def assign(self, row: int, attribute: Attribute, symbol: Symbol) -> bool:
+        """Set one cell; returns False iff the FDs are now violated (state kept either way).
+
+        Call :meth:`undo` to revert — including after a ``False`` verdict.
+        """
+        template = self._template
+        template[row][attribute] = symbol
+        frame: list[tuple[str, int, int, tuple[Symbol, ...]]] = []
+        self._undo_log.append(frame)
+        ok = True
+        cells = template[row]
+        completed: set[int] = set()
+        for k in self._by_lhs_attr.get(attribute, ()):
+            missing_k = self._missing[k]
+            missing_k[row] -= 1
+            frame.append(("miss", k, row, ()))
+            if missing_k[row] == 0:
+                key = tuple(cells[a] for a in self._lhs[k])
+                if ok and self._bucket_conflict(k, row, key, self._rhs[k]):
+                    ok = False
+                self._buckets[k].setdefault(key, []).append(row)
+                self._key_of[k][row] = key
+                frame.append(("bucket", k, row, key))
+                completed.add(k)
+        if ok:
+            for k in self._by_rhs_attr.get(attribute, ()):
+                if k in completed:
+                    continue  # the completion check above compared every RHS cell
+                key = self._key_of[k].get(row)
+                if key is not None and self._bucket_conflict(k, row, key, (attribute,)):
+                    ok = False
+                    break
+        return ok
+
+    def undo(self, row: int, attribute: Attribute) -> None:
+        """Revert the latest :meth:`assign` (which must have set this very cell)."""
+        frame = self._undo_log.pop()
+        for kind, k, r, key in reversed(frame):
+            if kind == "miss":
+                self._missing[k][r] += 1
+            else:
+                bucket = self._buckets[k][key]
+                bucket.remove(r)
+                if not bucket:
+                    del self._buckets[k][key]
+                del self._key_of[k][r]
+        self._template[row][attribute] = None
+
+
 def cad_consistency(
     database: Database,
     fds: Sequence[FunctionalDependency],
     max_nodes: Optional[int] = None,
+    debug_rescan: bool = False,
 ) -> CadConsistencyResult:
     """Exact CAD+EAP consistency test for a database and FDs ``E_F`` (Theorem 6b / 11).
 
     ``max_nodes`` optionally bounds the number of explored search nodes; when
     the bound is hit a :class:`ConsistencyError` is raised (so benchmark
     sweeps can cap their cost without silently mis-reporting).
+    ``debug_rescan=True`` cross-checks every incremental FD verdict against
+    :func:`full_fd_rescan` (slow; used by the tests).
     """
     universe = database.universe
     for fd in fds:
@@ -110,23 +257,7 @@ def cad_consistency(
 
     fd_list = list(fds)
     nodes = 0
-
-    def fd_consistent_so_far() -> bool:
-        """Check the FDs on the currently assigned cells (None = still unknown)."""
-        for fd in fd_list:
-            seen: dict[tuple[Symbol, ...], list[dict[Attribute, Optional[Symbol]]]] = {}
-            for cells in template:
-                lhs_values = tuple(cells[a] for a in fd.lhs)
-                if any(value is None for value in lhs_values):
-                    continue
-                bucket = seen.setdefault(lhs_values, [])
-                for other in bucket:
-                    for b in fd.rhs:
-                        left, right = cells[b], other[b]
-                        if left is not None and right is not None and left != right:
-                            return False
-                bucket.append(cells)
-        return True
+    checker = _IncrementalFdChecker(template, fd_list)
 
     def backtrack(index: int) -> bool:
         nonlocal nodes
@@ -137,13 +268,18 @@ def cad_consistency(
             nodes += 1
             if max_nodes is not None and nodes > max_nodes:
                 raise ConsistencyError(f"CAD search exceeded {max_nodes} nodes")
-            template[row_index][attribute] = symbol
-            if fd_consistent_so_far() and backtrack(index + 1):
+            consistent = checker.assign(row_index, attribute, symbol)
+            if debug_rescan and consistent != full_fd_rescan(template, fd_list):
+                raise ConsistencyError(
+                    "incremental FD checker diverged from the full rescan at "
+                    f"row {row_index}, attribute {attribute!r}, symbol {symbol!r}"
+                )
+            if consistent and backtrack(index + 1):
                 return True
-            template[row_index][attribute] = None
+            checker.undo(row_index, attribute)
         return False
 
-    if not fd_consistent_so_far():
+    if not full_fd_rescan(template, fd_list):
         return CadConsistencyResult(False, None, None, 0)
     if not backtrack(0):
         return CadConsistencyResult(False, None, None, nodes)
@@ -158,9 +294,12 @@ def cad_consistency_for_fpds(
     database: Database,
     dependencies: Sequence[PartitionDependencyLike],
     max_nodes: Optional[int] = None,
+    debug_rescan: bool = False,
 ) -> CadConsistencyResult:
     """The same test with the constraints given as FPDs (the paper's statement of Theorem 11)."""
-    return cad_consistency(database, validate_only_fpds(dependencies), max_nodes=max_nodes)
+    return cad_consistency(
+        database, validate_only_fpds(dependencies), max_nodes=max_nodes, debug_rescan=debug_rescan
+    )
 
 
 def verify_cad_witness(

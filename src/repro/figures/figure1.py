@@ -89,7 +89,10 @@ def report() -> str:
     lines.append(str(figure.interpretation))
     lines.append("")
     lines.append(f"E = {{ {', '.join(str(pd) for pd in figure.dependencies)} }}")
-    lines.append(f"|L(I)| = {len(figure.lattice)}")
+    lines.append(
+        f"|L(I)| = {len(figure.lattice)}, Hasse edges = {len(figure.lattice.covers())}, "
+        f"modular: {figure.lattice.is_modular()}"
+    )
     lines.append("")
     for claim, value in figure.checks().items():
         lines.append(f"  [{'ok' if value else 'FAIL'}] {claim}")

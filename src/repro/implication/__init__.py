@@ -22,9 +22,12 @@ from repro.implication.fd_implication import (
 )
 from repro.implication.index import ImplicationIndex, implication_index
 from repro.implication.identities import (
+    clear_identity_cache,
     identically_equal,
     identically_leq,
+    identically_leq_cold,
     identically_leq_iterative,
+    identity_cache_info,
     is_pd_identity,
 )
 from repro.implication.rewrite import (
@@ -52,8 +55,11 @@ __all__ = [
     "pd_implies_all",
     "pd_equivalent",
     "identically_leq",
+    "identically_leq_cold",
     "identically_leq_iterative",
     "identically_equal",
+    "identity_cache_info",
+    "clear_identity_cache",
     "is_pd_identity",
     "one_step_rewrites",
     "rewrite_reachable",

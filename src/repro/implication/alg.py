@@ -318,6 +318,17 @@ class ImplicationEngine:
         relation = self._ensure([p, q])
         return relation.has(relation.index[p], relation.index[q])
 
+    def class_id(self, expression: ExpressionLike) -> Optional[int]:
+        """The ``=_E`` congruence-class id of an expression, or ``None`` on naive engines.
+
+        Delegates to :meth:`ImplicationIndex.class_id`; the quotient pipeline
+        collapses expression pools by grouping on these ids instead of
+        pairwise ``leq`` probes.
+        """
+        if self._index is None:
+            return None
+        return self._index.class_id(expression)
+
     def implies(self, dependency: PartitionDependencyLike) -> bool:
         """``E ⊨ e = e'`` (equivalently over lattices, finite lattices, relations, finite relations)."""
         pd = as_partition_dependency(dependency)

@@ -15,25 +15,101 @@ word problem for free lattices — which needs only logarithmic space:
                                ``p·q ≤_id p'`` or ``p·q ≤_id q'``  (Whitman's condition);
 7. ``p+q ≤_id e'``        iff  ``p ≤_id e'`` and ``q ≤_id e'``.
 
-Two implementations are provided:
+Three implementations are provided:
 
-* :func:`identically_leq` — memoized recursion (the practical one);
+* :func:`identically_leq` — the practical one: the recursion is memoized in a
+  **global weak table** keyed on interned node pairs (PR 2's hash-consing
+  makes structural equality object identity), shared across calls.  The
+  Theorem 8 pipeline, :func:`~repro.implication.word_problems.lattice_identity`
+  and :mod:`repro.lattice.free_lattice` all probe overlapping pairs of the
+  same interned subterms, so warm queries are dictionary hits; a row of
+  verdicts dies with its (weakly held) left endpoint;
+* :func:`identically_leq_cold` — the same recursion with a fresh per-call
+  cache (the previous behaviour, kept as the memoization oracle and the
+  EXP-LAT benchmark baseline);
 * :func:`identically_leq_iterative` — an explicit-stack evaluation that
   stores only (pointers to) the pair currently being compared plus a
   constant amount of bookkeeping per recursion frame, mirroring the
   logarithmic-space argument of Theorem 10.  It never memoizes, so its
   running time can be exponential — which is precisely the time/space
-  trade-off the theorem describes.  Tests cross-check the two.
+  trade-off the theorem describes.  Tests cross-check all three.
 """
 
 from __future__ import annotations
 
+import weakref
+
 from repro.errors import ExpressionError
 from repro.expressions.ast import Attr, ExpressionLike, PartitionExpression, Product, Sum, as_expression
 
+# Outer level keyed weakly on the left expression; each value is a plain
+# inner dict right expression -> verdict.  When the left endpoint is
+# reclaimed its whole row of verdicts goes with it (and releases the rows'
+# strong references to the right endpoints); the inner level stays a plain
+# dict because the hot path probes it once per recursion step and
+# WeakKeyDictionary lookups allocate a weakref per probe.
+_LEQ_CACHE: "weakref.WeakKeyDictionary[PartitionExpression, dict[PartitionExpression, bool]]" = (
+    weakref.WeakKeyDictionary()
+)
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
 
 def identically_leq(left: ExpressionLike, right: ExpressionLike) -> bool:
-    """Decide ``left ≤_id right`` (the free-lattice order) by memoized recursion."""
+    """Decide ``left ≤_id right`` (the free-lattice order) by globally memoized recursion."""
+    return _leq_memo(as_expression(left), as_expression(right))
+
+
+def _leq_memo(x: PartitionExpression, y: PartitionExpression) -> bool:
+    global _CACHE_HITS, _CACHE_MISSES
+    inner = _LEQ_CACHE.get(x)
+    if inner is None:
+        inner = {}
+        _LEQ_CACHE[x] = inner
+    cached = inner.get(y)
+    if cached is not None:
+        _CACHE_HITS += 1
+        return cached
+    _CACHE_MISSES += 1
+    # Seed the entry with False to guard against hypothetical cycles; the
+    # recursion always descends into proper subexpressions so it cannot
+    # actually loop, but the guard keeps the function total on any input.
+    # The seed must not outlive an aborted computation (RecursionError,
+    # KeyboardInterrupt): the cache is process-global now, so every
+    # unwinding frame drops its own in-flight entry.
+    inner[y] = False
+    try:
+        result = _leq_step(x, y, _leq_memo)
+    except BaseException:
+        inner.pop(y, None)
+        raise
+    inner[y] = result
+    return result
+
+
+def identity_cache_info() -> dict[str, int]:
+    """Diagnostics for the global ``≤_id`` memo: live pair count and hit/miss counters."""
+    return {
+        "pairs": sum(len(inner) for inner in _LEQ_CACHE.values()),
+        "hits": _CACHE_HITS,
+        "misses": _CACHE_MISSES,
+    }
+
+
+def clear_identity_cache() -> None:
+    """Drop every memoized ``≤_id`` verdict (benchmarks use this for cold runs)."""
+    global _CACHE_HITS, _CACHE_MISSES
+    _LEQ_CACHE.clear()
+    _CACHE_HITS = 0
+    _CACHE_MISSES = 0
+
+
+def identically_leq_cold(left: ExpressionLike, right: ExpressionLike) -> bool:
+    """Decide ``left ≤_id right`` with a fresh per-call cache (no sharing across calls).
+
+    This is the seed implementation, preserved as the cross-check oracle for
+    the global memo and as the cold baseline of the EXP-LAT benchmark.
+    """
     p = as_expression(left)
     q = as_expression(right)
     cache: dict[tuple[PartitionExpression, PartitionExpression], bool] = {}
@@ -42,9 +118,6 @@ def identically_leq(left: ExpressionLike, right: ExpressionLike) -> bool:
         key = (x, y)
         if key in cache:
             return cache[key]
-        # Seed the cache with False to guard against hypothetical cycles; the
-        # recursion always descends into proper subexpressions so it cannot
-        # actually loop, but the guard keeps the function total on any input.
         cache[key] = False
         result = _leq_step(x, y, leq)
         cache[key] = result

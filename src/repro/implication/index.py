@@ -156,10 +156,38 @@ class ImplicationIndex:
 
     def congruence_classes(self) -> list[list[PartitionExpression]]:
         """The current classes of Γ-equivalent vertices, in vertex order."""
-        return [
-            [self._exprs[vid] for vid in sorted(member_ids)]
+        return list(self.classes().values())
+
+    def class_id(self, expression: ExpressionLike) -> int:
+        """The congruence-class id of an expression (registering it if necessary).
+
+        Two expressions share a class id iff they are provably ``=_E``
+        (mutual Γ-arcs).  Ids are stable as long as only *expressions* are
+        added: registering a new vertex cannot merge existing classes (ALG
+        restricted to a larger ``V`` is conservative over the old one), so a
+        snapshot of class ids stays valid across ``add_expressions`` /
+        ``leq`` calls.  :meth:`add_dependencies` can merge classes and
+        thereby retire ids — take fresh snapshots after growing ``E``.
+        """
+        vid = self._register(as_expression(expression))
+        self._drain()
+        return self._find(vid)
+
+    def classes(self) -> dict[int, list[PartitionExpression]]:
+        """The current classes keyed by class id (member expressions in vertex order)."""
+        return {
+            root: [self._exprs[vid] for vid in sorted(member_ids)]
             for root, member_ids in sorted(self._members.items())
-        ]
+        }
+
+    def class_leq(self, left_class: int, right_class: int) -> bool:
+        """``≤_E`` between two congruence classes by *current* class id (read-only).
+
+        One integer set-membership test — the quotient order computation runs
+        k² of these.  Both arguments must be class ids from the current
+        snapshot (as returned by :meth:`class_id` / :meth:`classes`).
+        """
+        return right_class in self._succ[left_class]
 
     def representative(self, expression: ExpressionLike) -> PartitionExpression:
         """The elected representative of the expression's congruence class."""

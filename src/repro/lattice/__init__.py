@@ -1,4 +1,10 @@
-"""Lattice substrate: finite lattices, partition lattices, L(I), free and quotient lattices (§2.2, §5.1)."""
+"""Lattice substrate: finite lattices, partition lattices, L(I), free and quotient lattices (§2.2, §5.1).
+
+The production path runs on the integer/bitset kernel of
+:mod:`repro.lattice.core` and the class-driven quotient pipeline of
+:mod:`repro.lattice.quotient`; the seed's dict-table implementations are
+preserved unexported in :mod:`repro.lattice.oracle` as cross-check oracles.
+"""
 
 from repro.lattice.core import FiniteLattice, LatticeElement
 from repro.lattice.free_lattice import (

@@ -1,19 +1,39 @@
-"""Finite lattices: explicit algebraic structures with two operations (§2.2).
+"""Finite lattices on a dense integer/bitset kernel (§2.2).
 
 A lattice is a set with two binary operations ``*`` (meet) and ``+`` (join)
 satisfying associativity, commutativity, idempotence and the two absorption
 laws; the natural partial order is ``x ≤ y  iff  x = x·y  iff  y = y + x``.
 
-:class:`FiniteLattice` stores the elements together with meet/join tables and
-can be built either from explicit operation functions or from a partial
-order (meets and joins are then computed as greatest lower / least upper
-bounds and their existence is checked).  A *lattice with constants over U*
-additionally names some elements with attribute names (the ``g`` of §2.2);
-expressions and PDs are then evaluated directly inside the lattice.
+:class:`FiniteLattice` used to store hashable elements in dict operation
+tables and answer every structural question by O(n²)–O(n³) elementwise scans
+(that implementation survives as
+:class:`repro.lattice.oracle.OracleFiniteLattice`, the cross-check oracle of
+the randomized equivalence suite).  This module is the production kernel:
 
-The class targets the small lattices that appear in the paper's
-constructions (Figures 1–2, the finite counterexamples of Theorem 8); all
-algorithms are straightforward O(n²)–O(n³) table computations.
+* elements are interned once into contiguous ids ``0 .. n-1`` (``_elements``
+  list for id → element, ``_index`` dict for element → id);
+* meet and join are flat id → id tables (lists of lists — two machine-int
+  indexations per operation, no tuple keys, no hashing);
+* the ``≤`` order is stored as per-element **bitset rows** (Python big-ints):
+  ``up[i]`` has bit ``j`` set iff ``i ≤ j`` and ``down[j]`` has bit ``i`` set
+  iff ``i ≤ j``, so order tests are one shift-and-mask and order-theoretic
+  queries (covers, bounds, GLB/LUB candidates) are word-parallel ``&``/``|``;
+* :meth:`from_partial_order` assigns ids along a linear extension, so the
+  greatest lower bound of ``x, y`` is the **highest set bit** of
+  ``down[x] & down[y]`` (dually the LUB is the highest-position bit of
+  ``up[x] & up[y]`` under the reversed extension) — one big-int ``&`` plus
+  ``bit_length`` instead of a quadratic scan per pair;
+* :meth:`axiom_violations` replaces the O(n³) associativity sweep with the
+  order-theoretic characterization — idempotence, commutativity and
+  absorption on the tables, then transitivity and the GLB/LUB property as
+  O(n²) bitset-row comparisons (``down[x·y] == down[x] & down[y]``).  The two
+  characterizations agree: a magma pair is a lattice iff its induced ``≤`` is
+  a partial order realized by the tables as GLB and LUB.
+
+A *lattice with constants over U* additionally names some elements with
+attribute names (the ``g`` of §2.2); expression evaluation memoizes id
+results per interned AST node, so a batch of PDs walks each shared
+subexpression once (the PR 3 DAG-evaluation pattern).
 """
 
 from __future__ import annotations
@@ -23,19 +43,33 @@ from collections.abc import Hashable, Iterable, Mapping
 from typing import Callable, Optional
 
 from repro.errors import LatticeError
-from repro.expressions.ast import Attr, ExpressionLike, Product, Sum, as_expression
+from repro.expressions.ast import Attr, ExpressionLike, PartitionExpression, Product, Sum, as_expression
 
 #: Lattice elements can be any hashable value.
 LatticeElement = Hashable
 
 
 class FiniteLattice:
-    """An explicit finite lattice, optionally with named constants.
+    """An explicit finite lattice on the integer/bitset kernel, optionally with constants.
 
     ``constants`` maps attribute names to elements; several names may point
     at the same element, matching the paper's remark that an element can
-    have more than one name.
+    have more than one name.  The public surface is element-valued; the
+    id-level kernel (``meet_ids``/``join_ids``/``up_masks``/``down_masks``)
+    is exposed read-only for the property checks and the quotient pipeline.
     """
+
+    __slots__ = (
+        "_elements",
+        "_index",
+        "_meet_ids",
+        "_join_ids",
+        "_up",
+        "_down",
+        "_constants",
+        "_constant_ids",
+        "_eval_cache",
+    )
 
     def __init__(
         self,
@@ -45,30 +79,87 @@ class FiniteLattice:
         constants: Optional[Mapping[str, LatticeElement]] = None,
         validate: bool = True,
     ) -> None:
-        self._elements = list(dict.fromkeys(elements))
-        if not self._elements:
+        interned = list(dict.fromkeys(elements))
+        if not interned:
             raise LatticeError("a lattice must be non-empty")
-        element_set = set(self._elements)
-        self._meet_table: dict[tuple[LatticeElement, LatticeElement], LatticeElement] = {}
-        self._join_table: dict[tuple[LatticeElement, LatticeElement], LatticeElement] = {}
-        for x in self._elements:
-            for y in self._elements:
-                m = meet(x, y)
-                j = join(x, y)
-                if m not in element_set or j not in element_set:
+        index = {element: i for i, element in enumerate(interned)}
+        meet_ids: list[list[int]] = []
+        join_ids: list[list[int]] = []
+        for x in interned:
+            meet_row: list[int] = []
+            join_row: list[int] = []
+            for y in interned:
+                m = index.get(meet(x, y))
+                j = index.get(join(x, y))
+                if m is None or j is None:
                     raise LatticeError(
                         f"meet/join of {x!r}, {y!r} escapes the element set"
                     )
-                self._meet_table[(x, y)] = m
-                self._join_table[(x, y)] = j
+                meet_row.append(m)
+                join_row.append(j)
+            meet_ids.append(meet_row)
+            join_ids.append(join_row)
+        self._init_from_tables(interned, index, meet_ids, join_ids, constants, validate)
+
+    def _init_from_tables(
+        self,
+        elements: list[LatticeElement],
+        index: dict[LatticeElement, int],
+        meet_ids: list[list[int]],
+        join_ids: list[list[int]],
+        constants: Optional[Mapping[str, LatticeElement]],
+        validate: bool,
+    ) -> None:
+        self._elements = elements
+        self._index = index
+        self._meet_ids = meet_ids
+        self._join_ids = join_ids
+        self._build_masks()
         self._constants = dict(constants or {})
+        self._constant_ids: dict[str, int] = {}
         for name, element in self._constants.items():
-            if element not in element_set:
+            cid = index.get(element)
+            if cid is None:
                 raise LatticeError(f"constant {name!r} names unknown element {element!r}")
+            self._constant_ids[name] = cid
+        self._eval_cache: dict[PartitionExpression, int] = {}
         if validate:
             problems = self.axiom_violations()
             if problems:
                 raise LatticeError(f"lattice axioms violated: {problems[:3]} ...")
+
+    @classmethod
+    def _trusted(
+        cls,
+        elements: list[LatticeElement],
+        meet_ids: list[list[int]],
+        join_ids: list[list[int]],
+        constants: Optional[Mapping[str, LatticeElement]] = None,
+        validate: bool = False,
+    ) -> "FiniteLattice":
+        """Internal constructor from precomputed id tables (no operation callbacks)."""
+        self = object.__new__(cls)
+        index = {element: i for i, element in enumerate(elements)}
+        self._init_from_tables(elements, index, meet_ids, join_ids, constants, validate)
+        return self
+
+    def _build_masks(self) -> None:
+        """Derive the up/down bitset rows from the meet table: ``i ≤ j`` iff ``i·j = i``."""
+        n = len(self._elements)
+        up = [0] * n
+        down = [0] * n
+        for i in range(n):
+            row = self._meet_ids[i]
+            mask = 0
+            bit = 1
+            for j in range(n):
+                if row[j] == i:
+                    mask |= bit
+                    down[j] |= 1 << i
+                bit <<= 1
+            up[i] = mask
+        self._up = up
+        self._down = down
 
     # -- constructors ---------------------------------------------------------------
     @classmethod
@@ -103,26 +194,77 @@ class FiniteLattice:
     ) -> "FiniteLattice":
         """Build a lattice from a partial order, checking that meets and joins exist.
 
-        Raises :class:`LatticeError` when some pair has no greatest lower
-        bound or least upper bound (i.e. the order is not a lattice order).
+        The order is probed once (n² ``leq`` calls) into bitset rows; ids are
+        then ranked along a linear extension so every GLB/LUB is the
+        highest-position set bit of one mask intersection.  Raises
+        :class:`LatticeError` when some pair has no greatest lower bound or
+        least upper bound (i.e. the order is not a lattice order).
         """
         items = list(dict.fromkeys(elements))
+        n = len(items)
+        up = [0] * n
+        down = [0] * n
+        for i, x in enumerate(items):
+            bit = 1 << i
+            for j, y in enumerate(items):
+                if leq(x, y):
+                    up[i] |= 1 << j
+                    down[j] |= bit
+        for i in range(n):
+            if not (up[i] >> i) & 1:
+                raise LatticeError(f"the order is not reflexive at {items[i]!r}")
+            others = up[i] & down[i] & ~(1 << i)
+            if others:
+                j = others.bit_length() - 1
+                raise LatticeError(
+                    f"the order is not antisymmetric at {items[i]!r}, {items[j]!r}"
+                )
 
-        def glb(x: LatticeElement, y: LatticeElement) -> LatticeElement:
-            lower = [z for z in items if leq(z, x) and leq(z, y)]
-            greatest = [z for z in lower if all(leq(w, z) for w in lower)]
-            if len(greatest) != 1:
-                raise LatticeError(f"elements {x!r}, {y!r} have no unique greatest lower bound")
-            return greatest[0]
+        # Rank ids along a linear extension (|down-set| is monotone in <),
+        # then re-express each mask in rank space so the GLB of a pair is the
+        # highest set bit of the intersected down-rows (dually for the LUB).
+        order = sorted(range(n), key=lambda i: (_popcount(down[i]), i))
+        rank = [0] * n
+        for position, i in enumerate(order):
+            rank[i] = position
+        rank_down = [_rank_mask(down[i], rank) for i in range(n)]
+        co_rank = [n - 1 - position for position in rank]
+        rank_up = [_rank_mask(up[i], co_rank) for i in range(n)]
 
-        def lub(x: LatticeElement, y: LatticeElement) -> LatticeElement:
-            upper = [z for z in items if leq(x, z) and leq(y, z)]
-            least = [z for z in upper if all(leq(z, w) for w in upper)]
-            if len(least) != 1:
-                raise LatticeError(f"elements {x!r}, {y!r} have no unique least upper bound")
-            return least[0]
-
-        return cls(items, glb, lub, constants)
+        meet_ids: list[list[int]] = []
+        join_ids: list[list[int]] = []
+        co_order = list(reversed(order))
+        for i in range(n):
+            down_i = rank_down[i]
+            up_i = rank_up[i]
+            meet_row: list[int] = []
+            join_row: list[int] = []
+            for j in range(n):
+                lower = down_i & rank_down[j]
+                if not lower:
+                    raise LatticeError(
+                        f"elements {items[i]!r}, {items[j]!r} have no unique greatest lower bound"
+                    )
+                glb = order[lower.bit_length() - 1]
+                if rank_down[glb] != lower:
+                    raise LatticeError(
+                        f"elements {items[i]!r}, {items[j]!r} have no unique greatest lower bound"
+                    )
+                meet_row.append(glb)
+                upper = up_i & rank_up[j]
+                if not upper:
+                    raise LatticeError(
+                        f"elements {items[i]!r}, {items[j]!r} have no unique least upper bound"
+                    )
+                lub = co_order[upper.bit_length() - 1]
+                if rank_up[lub] != upper:
+                    raise LatticeError(
+                        f"elements {items[i]!r}, {items[j]!r} have no unique least upper bound"
+                    )
+                join_row.append(lub)
+            meet_ids.append(meet_row)
+            join_ids.append(join_row)
+        return cls._trusted(items, meet_ids, join_ids, constants, validate=True)
 
     @classmethod
     def chain(cls, length: int) -> "FiniteLattice":
@@ -163,88 +305,170 @@ class FiniteLattice:
         return len(self._elements)
 
     def __contains__(self, element: object) -> bool:
-        return element in set(self._elements)
+        return element in self._index
 
+    # -- id-level kernel surface -------------------------------------------------------
+    def element_id(self, element: LatticeElement) -> int:
+        """The interned id of an element (raises on unknown elements)."""
+        try:
+            return self._index[element]
+        except KeyError as exc:
+            raise LatticeError(f"{element!r} is not a lattice element") from exc
+
+    def element_of(self, element_id: int) -> LatticeElement:
+        """The element with a given id."""
+        return self._elements[element_id]
+
+    @property
+    def meet_ids(self) -> list[list[int]]:
+        """The meet table as id rows (``meet_ids[i][j]`` = id of ``i · j``; do not mutate)."""
+        return self._meet_ids
+
+    @property
+    def join_ids(self) -> list[list[int]]:
+        """The join table as id rows (``join_ids[i][j]`` = id of ``i + j``; do not mutate)."""
+        return self._join_ids
+
+    @property
+    def up_masks(self) -> list[int]:
+        """Bitset rows of the order: bit ``j`` of ``up_masks[i]`` is set iff ``i ≤ j``."""
+        return self._up
+
+    @property
+    def down_masks(self) -> list[int]:
+        """Bitset rows of the order: bit ``i`` of ``down_masks[j]`` is set iff ``i ≤ j``."""
+        return self._down
+
+    def leq_ids(self, i: int, j: int) -> bool:
+        """``i ≤ j`` on element ids (one shift-and-mask)."""
+        return (self._up[i] >> j) & 1 == 1
+
+    # -- operations --------------------------------------------------------------------
     def meet(self, x: LatticeElement, y: LatticeElement) -> LatticeElement:
         """``x * y``."""
         try:
-            return self._meet_table[(x, y)]
+            return self._elements[self._meet_ids[self._index[x]][self._index[y]]]
         except KeyError as exc:
             raise LatticeError(f"{x!r} or {y!r} is not a lattice element") from exc
 
     def join(self, x: LatticeElement, y: LatticeElement) -> LatticeElement:
         """``x + y``."""
         try:
-            return self._join_table[(x, y)]
+            return self._elements[self._join_ids[self._index[x]][self._index[y]]]
         except KeyError as exc:
             raise LatticeError(f"{x!r} or {y!r} is not a lattice element") from exc
 
     def leq(self, x: LatticeElement, y: LatticeElement) -> bool:
         """The natural partial order: ``x ≤ y`` iff ``x = x * y``."""
-        return self.meet(x, y) == x
+        try:
+            return (self._up[self._index[x]] >> self._index[y]) & 1 == 1
+        except KeyError as exc:
+            raise LatticeError(f"{x!r} or {y!r} is not a lattice element") from exc
 
     def top(self) -> LatticeElement:
-        """The greatest element (join of everything)."""
-        result = self._elements[0]
-        for element in self._elements[1:]:
-            result = self.join(result, element)
-        return result
+        """The greatest element (the one whose down-set row is full)."""
+        full = (1 << len(self._elements)) - 1
+        for i, mask in enumerate(self._down):
+            if mask == full:
+                return self._elements[i]
+        # Unvalidated non-lattices may lack a top; fold joins like the seed did.
+        result = 0
+        for j in range(1, len(self._elements)):
+            result = self._join_ids[result][j]
+        return self._elements[result]
 
     def bottom(self) -> LatticeElement:
-        """The least element (meet of everything)."""
-        result = self._elements[0]
-        for element in self._elements[1:]:
-            result = self.meet(result, element)
-        return result
+        """The least element (the one whose up-set row is full)."""
+        full = (1 << len(self._elements)) - 1
+        for i, mask in enumerate(self._up):
+            if mask == full:
+                return self._elements[i]
+        result = 0
+        for j in range(1, len(self._elements)):
+            result = self._meet_ids[result][j]
+        return self._elements[result]
 
     def covers(self) -> list[tuple[LatticeElement, LatticeElement]]:
-        """The covering pairs (Hasse-diagram edges) ``x ⋖ y``."""
-        result = []
-        for x in self._elements:
-            for y in self._elements:
-                if x == y or not self.leq(x, y):
-                    continue
-                if any(
-                    z not in (x, y) and self.leq(x, z) and self.leq(z, y)
-                    for z in self._elements
-                ):
-                    continue
-                result.append((x, y))
-        return result
+        """The covering pairs (Hasse-diagram edges) ``x ⋖ y``.
+
+        ``x ⋖ y`` iff the order interval ``[x, y]`` — the bit intersection
+        ``up[x] & down[y]`` — contains exactly the two endpoints.
+        """
+        elements = self._elements
+        return [(elements[i], elements[j]) for i, j in iter_cover_ids(self._up, self._down)]
 
     # -- axioms ------------------------------------------------------------------------------
     def axiom_violations(self) -> list[str]:
-        """Human-readable descriptions of lattice-axiom violations (empty iff a lattice)."""
+        """Human-readable descriptions of lattice-axiom violations (empty iff a lattice).
+
+        Order-theoretic formulation: the tables form a lattice iff meet/join
+        are idempotent, commutative and mutually absorptive, the induced
+        ``x ≤ y iff x·y = x`` is transitive, and every table entry realizes
+        the greatest lower / least upper bound of its pair — all checked as
+        O(n²) table scans and bitset-row comparisons (no O(n³) associativity
+        sweep; associativity of a GLB/LUB-realizing table is automatic).
+        """
         problems: list[str] = []
         elements = self._elements
-        for x in elements:
-            if self.meet(x, x) != x:
-                problems.append(f"meet not idempotent at {x!r}")
-            if self.join(x, x) != x:
-                problems.append(f"join not idempotent at {x!r}")
-        for x, y in itertools.product(elements, repeat=2):
-            if self.meet(x, y) != self.meet(y, x):
-                problems.append(f"meet not commutative at {x!r}, {y!r}")
-            if self.join(x, y) != self.join(y, x):
-                problems.append(f"join not commutative at {x!r}, {y!r}")
-            if self.join(x, self.meet(x, y)) != x:
-                problems.append(f"absorption x+(x*y) fails at {x!r}, {y!r}")
-            if self.meet(x, self.join(x, y)) != x:
-                problems.append(f"absorption x*(x+y) fails at {x!r}, {y!r}")
-        for x, y, z in itertools.product(elements, repeat=3):
-            if self.meet(self.meet(x, y), z) != self.meet(x, self.meet(y, z)):
-                problems.append(f"meet not associative at {x!r}, {y!r}, {z!r}")
-            if self.join(self.join(x, y), z) != self.join(x, self.join(y, z)):
-                problems.append(f"join not associative at {x!r}, {y!r}, {z!r}")
+        n = len(elements)
+        meet_ids = self._meet_ids
+        join_ids = self._join_ids
+        for i in range(n):
+            if meet_ids[i][i] != i:
+                problems.append(f"meet not idempotent at {elements[i]!r}")
+            if join_ids[i][i] != i:
+                problems.append(f"join not idempotent at {elements[i]!r}")
+        for i in range(n):
+            meet_row = meet_ids[i]
+            join_row = join_ids[i]
+            for j in range(n):
+                if meet_row[j] != meet_ids[j][i]:
+                    problems.append(f"meet not commutative at {elements[i]!r}, {elements[j]!r}")
+                if join_row[j] != join_ids[j][i]:
+                    problems.append(f"join not commutative at {elements[i]!r}, {elements[j]!r}")
+                if join_row[meet_row[j]] != i:
+                    problems.append(f"absorption x+(x*y) fails at {elements[i]!r}, {elements[j]!r}")
+                if meet_row[join_row[j]] != i:
+                    problems.append(f"absorption x*(x+y) fails at {elements[i]!r}, {elements[j]!r}")
+        if problems:
+            # The induced relation is not even a candidate order; the bound
+            # checks below presuppose these base axioms.
+            return problems
+        up = self._up
+        down = self._down
+        for j in range(n):
+            members = down[j]
+            union = 0
+            remaining = members
+            while remaining:
+                low = remaining & -remaining
+                union |= down[low.bit_length() - 1]
+                remaining ^= low
+            if union != members:
+                problems.append(f"the induced order is not transitive below {elements[j]!r}")
+        if problems:
+            return problems
+        for i in range(n):
+            down_i = down[i]
+            up_i = up[i]
+            for j in range(n):
+                if down[meet_ids[i][j]] != down_i & down[j]:
+                    problems.append(
+                        f"meet of {elements[i]!r}, {elements[j]!r} is not the greatest lower bound"
+                    )
+                if up[join_ids[i][j]] != up_i & up[j]:
+                    problems.append(
+                        f"join of {elements[i]!r}, {elements[j]!r} is not the least upper bound"
+                    )
         return problems
 
     # -- constants and expression evaluation -----------------------------------------------------
     def with_constants(self, constants: Mapping[str, LatticeElement]) -> "FiniteLattice":
-        """The same lattice with a different constant assignment."""
-        return FiniteLattice(
+        """The same lattice with a different constant assignment (tables are shared)."""
+        return FiniteLattice._trusted(
             self._elements,
-            self.meet,
-            self.join,
+            self._meet_ids,
+            self._join_ids,
             constants,
             validate=False,
         )
@@ -252,27 +476,60 @@ class FiniteLattice:
     def constant(self, name: str) -> LatticeElement:
         """The element named by an attribute."""
         try:
-            return self._constants[name]
+            return self._elements[self._constant_ids[name]]
         except KeyError as exc:
             raise LatticeError(f"no constant named {name!r} in this lattice") from exc
 
+    def evaluate_id(self, expression: ExpressionLike) -> int:
+        """Evaluate a partition expression to an element id (memoized per AST node).
+
+        Expression nodes are hash-consed (PR 2), so the cache keys on object
+        identity and a batch of PDs walks each shared subexpression once.
+        """
+        node = as_expression(expression)
+        cache = self._eval_cache
+        cached = cache.get(node)
+        if cached is not None:
+            return cached
+        stack: list[tuple[PartitionExpression, bool]] = [(node, False)]
+        meet_ids = self._meet_ids
+        join_ids = self._join_ids
+        while stack:
+            current, expanded = stack.pop()
+            if current in cache:
+                continue
+            if isinstance(current, Attr):
+                cid = self._constant_ids.get(current.name)
+                if cid is None:
+                    raise LatticeError(f"no constant named {current.name!r} in this lattice")
+                cache[current] = cid
+            elif expanded:
+                left = cache[current.left]  # type: ignore[attr-defined]
+                right = cache[current.right]  # type: ignore[attr-defined]
+                if isinstance(current, Product):
+                    cache[current] = meet_ids[left][right]
+                elif isinstance(current, Sum):
+                    cache[current] = join_ids[left][right]
+                else:
+                    raise LatticeError(f"unknown expression node {current!r}")
+            else:
+                if not isinstance(current, (Product, Sum)):
+                    raise LatticeError(f"unknown expression node {current!r}")
+                stack.append((current, True))
+                stack.append((current.left, False))
+                stack.append((current.right, False))
+        return cache[node]
+
     def evaluate(self, expression: ExpressionLike) -> LatticeElement:
         """Evaluate a partition expression inside the lattice (attributes via constants)."""
-        node = as_expression(expression)
-        if isinstance(node, Attr):
-            return self.constant(node.name)
-        if isinstance(node, Product):
-            return self.meet(self.evaluate(node.left), self.evaluate(node.right))
-        if isinstance(node, Sum):
-            return self.join(self.evaluate(node.left), self.evaluate(node.right))
-        raise LatticeError(f"unknown expression node {node!r}")
+        return self._elements[self.evaluate_id(expression)]
 
     def satisfies(self, dependency) -> bool:
         """``L ⊨ e = e'``: the two sides evaluate to the same element (§2.2)."""
         from repro.dependencies.pd import as_partition_dependency
 
         pd = as_partition_dependency(dependency)
-        return self.evaluate(pd.left) == self.evaluate(pd.right)
+        return self.evaluate_id(pd.left) == self.evaluate_id(pd.right)
 
     def satisfies_all(self, dependencies: Iterable) -> bool:
         """Satisfaction of a set of equations."""
@@ -281,26 +538,76 @@ class FiniteLattice:
     # -- substructures -----------------------------------------------------------------------------
     def sublattice(self, elements: Iterable[LatticeElement]) -> "FiniteLattice":
         """The sublattice generated by ``elements`` (closure under meet and join)."""
-        current = set(elements)
-        if not current:
+        generators = list(elements)
+        if not generators:
             raise LatticeError("a sublattice needs at least one generator")
-        unknown = current - set(self._elements)
+        unknown = {e for e in generators if e not in self._index}
         if unknown:
             raise LatticeError(f"not lattice elements: {unknown!r}")
-        changed = True
-        while changed:
-            changed = False
-            for x, y in itertools.combinations(sorted(current, key=repr), 2):
-                for candidate in (self.meet(x, y), self.join(x, y)):
-                    if candidate not in current:
-                        current.add(candidate)
-                        changed = True
+        members: list[int] = list(dict.fromkeys(self._index[e] for e in generators))
+        member_set = set(members)
+        meet_ids = self._meet_ids
+        join_ids = self._join_ids
+        i = 0
+        while i < len(members):
+            a = members[i]
+            meet_row = meet_ids[a]
+            join_row = join_ids[a]
+            for b in members[: i + 1]:
+                for candidate in (meet_row[b], join_row[b]):
+                    if candidate not in member_set:
+                        member_set.add(candidate)
+                        members.append(candidate)
+            i += 1
+        chosen = sorted((self._elements[i] for i in member_set), key=repr)
+        old_ids = [self._index[element] for element in chosen]
+        position_of_id = {old_id: p for p, old_id in enumerate(old_ids)}
+        sub_meet = [
+            [position_of_id[meet_ids[a][b]] for b in old_ids] for a in old_ids
+        ]
+        sub_join = [
+            [position_of_id[join_ids[a][b]] for b in old_ids] for a in old_ids
+        ]
         constants = {
-            name: element for name, element in self._constants.items() if element in current
+            name: element
+            for name, element in self._constants.items()
+            if self._index[element] in member_set
         }
-        return FiniteLattice(
-            sorted(current, key=repr), self.meet, self.join, constants, validate=False
-        )
+        return FiniteLattice._trusted(chosen, sub_meet, sub_join, constants, validate=False)
 
     def __repr__(self) -> str:
         return f"FiniteLattice({len(self._elements)} elements, constants={sorted(self._constants)})"
+
+
+def iter_cover_ids(up: list[int], down: list[int]):
+    """Yield the covering id pairs ``(i, j)`` of an order given as bitset rows.
+
+    ``i ⋖ j`` iff ``i < j`` in the order and the interval ``up[i] & down[j]``
+    holds only the two endpoints.  Shared by :meth:`FiniteLattice.covers` and
+    the isomorphism profiles of :mod:`repro.lattice.properties`.
+    """
+    n = len(up)
+    for i in range(n):
+        up_i = up[i]
+        not_i = ~(1 << i)
+        for j in range(n):
+            if i == j or not (up_i >> j) & 1:
+                continue
+            if up_i & down[j] & not_i & ~(1 << j):
+                continue
+            yield (i, j)
+
+
+def _popcount(mask: int) -> int:
+    """Number of set bits of a bitset row."""
+    return mask.bit_count()
+
+
+def _rank_mask(mask: int, rank: list[int]) -> int:
+    """Scatter a mask's bits through a rank permutation (id space → rank space)."""
+    result = 0
+    while mask:
+        low = mask & -mask
+        result |= 1 << rank[low.bit_length() - 1]
+        mask ^= low
+    return result

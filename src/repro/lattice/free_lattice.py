@@ -10,6 +10,12 @@ The fragment is not itself a lattice in general (meets/joins may need larger
 terms), but it is exactly what the identity-recognition benchmark (EXP-T10)
 and several property tests need: a supply of pairwise ``=_id``-inequivalent
 expressions together with the ``≤_id`` order between them.
+
+Every comparison routes through :func:`repro.implication.identities.identically_leq`,
+whose Whitman recursion is memoized in a global weak table keyed on interned
+node pairs — the pairwise scans of :func:`free_lattice_fragment` and
+:meth:`FreeLatticeFragment.class_of` probe heavily overlapping subterm pairs,
+so everything after the first scan is warm.
 """
 
 from __future__ import annotations

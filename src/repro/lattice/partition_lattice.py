@@ -70,11 +70,14 @@ def bell_number(n: int) -> int:
     return row[0]
 
 
-def partition_lattice(population: Iterable[Element]) -> FiniteLattice:
-    """The full partition lattice of a finite set, with meet = product and join = sum.
+def partition_lattice(population: Iterable[Element], validate: bool = False) -> FiniteLattice:
+    """The full partition lattice ``Π_n`` of a finite set, meet = product, join = sum.
 
     The population should be small (Bell(7) = 877, Bell(8) = 4140); the
-    figures and tests use populations of size ≤ 5.
+    figures and tests use populations of size ≤ 5.  With the bitset kernel,
+    ``validate=True`` re-checks the lattice axioms as O(n²) bitset-row
+    comparisons — affordable up to Bell(6) or so, and used by the property
+    tests to pin product/sum as genuine lattice operations.
     """
     items = list(population)
     elements = list(set_partitions(items))
@@ -82,7 +85,7 @@ def partition_lattice(population: Iterable[Element]) -> FiniteLattice:
         elements,
         lambda x, y: x.product(y),
         lambda x, y: x.sum(y),
-        validate=False,
+        validate=validate,
     )
 
 

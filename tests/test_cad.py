@@ -112,6 +112,58 @@ class TestCadConsistency:
         database = Database.single(Relation.from_strings("R", "AB", ["a1.b1", "a2.b2"]))
         assert cad_consistency_for_fpds(database, ["A = A*B"]).consistent
 
+    def test_debug_rescan_cross_checks_incremental_buckets(self):
+        # debug_rescan=True re-runs the full FD rescan after every incremental
+        # bucket update and raises on any divergence; a consistent and an
+        # inconsistent instance both have to survive the cross-check.
+        database = Database(
+            [
+                Relation.from_strings("R", "AB", ["a1.b1", "a2.b2"]),
+                Relation.from_strings("S", "AC", ["a1.c1", "a2.c2"]),
+            ]
+        )
+        fds = parse_fd_set(["A -> B", "C -> B"])
+        result = cad_consistency(database, fds, debug_rescan=True)
+        assert result.consistent
+        assert verify_cad_witness(database, fds, result.witness)
+        bad = Database(
+            [
+                Relation.from_strings("R", "AB", ["a1.b1"]),
+                Relation.from_strings("T", "AB", ["a2.b2"]),
+                Relation.from_strings("U", "AC", ["a1.c1"]),
+                Relation.from_strings("V", "BC", ["b2.c1"]),
+            ]
+        )
+        assert not cad_consistency(bad, parse_fd_set(["A -> B", "C -> B"]), debug_rescan=True).consistent
+
+    def test_incremental_checker_matches_rescan_on_random_databases(self):
+        import random
+
+        from repro.workloads.random_dependencies import random_fd_set
+
+        rng = random.Random(20260730)
+        explored = 0
+        for _ in range(25):
+            relations = []
+            for i in range(rng.randint(1, 3)):
+                attrs = "".join(sorted(rng.sample("ABCD", rng.randint(1, 3))))
+                rows = [
+                    ".".join(f"{a.lower()}{rng.randint(1, 2)}" for a in attrs)
+                    for _ in range(rng.randint(1, 3))
+                ]
+                relations.append(Relation.from_strings(f"R{i}", attrs, rows))
+            database = Database(relations)
+            fds = [
+                fd
+                for fd in random_fd_set(4, rng.randint(1, 3), seed=rng.randrange(10**6), max_side=2)
+                if set(fd.attributes) <= set(database.universe)
+            ]
+            result = cad_consistency(database, fds, max_nodes=20000, debug_rescan=True)
+            explored += result.search_nodes
+            if result.consistent:
+                assert verify_cad_witness(database, fds, result.witness)
+        assert explored > 0
+
     def test_empty_domain_for_needed_column_is_inconsistent(self):
         # No relation ever mentions a symbol under C, yet C is in the universe
         # through the scheme of an empty relation: any padded tuple needs a C

@@ -1,10 +1,21 @@
 """Cross-cutting property-based tests: dualities, monotonicity, and semantic invariants."""
 
+import random
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.implication.alg import ImplicationEngine, pd_implies
 from repro.implication.identities import identically_equal, identically_leq
+from repro.lattice.core import FiniteLattice
+from repro.lattice.oracle import (
+    OracleFiniteLattice,
+    oracle_is_distributive,
+    oracle_is_modular,
+)
+from repro.lattice.partition_lattice import partition_lattice, set_partitions
+from repro.lattice.properties import are_isomorphic, find_isomorphism, is_distributive, is_modular
 from repro.partitions.canonical import canonical_interpretation
 from repro.expressions.ast import attribute_set_expression
 from repro.relational.attributes import AttributeSet
@@ -70,6 +81,78 @@ class TestCanonicalInterpretationInvariants:
         interpretation = canonical_interpretation(relation)
         meanings = [interpretation.meaning_of_tuple(row) for row in relation.sorted_rows()]
         assert all(meaning for meaning in meanings)
+
+
+class TestPartitionLatticeProperties:
+    """§2.2: Π_n is modular iff n ≤ 3 and distributive iff n ≤ 2 (kernel vs oracle)."""
+
+    def _oracle(self, n: int) -> OracleFiniteLattice:
+        return OracleFiniteLattice(
+            list(set_partitions(range(n))),
+            lambda x, y: x.product(y),
+            lambda x, y: x.sum(y),
+            validate=False,
+        )
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_modularity_threshold(self, n):
+        lattice = partition_lattice(range(n), validate=True)
+        verdict = is_modular(lattice)
+        assert verdict == (n <= 3)
+        assert verdict == oracle_is_modular(self._oracle(n))
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_distributivity_threshold(self, n):
+        lattice = partition_lattice(range(n), validate=True)
+        verdict = is_distributive(lattice)
+        assert verdict == (n <= 2)
+        assert verdict == oracle_is_distributive(self._oracle(n))
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_sublattices_agree_with_oracle(self, seed):
+        rng = random.Random(seed)
+        pool = list(set_partitions(range(4)))
+        generators = rng.sample(pool, rng.randint(2, 5))
+        kernel = partition_lattice(range(4)).sublattice(generators)
+        oracle = self._oracle(4).sublattice(generators)
+        assert kernel.elements == oracle.elements
+        assert is_modular(kernel) == oracle_is_modular(oracle)
+        assert is_distributive(kernel) == oracle_is_distributive(oracle)
+
+    def test_isomorphism_positive_and_negative_pair(self):
+        # Π_3 is the diamond M3; the pentagon N5 has the same size but a
+        # different shape.  Both verdicts must agree between the kernel and
+        # the oracle representation of the same abstract lattices.
+        m3_order = {("bot", t) for t in ["x", "y", "z", "top"]} | {
+            ("x", "top"), ("y", "top"), ("z", "top")
+        }
+        n5_order = {
+            ("bot", "a"), ("bot", "b"), ("bot", "c"), ("bot", "top"),
+            ("a", "c"), ("a", "top"), ("b", "top"), ("c", "top"),
+        }
+
+        def leq_from(order):
+            return lambda x, y: x == y or (x, y) in order
+
+        pi3_kernel = partition_lattice(range(3), validate=True)
+        pi3_oracle = self._oracle(3)
+        m3_kernel = FiniteLattice.from_partial_order(
+            ["bot", "x", "y", "z", "top"], leq_from(m3_order)
+        )
+        m3_oracle = OracleFiniteLattice.from_partial_order(
+            ["bot", "x", "y", "z", "top"], leq_from(m3_order)
+        )
+        n5_kernel = FiniteLattice.from_partial_order(
+            ["bot", "a", "b", "c", "top"], leq_from(n5_order)
+        )
+        assert are_isomorphic(pi3_kernel, m3_kernel)
+        assert are_isomorphic(pi3_oracle, m3_oracle)
+        assert are_isomorphic(pi3_kernel, m3_oracle)  # mixed representations
+        assert not are_isomorphic(pi3_kernel, n5_kernel)
+        assert not are_isomorphic(pi3_oracle, n5_kernel)
+        mapping = find_isomorphism(m3_kernel, m3_oracle)
+        assert mapping is not None and len(set(mapping.values())) == 5
 
 
 class TestImplicationMonotonicity:

@@ -35,6 +35,20 @@ class TestQuotientFragment:
         assert fragment.index_of(parse_expression("B*A")) >= 0
         assert fragment.index_of(parse_expression("A + B")) == -1
 
+    def test_shared_engine_accepts_any_dependency_order(self):
+        # The engine contract compares PD *sets*: an engine whose dependency
+        # list differs only in order (or repeats a member) must be accepted.
+        from repro.implication.alg import ImplicationEngine
+
+        pds = ["A = A*B", "B = B*C"]
+        pool = [parse_expression(t) for t in ["A", "B", "C", "A*B"]]
+        forward = quotient_fragment(pds, pool, engine=ImplicationEngine(pds))
+        backward = quotient_fragment(pds, pool, engine=ImplicationEngine(list(reversed(pds))))
+        assert forward.representatives == backward.representatives
+        assert forward.order == backward.order
+        with pytest.raises(LatticeError):
+            quotient_fragment(pds, pool, engine=ImplicationEngine(["A = A*C"]))
+
 
 class TestFiniteCounterexample:
     def test_none_when_implied(self):
