@@ -1,0 +1,106 @@
+"""Merge ``BENCH_*.json`` artifacts into one ``BENCH_trajectory.json``.
+
+Each CI run exports one pytest-benchmark JSON file per experiment
+(``BENCH_chase_engine.json``, ``BENCH_implication.json``, ...).  This script
+collapses them into a single trajectory artifact so a run's whole benchmark
+story ships (and downloads) as one file:
+
+    python benchmarks/collect.py                     # glob BENCH_*.json in cwd
+    python benchmarks/collect.py a.json b.json -o out.json
+
+The output keeps, per source file, the experiment map tag (see
+``benchmarks/conftest.py``) and per-benchmark summary statistics — enough to
+compare runs over time without hauling the full per-round data around.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+#: Summary statistics copied per benchmark (full round data stays behind).
+_STATS = ("min", "max", "mean", "stddev", "median", "rounds", "iterations")
+
+#: The merged trajectory's own format version.
+TRAJECTORY_VERSION = 1
+
+
+def summarize_file(path: Path) -> dict:
+    """One artifact's summary: file name, experiment map, per-benchmark stats."""
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    benchmarks = []
+    for bench in payload.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        benchmarks.append(
+            {
+                "name": bench.get("name"),
+                "group": bench.get("group"),
+                "params": bench.get("params"),
+                "stats": {key: stats.get(key) for key in _STATS},
+            }
+        )
+    benchmarks.sort(key=lambda b: (b["group"] or "", b["name"] or ""))
+    return {
+        "file": path.name,
+        "machine_info": payload.get("machine_info", {}).get("cpu", {}).get("brand_raw"),
+        "experiment_map": payload.get("experiment_map"),
+        "benchmark_count": len(benchmarks),
+        "benchmarks": benchmarks,
+    }
+
+
+def collect(paths: Sequence[Path]) -> dict:
+    """The merged trajectory payload for a list of artifact files."""
+    artifacts = [summarize_file(path) for path in sorted(paths, key=lambda p: p.name)]
+    return {
+        "version": TRAJECTORY_VERSION,
+        "artifact_count": len(artifacts),
+        "total_benchmarks": sum(a["benchmark_count"] for a in artifacts),
+        "artifacts": artifacts,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="artifact files to merge (default: glob BENCH_*.json in the working directory)",
+    )
+    parser.add_argument("-o", "--output", default="BENCH_trajectory.json")
+    args = parser.parse_args(argv)
+
+    if args.files:
+        paths = [Path(name) for name in args.files]
+    else:
+        paths = [
+            path
+            for path in map(Path, sorted(glob.glob("BENCH_*.json")))
+            if path.name != Path(args.output).name
+        ]
+    missing = [str(path) for path in paths if not path.is_file()]
+    if missing:
+        print(f"error: missing artifact files: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    if not paths:
+        print("error: no BENCH_*.json artifacts found", file=sys.stderr)
+        return 2
+
+    trajectory = collect(paths)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"merged {trajectory['artifact_count']} artifacts "
+        f"({trajectory['total_benchmarks']} benchmarks) into {args.output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

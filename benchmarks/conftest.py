@@ -27,6 +27,7 @@ def pytest_benchmark_update_json(config, benchmarks, output_json):
         "EXP-WI": "weak instance chase scaling",
         "EXP-PART": "integer partition kernel vs block oracle; batch PD satisfaction",
         "EXP-LAT": "bitset lattice kernel and class-driven quotient pipeline vs dict-table oracles",
+        "EXP-SVC": "query service: planner batching vs naive dispatch; multiprocess shard scaling",
     }
 
 

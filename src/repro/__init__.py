@@ -122,6 +122,14 @@ from repro.relational import (
     weak_instance_consistency,
 )
 from repro.sat import CnfFormula, nae_backtracking, nae_brute_force
+from repro.service import (
+    QueryRequest,
+    QueryResult,
+    Session,
+    ShardExecutor,
+    execute_plan,
+    naive_dispatch,
+)
 
 __version__ = "1.0.0"
 
@@ -215,4 +223,11 @@ __all__ = [
     "figure1",
     "figure2",
     "figure3",
+    # query service
+    "QueryRequest",
+    "QueryResult",
+    "Session",
+    "ShardExecutor",
+    "execute_plan",
+    "naive_dispatch",
 ]

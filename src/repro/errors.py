@@ -46,3 +46,7 @@ class LatticeError(ReproError):
 
 class ConsistencyError(ReproError):
     """A consistency-test input is malformed (not: the test answered 'no')."""
+
+
+class ServiceError(ReproError):
+    """A query-service payload is malformed (bad wire version, kind or fields)."""

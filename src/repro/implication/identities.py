@@ -37,6 +37,7 @@ Three implementations are provided:
 
 from __future__ import annotations
 
+import os
 import weakref
 
 from repro.errors import ExpressionError
@@ -102,6 +103,18 @@ def clear_identity_cache() -> None:
     _LEQ_CACHE.clear()
     _CACHE_HITS = 0
     _CACHE_MISSES = 0
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX in CI and production
+    # A fork can land while another thread is inside _leq_memo, between the
+    # False seed and the final verdict: the child would then read the seed as
+    # a memoized answer and return wrong ``≤_id`` verdicts forever.  The
+    # parent's unwind-on-error cleanup never runs in the child (the exception
+    # unwinds in the parent's address space), so the only safe child state is
+    # an empty memo — it re-fills lazily, and correctness never depended on
+    # warmth.  Registered at import time so multiprocessing fork workers (the
+    # service's shard executor) always start clean.
+    os.register_at_fork(after_in_child=clear_identity_cache)
 
 
 def identically_leq_cold(left: ExpressionLike, right: ExpressionLike) -> bool:

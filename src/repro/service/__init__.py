@@ -1,0 +1,119 @@
+"""The partition-semantics query service: one scalable front door for every kernel.
+
+PRs 1–4 built fast in-memory decision procedures — the incremental ALG
+implication index, the indexed chase, the partition and lattice kernels —
+but using them meant importing the library and hand-wiring engines per
+query.  This subsystem packages them behind a stable, stateful, scalable
+request surface:
+
+* :mod:`repro.service.wire` — versioned, deterministic JSON codecs for every
+  object that crosses a process boundary (expressions, PDs/FPDs/FDs,
+  partitions/universes, relations/databases/schemas, requests, results);
+* :mod:`repro.service.session` — :class:`Session`, the uniform
+  ``QueryRequest → QueryResult`` surface owning one shared implication
+  index, the Theorem 12 normalization cache, and an LRU result cache
+  invalidated precisely when Γ grows;
+* :mod:`repro.service.planner` — the batch planner that regroups a mixed
+  stream by kind and dependency set and routes each group into the amortized
+  batch APIs;
+* :mod:`repro.service.executor` — :class:`ShardExecutor`, the multiprocess
+  fan-out with per-worker session warm-up, wire-codec transport and
+  deterministic result ordering;
+* :mod:`repro.service.cli` — ``python -m repro.service``, serving JSONL
+  request files or stdin streams.
+
+Minimal use::
+
+    from repro.service import QueryRequest, Session
+
+    session = Session(dependencies=["A = A*B", "B = B*C"])
+    result = session.execute(QueryRequest(kind="implies", query=PartitionDependency.parse("A = A*C")))
+    result.value   # {"implied": True}
+"""
+
+from repro.service.executor import ShardExecutor
+from repro.service.planner import Batch, execute_plan, naive_dispatch, plan, plan_summary
+from repro.service.session import DependencyContext, Session
+from repro.service.wire import (
+    CONSISTENT_METHODS,
+    REQUEST_KINDS,
+    WIRE_VERSION,
+    QueryRequest,
+    QueryResult,
+    canonical_dumps,
+    canonical_loads,
+    decode_database,
+    decode_expression,
+    decode_fd,
+    decode_fpd,
+    decode_partition,
+    decode_pd,
+    decode_relation,
+    decode_request,
+    decode_result,
+    decode_scheme,
+    decode_universe,
+    dump_request_line,
+    dump_result_line,
+    encode_database,
+    encode_expression,
+    encode_fd,
+    encode_fpd,
+    encode_partition,
+    encode_pd,
+    encode_relation,
+    encode_request,
+    encode_result,
+    encode_scheme,
+    encode_universe,
+    load_request_line,
+    load_result_line,
+    request_cache_key,
+    requests_to_jsonl,
+)
+
+__all__ = [
+    "WIRE_VERSION",
+    "REQUEST_KINDS",
+    "CONSISTENT_METHODS",
+    "QueryRequest",
+    "QueryResult",
+    "Session",
+    "DependencyContext",
+    "Batch",
+    "plan",
+    "plan_summary",
+    "execute_plan",
+    "naive_dispatch",
+    "ShardExecutor",
+    "canonical_dumps",
+    "canonical_loads",
+    "encode_expression",
+    "decode_expression",
+    "encode_pd",
+    "decode_pd",
+    "encode_fd",
+    "decode_fd",
+    "encode_fpd",
+    "decode_fpd",
+    "encode_universe",
+    "decode_universe",
+    "encode_partition",
+    "decode_partition",
+    "encode_scheme",
+    "decode_scheme",
+    "encode_relation",
+    "decode_relation",
+    "encode_database",
+    "decode_database",
+    "encode_request",
+    "decode_request",
+    "encode_result",
+    "decode_result",
+    "request_cache_key",
+    "dump_request_line",
+    "load_request_line",
+    "dump_result_line",
+    "load_result_line",
+    "requests_to_jsonl",
+]

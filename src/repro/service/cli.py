@@ -1,0 +1,207 @@
+"""``python -m repro.service`` — serve a JSONL request stream from a file or stdin.
+
+Each input line is one wire-encoded :class:`~repro.service.wire.QueryRequest`
+(see that module for the format); each output line is the matching
+wire-encoded result, in input order.  Blank lines are ignored.  A malformed
+line becomes an ``ok=false`` result at its position — the stream always gets
+exactly one answer per request, and the exit code is 0 unless the service
+itself could not run.
+
+Dispatch modes:
+
+* default — one in-process :class:`~repro.service.session.Session` driven
+  through the batch planner;
+* ``--no-batch`` — the naive one-at-a-time baseline (fresh engines per
+  request; what EXP-SVC compares the planner against);
+* ``--shards N`` (N ≥ 2) — the multiprocess
+  :class:`~repro.service.executor.ShardExecutor`.
+
+All three produce byte-identical output for the same stream
+(``tests/test_service_cli.py`` pins this end-to-end on a 200-request mix).
+
+Session dependencies (the base Γ for requests that do not carry their own)
+are given with ``--dependencies "A = A*B; B = B*C"`` or per line in the
+requests themselves.  ``--stats`` prints a one-line summary to stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+from typing import Optional, TextIO
+
+from repro.dependencies.pd import PartitionDependency, parse_pd_set
+from repro.errors import ServiceError
+from repro.service.executor import ShardExecutor
+from repro.service.planner import naive_dispatch, plan_summary
+from repro.service.session import Session
+from repro.service.wire import (
+    QueryResult,
+    dump_result_line,
+    load_request_line,
+)
+
+
+def _parse_dependencies(text: Optional[str]) -> list[PartitionDependency]:
+    if not text:
+        return []
+    return parse_pd_set(part for part in text.split(";") if part.strip())
+
+
+def _read_numbered_lines(stream: TextIO) -> list[tuple[int, str]]:
+    """Non-blank lines paired with their 1-based position in the *file*."""
+    return [(number, line.strip()) for number, line in enumerate(stream, 1) if line.strip()]
+
+
+def _error_result(line_number: int, exc: Exception) -> str:
+    result = QueryResult(
+        kind="invalid",
+        ok=False,
+        id=f"line{line_number}",
+        error={"type": type(exc).__name__, "message": str(exc)},
+    )
+    return dump_result_line(result)
+
+
+def serve_lines(
+    lines: Sequence,
+    dependencies: Sequence[PartitionDependency] = (),
+    shards: int = 1,
+    batch: bool = True,
+    with_plan: bool = False,
+) -> tuple[list[str], dict]:
+    """Answer request lines; returns (result lines in input order, stats dict).
+
+    ``lines`` holds either bare request strings (numbered from 1) or
+    ``(file_line_number, text)`` pairs, so error results name the line of the
+    *original file* even when blank lines were skipped.  Each line is decoded
+    exactly once: undecodable lines become structured error results in place,
+    and the decoded remainder is served by the selected mode.
+    """
+    numbered = [
+        (position + 1, line) if isinstance(line, str) else line
+        for position, line in enumerate(lines)
+    ]
+    out: list[Optional[str]] = [None] * len(numbered)
+    decoded: list[tuple[int, str]] = []  # (stream position, original text)
+    requests = []
+    for position, (line_number, text) in enumerate(numbered):
+        try:
+            requests.append(load_request_line(text))
+        except ServiceError as exc:
+            out[position] = _error_result(line_number, exc)
+        else:
+            decoded.append((position, text))
+
+    started = time.perf_counter()
+    if shards > 1:
+        if not batch:
+            raise ServiceError(
+                "batch=False (the naive baseline) cannot be combined with shards > 1: "
+                "workers always dispatch through the batch planner"
+            )
+        with ShardExecutor(shards=shards, dependencies=dependencies) as executor:
+            answered = executor.execute_encoded([text for _, text in decoded], requests=requests)
+    elif batch:
+        answered = [dump_result_line(r) for r in Session(dependencies).execute_many(requests)]
+    else:
+        answered = [dump_result_line(r) for r in naive_dispatch(requests, dependencies)]
+    elapsed = time.perf_counter() - started
+
+    if len(answered) != len(decoded):  # loud, not misaligned
+        raise ServiceError(
+            f"dispatcher answered {len(answered)} of {len(decoded)} decoded requests"
+        )
+    for (position, _), line in zip(decoded, answered):
+        out[position] = line
+    stats = {
+        "requests": len(numbered),
+        "invalid": len(numbered) - len(decoded),
+        "elapsed_seconds": elapsed,
+        "mode": f"shards={shards}" if shards > 1 else ("planner" if batch else "naive"),
+    }
+    # Re-planning the stream just to describe it is not free; only do it
+    # when the caller will actually print the stats.
+    if with_plan and requests and shards <= 1:
+        stats["plan"] = plan_summary(requests)
+    return out, stats
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Answer a JSONL stream of partition-semantics queries.",
+    )
+    parser.add_argument(
+        "input",
+        nargs="?",
+        default="-",
+        help="request file (JSONL), or '-' for stdin (default)",
+    )
+    parser.add_argument("-o", "--output", default="-", help="result file, or '-' for stdout")
+    parser.add_argument(
+        "-d",
+        "--dependencies",
+        default="",
+        help="base Γ for the session: semicolon-separated PDs, e.g. 'A = A*B; C = A + B'",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="number of worker processes (1 = in-process; default 1)",
+    )
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable the planner and dispatch one request at a time (baseline mode)",
+    )
+    parser.add_argument("--stats", action="store_true", help="print a summary line to stderr")
+    args = parser.parse_args(argv)
+
+    try:
+        dependencies = _parse_dependencies(args.dependencies)
+    except Exception as exc:
+        print(f"error: cannot parse --dependencies: {exc}", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print("error: --shards must be at least 1", file=sys.stderr)
+        return 2
+    if args.shards > 1 and args.no_batch:
+        print(
+            "error: --no-batch (naive one-at-a-time baseline) cannot be combined with "
+            "--shards; workers always dispatch through the batch planner",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.input == "-":
+        lines = _read_numbered_lines(sys.stdin)
+    else:
+        try:
+            with open(args.input, "r", encoding="utf-8") as handle:
+                lines = _read_numbered_lines(handle)
+        except OSError as exc:
+            print(f"error: cannot read {args.input!r}: {exc}", file=sys.stderr)
+            return 2
+
+    result_lines, stats = serve_lines(
+        lines, dependencies, shards=args.shards, batch=not args.no_batch, with_plan=args.stats
+    )
+
+    text = "".join(line + "\n" for line in result_lines)
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        except OSError as exc:
+            print(f"error: cannot write {args.output!r}: {exc}", file=sys.stderr)
+            return 2
+
+    if args.stats:
+        print(f"repro.service stats: {stats}", file=sys.stderr)
+    return 0

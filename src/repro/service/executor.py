@@ -1,0 +1,220 @@
+"""The multiprocess shard executor: fan a request stream out across workers.
+
+Python's decision kernels are CPU-bound and single-threaded, so horizontal
+scale means processes.  :class:`ShardExecutor` partitions a stream across
+``shards`` worker processes:
+
+* **Transport is the wire format** — requests cross the process boundary as
+  canonical JSONL strings and results come back the same way, so the worker
+  boundary exercises exactly the codecs a networked deployment would (and
+  the hash-consed AST re-interns per process via the parser, never by
+  pickling live objects).
+* **Per-worker session warm-up** — each worker builds one
+  :class:`~repro.service.session.Session` over the executor's base Γ in its
+  initializer (ALG engine constructed eagerly), then answers its whole shard
+  through the batch planner.  Workers therefore amortize exactly like the
+  in-process service; the executor adds parallelism on top.
+* **Plan-aware sharding** — the parent plans the stream first
+  (:func:`repro.service.planner.plan`) and deals *batch-aligned work units*
+  to shards instead of dealing raw requests round-robin.  Amortization lives
+  in the batches (one Γ closure per implication chunk, one normalization per
+  consistency group); a round-robin deal would scatter every batch over
+  every worker and re-pay each group's setup ``shards`` times — measured, it
+  made 4 shards *slower* than one process.  Units are the planner's own
+  amortization quanta (an implication chunk, a consistency group slice, a
+  single CAD/quotient/counterexample request) and are bin-packed greedily by
+  size, largest first, onto the least-loaded shard — deterministic, so the
+  same stream always shards the same way.
+* **Deterministic ordering** — every result is reassembled at the request's
+  original stream position, so the output is byte-identical to the
+  single-process planner run on the same stream, regardless of worker
+  scheduling (``tests/test_service_executor.py`` asserts this).
+
+The default start method is ``fork`` where available (cheap warm-up —
+children inherit the parent's interned AST; safe since PR 5's
+``os.register_at_fork`` hooks rebuild the weak intern tables and drop the
+Whitman memo in the child) with ``spawn`` as the portable fallback.  The
+pool is created lazily and kept alive across :meth:`execute` calls so
+benchmark loops measure steady-state throughput; use the executor as a
+context manager (or call :meth:`close`) to release the workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Iterable, Sequence
+from typing import Optional
+
+from repro.dependencies.pd import PartitionDependencyLike, as_partition_dependency
+from repro.errors import ServiceError
+from repro.service.planner import IMPLICATION_CHUNK, plan
+from repro.service.session import Session
+from repro.service.wire import (
+    QueryRequest,
+    QueryResult,
+    dump_result_line,
+    encode_pd,
+    load_request_line,
+    load_result_line,
+)
+
+# Worker-global session, installed once per worker process by _initialize_worker.
+_WORKER_SESSION: Optional[Session] = None
+
+
+def _initialize_worker(encoded_dependencies: list[str]) -> None:
+    """Build (and warm up) this worker's session from wire-encoded Γ."""
+    global _WORKER_SESSION
+    from repro.dependencies.pd import parse_pd_set
+
+    _WORKER_SESSION = Session(parse_pd_set(encoded_dependencies))
+
+
+def _execute_shard(payload: tuple[int, list[tuple[int, str]]]) -> tuple[int, list[tuple[int, str]]]:
+    """Answer one shard: decode each request line, run the planner, encode results.
+
+    The payload pairs every request line with its original stream index; the
+    result list echoes those indices so the parent can reassemble the stream
+    order without trusting shard completion order.
+    """
+    shard_index, lines = payload
+    session = _WORKER_SESSION
+    if session is None:  # pragma: no cover - initializer always runs first
+        raise ServiceError("shard worker used before initialization")
+    requests = [load_request_line(line) for _, line in lines]
+    results = session.execute_many(requests, batch=True)
+    encoded = [
+        (original_index, dump_result_line(result))
+        for (original_index, _), result in zip(lines, results)
+    ]
+    return shard_index, encoded
+
+
+class ShardExecutor:
+    """Execute request streams across a pool of warmed-up worker processes."""
+
+    def __init__(
+        self,
+        shards: int = 2,
+        dependencies: Iterable[PartitionDependencyLike] = (),
+        start_method: Optional[str] = None,
+    ) -> None:
+        if shards < 1:
+            raise ServiceError(f"shard count must be positive, got {shards}")
+        self.shards = shards
+        self._dependencies = [as_partition_dependency(pd) for pd in dependencies]
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else "spawn"
+        self._start_method = start_method
+        self._pool = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            context = multiprocessing.get_context(self._start_method)
+            encoded = [encode_pd(pd) for pd in self._dependencies]
+            self._pool = context.Pool(
+                processes=self.shards,
+                initializer=_initialize_worker,
+                initargs=(encoded,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (a later :meth:`execute` re-creates it)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ShardExecutor":
+        self._ensure_pool()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- sharding --------------------------------------------------------------
+
+    def _work_units(self, requests: Sequence[QueryRequest]) -> list[list[int]]:
+        """Batch-aligned work units: the planner's amortization quanta.
+
+        Implication/equivalence batches split at the planner's own chunk
+        size (each chunk shares one engine wherever it lands); consistency
+        and FD-implication groups split into at most ``shards`` slices (one
+        normalization / translated engine per slice); the per-request kinds
+        (CAD, quotient, counterexample) split all the way down for balance.
+        """
+        units: list[list[int]] = []
+        for batch in plan(requests):
+            indices = list(batch.indices)
+            if batch.kind in ("implies", "equivalent"):
+                step = IMPLICATION_CHUNK
+            elif batch.kind in ("consistent", "fd_implies") and batch.method != "cad":
+                step = max(1, -(-len(indices) // self.shards))
+            else:
+                step = 1
+            for start in range(0, len(indices), step):
+                units.append(indices[start : start + step])
+        return units
+
+    def _assign_units(self, units: list[list[int]]) -> list[list[int]]:
+        """Greedy deterministic bin-packing: largest unit first, least-loaded shard."""
+        buckets: list[list[int]] = [[] for _ in range(self.shards)]
+        loads = [0] * self.shards
+        for unit in sorted(units, key=len, reverse=True):  # stable: ties keep plan order
+            shard = loads.index(min(loads))
+            buckets[shard].extend(unit)
+            loads[shard] += len(unit)
+        for bucket in buckets:
+            bucket.sort()  # stream order within the shard
+        return buckets
+
+    # -- execution -------------------------------------------------------------
+
+    def execute_encoded(
+        self, lines: Sequence[str], requests: Optional[Sequence[QueryRequest]] = None
+    ) -> list[str]:
+        """Answer wire-encoded request lines; returns result lines in input order.
+
+        This is the transport-level entry point the CLI uses — nothing but
+        strings crosses the process boundary in either direction.  A caller
+        that already decoded the stream (the CLI validates every line first)
+        passes ``requests`` so the parent-side planning pass does not re-parse
+        each line; the two sequences must be position-aligned.
+        """
+        if not lines:
+            return []
+        if requests is None:
+            requests = [load_request_line(line) for line in lines]
+        elif len(requests) != len(lines):
+            raise ServiceError(
+                f"{len(requests)} decoded requests for {len(lines)} encoded lines"
+            )
+        shard_lines: list[list[tuple[int, str]]] = [
+            [(index, lines[index]) for index in bucket]
+            for bucket in self._assign_units(self._work_units(requests))
+        ]
+        payloads = [
+            (shard_index, chunk)
+            for shard_index, chunk in enumerate(shard_lines)
+            if chunk
+        ]
+        pool = self._ensure_pool()
+        out: list[Optional[str]] = [None] * len(lines)
+        for _, encoded in pool.map(_execute_shard, payloads):
+            for original_index, line in encoded:
+                out[original_index] = line
+        missing = [i for i, line in enumerate(out) if line is None]
+        if missing:  # pragma: no cover - reassembly invariant
+            raise ServiceError(f"shard executor lost results for requests {missing[:5]}")
+        return out  # type: ignore[return-value]
+
+    def execute(self, requests: Sequence[QueryRequest]) -> list[QueryResult]:
+        """Answer decoded requests; convenience wrapper over :meth:`execute_encoded`."""
+        from repro.service.wire import dump_request_line
+
+        lines = [dump_request_line(request) for request in requests]
+        return [load_result_line(line) for line in self.execute_encoded(lines)]

@@ -1,0 +1,329 @@
+"""Stateful query sessions: one shared implication index behind every decision procedure.
+
+A :class:`Session` is the in-process front door of the query service.  It
+owns, for its base PD set Γ:
+
+* one persistent :class:`~repro.implication.index.ImplicationIndex` (wrapped
+  in an :class:`~repro.implication.alg.ImplicationEngine`), shared by every
+  implication, equivalence and quotient query — each query only extends the
+  incremental closure instead of recomputing it;
+* the Theorem 12 **normalization cache**: the
+  :class:`~repro.consistency.normalization.NormalizedDependencies` artifacts
+  and the preprocessed :class:`~repro.relational.chase_engine.ChaseEngine`
+  are built once per Γ generation and reused by every weak-instance
+  consistency query;
+* an **LRU result cache** keyed on the canonical wire bytes of each request
+  (:func:`repro.service.wire.request_cache_key`).  The cache is invalidated
+  *precisely* when Γ grows: :meth:`add_dependencies` bumps the generation
+  and evicts exactly the entries that were answered against the session's Γ
+  — results for requests that carried their *own* dependency set are
+  unaffected, because growing the session's Γ cannot change them.
+
+Requests carrying an explicit ``dependencies`` field are served from a
+bounded LRU of per-Γ contexts (engine + normalization artifacts per foreign
+dependency set), so a mixed stream over a handful of theories — the shape
+:mod:`repro.workloads.random_service` generates — stays amortized without
+the caller managing engines.  The batch planner
+(:mod:`repro.service.planner`) reuses the same contexts, which is what makes
+its results byte-identical to one-at-a-time :meth:`execute` calls.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable, Sequence
+from dataclasses import replace
+from typing import Optional
+
+from repro.consistency.cad import cad_consistency_for_fpds
+from repro.consistency.normalization import NormalizedDependencies, normalize_dependencies
+from repro.consistency.pd_consistency import pd_consistency
+from repro.dependencies.pd import PartitionDependency, PartitionDependencyLike, as_partition_dependency
+from repro.errors import ServiceError
+from repro.expressions.printer import to_infix
+from repro.implication.alg import ImplicationEngine
+from repro.implication.fd_implication import fd_implies_via_pds
+from repro.lattice.quotient import finite_counterexample, quotient_fragment
+from repro.relational.chase_engine import ChaseEngine
+from repro.service.wire import (
+    QueryRequest,
+    QueryResult,
+    encode_pd,
+    request_cache_key,
+    validate_request,
+)
+
+
+class DependencyContext:
+    """Per-Γ artifacts, built lazily and shared by every query over that Γ.
+
+    ``engine`` is the incremental ALG engine (the shared implication index);
+    ``normalized``/``chase_engine`` are the Theorem 12 step-1 artifacts.
+    Each is constructed on first use and cached until :meth:`extend` (which
+    resumes the engine's closure delta-wise and drops only the chase-side
+    artifacts, since those are not incremental).
+    """
+
+    __slots__ = ("_dependencies", "_engine", "_normalized", "_chase_engine")
+
+    def __init__(self, dependencies: Sequence[PartitionDependency]) -> None:
+        self._dependencies: tuple[PartitionDependency, ...] = tuple(dependencies)
+        self._engine: Optional[ImplicationEngine] = None
+        self._normalized: Optional[NormalizedDependencies] = None
+        self._chase_engine: Optional[ChaseEngine] = None
+
+    @property
+    def dependencies(self) -> tuple[PartitionDependency, ...]:
+        return self._dependencies
+
+    @property
+    def engine(self) -> ImplicationEngine:
+        if self._engine is None:
+            self._engine = ImplicationEngine(self._dependencies)
+        return self._engine
+
+    @property
+    def normalized(self) -> NormalizedDependencies:
+        if self._normalized is None:
+            self._normalized = normalize_dependencies(list(self._dependencies))
+        return self._normalized
+
+    @property
+    def chase_engine(self) -> ChaseEngine:
+        if self._chase_engine is None:
+            self._chase_engine = ChaseEngine(self.normalized.fds)
+        return self._chase_engine
+
+    def extend(self, dependencies: Sequence[PartitionDependency]) -> None:
+        """Grow Γ in place; the ALG engine resumes, the chase artifacts rebuild."""
+        self._dependencies = self._dependencies + tuple(dependencies)
+        if self._engine is not None:
+            self._engine.add_dependencies(dependencies)
+        self._normalized = None
+        self._chase_engine = None
+
+    def warm_up(self) -> None:
+        """Force the implication engine into existence (worker warm-up hook)."""
+        self.engine  # noqa: B018 - property access builds the engine
+
+
+class Session:
+    """The stateful ``QueryRequest → QueryResult`` surface over one growing Γ."""
+
+    def __init__(
+        self,
+        dependencies: Iterable[PartitionDependencyLike] = (),
+        result_cache_size: int = 1024,
+        foreign_context_limit: int = 16,
+    ) -> None:
+        base = tuple(as_partition_dependency(pd) for pd in dependencies)
+        self._base = DependencyContext(base)
+        self._base.warm_up()
+        self._generation = 0
+        self._result_cache_size = max(0, result_cache_size)
+        # key -> (uses_base_gamma, result-without-caller-id)
+        self._results: "OrderedDict[str, tuple[bool, QueryResult]]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._foreign_context_limit = max(1, foreign_context_limit)
+        self._foreign: "OrderedDict[tuple[str, ...], DependencyContext]" = OrderedDict()
+
+    # -- Γ management ----------------------------------------------------------
+
+    @property
+    def dependencies(self) -> list[PartitionDependency]:
+        """The session's base PD set Γ."""
+        return list(self._base.dependencies)
+
+    @property
+    def generation(self) -> int:
+        """Bumped once per :meth:`add_dependencies` call (cache-invalidation marker)."""
+        return self._generation
+
+    def add_dependencies(self, dependencies: Iterable[PartitionDependencyLike]) -> None:
+        """Grow Γ and invalidate exactly the cached results that depended on it."""
+        added = [as_partition_dependency(pd) for pd in dependencies]
+        if not added:
+            return
+        self._base.extend(added)
+        self._generation += 1
+        self._results = OrderedDict(
+            (key, entry) for key, entry in self._results.items() if not entry[0]
+        )
+
+    def context_for(self, request: QueryRequest) -> DependencyContext:
+        """The dependency context a request runs against (base Γ or its own)."""
+        if request.dependencies is None:
+            return self._base
+        key = tuple(encode_pd(pd) for pd in request.dependencies)
+        context = self._foreign.get(key)
+        if context is None:
+            context = DependencyContext(request.dependencies)
+            self._foreign[key] = context
+            while len(self._foreign) > self._foreign_context_limit:
+                self._foreign.popitem(last=False)
+        else:
+            self._foreign.move_to_end(key)
+        return context
+
+    # -- the query surface -----------------------------------------------------
+
+    def execute(
+        self, request: QueryRequest, use_cache: bool = True, cache_key: Optional[str] = None
+    ) -> QueryResult:
+        """Answer one request (uniformly, whatever its kind).
+
+        Failures of the decision procedures are captured as ``ok=False``
+        results — a service must answer every line of its stream — but a
+        *malformed request* (unknown kind, missing fields) raises
+        :class:`~repro.errors.ServiceError` so programming errors stay loud.
+        Error results are never cached.  ``cache_key`` lets the planner pass
+        the canonical key it already computed for its own cache probe.
+        """
+        validate_request(request)
+        key = None
+        if use_cache and self._result_cache_size:
+            key = cache_key if cache_key is not None else request_cache_key(request)
+            cached = self.cache_lookup(request, key=key)
+            if cached is not None:
+                return cached
+        result = self._evaluate(request)
+        if key is not None:
+            self.cache_store(request, result, key=key)
+        return result
+
+    def cache_lookup(self, request: QueryRequest, key: Optional[str] = None) -> Optional[QueryResult]:
+        """The cached result for a request (re-stamped with its id), or ``None``.
+
+        Exposed for the batch planner, which probes the cache up front so
+        that only genuinely uncached requests enter the grouped dispatch.
+        Callers holding the canonical key already (the planner, or
+        :meth:`execute` itself) pass it to skip re-encoding the request —
+        the encode is the expensive part for database-carrying requests.
+        """
+        if not self._result_cache_size:
+            return None
+        if key is None:
+            key = request_cache_key(request)
+        entry = self._results.get(key)
+        if entry is not None:
+            self._results.move_to_end(key)
+            self._hits += 1
+            return replace(entry[1], id=request.id, cached=True)
+        self._misses += 1
+        return None
+
+    def cache_store(
+        self, request: QueryRequest, result: QueryResult, key: Optional[str] = None
+    ) -> None:
+        """Insert a computed result (error results are never cached)."""
+        if not self._result_cache_size or not result.ok:
+            return
+        if key is None:
+            key = request_cache_key(request)
+        # fd_implies reasons over its own Σ, never the session's Γ, so its
+        # entries survive add_dependencies like explicit-Γ requests do.
+        uses_base_gamma = request.dependencies is None and request.kind != "fd_implies"
+        self._results[key] = (uses_base_gamma, replace(result, id=None))
+        while len(self._results) > self._result_cache_size:
+            self._results.popitem(last=False)
+
+    def execute_many(self, requests: Sequence[QueryRequest], batch: bool = True) -> list[QueryResult]:
+        """Answer a request stream; with ``batch=True`` the planner groups it first."""
+        if batch:
+            from repro.service.planner import execute_plan
+
+            return execute_plan(self, requests)
+        return [self.execute(request) for request in requests]
+
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether this session keeps a result cache at all."""
+        return self._result_cache_size > 0
+
+    def cache_info(self) -> dict:
+        """Result-cache and context diagnostics (hits/misses/size/generation)."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "size": len(self._results),
+            "maxsize": self._result_cache_size,
+            "generation": self._generation,
+            "foreign_contexts": len(self._foreign),
+        }
+
+    # -- evaluation ------------------------------------------------------------
+
+    def _evaluate(self, request: QueryRequest) -> QueryResult:
+        try:
+            value = self._value_for(request)
+        except ServiceError:
+            raise
+        except Exception as exc:  # a service answers every request
+            return QueryResult(
+                kind=request.kind,
+                ok=False,
+                id=request.id,
+                error={"type": type(exc).__name__, "message": str(exc)},
+            )
+        return QueryResult(kind=request.kind, ok=True, id=request.id, value=value)
+
+    def _value_for(self, request: QueryRequest) -> dict:
+        kind = request.kind
+        if kind == "implies":
+            engine = self.context_for(request).engine
+            return {"implied": engine.implies(request.query)}
+        if kind == "equivalent":
+            engine = self.context_for(request).engine
+            equal = engine.implies(PartitionDependency(request.left, request.right))
+            return {"equivalent": equal}
+        if kind == "fd_implies":
+            return {"implied": fd_implies_via_pds(request.fds, request.target)}
+        if kind == "consistent":
+            return self._consistency_value(request)
+        if kind == "quotient":
+            context = self.context_for(request)
+            fragment = quotient_fragment(
+                context.dependencies, request.pool, engine=context.engine
+            )
+            return {
+                "classes": [to_infix(r) for r in fragment.representatives],
+                "order": sorted([i, j] for (i, j) in fragment.order),
+            }
+        if kind == "counterexample":
+            context = self.context_for(request)
+            lattice = finite_counterexample(
+                context.dependencies, request.query, max_pool=request.max_pool
+            )
+            if lattice is None:
+                return {"implied": True, "size": None, "constants": []}
+            return {
+                "implied": False,
+                "size": len(lattice),
+                "constants": sorted(lattice.constants),
+            }
+        raise ServiceError(f"unknown request kind {kind!r}")  # unreachable after validate
+
+    def _consistency_value(self, request: QueryRequest) -> dict:
+        context = self.context_for(request)
+        if request.method == "weak_instance":
+            outcome = pd_consistency(
+                request.database,
+                list(context.dependencies),
+                engine=context.chase_engine,
+                normalized=context.normalized,
+            )
+            witness_rows = len(outcome.weak_instance) if outcome.consistent else None
+            return {
+                "consistent": outcome.consistent,
+                "method": "weak_instance",
+                "witness_rows": witness_rows,
+            }
+        outcome = cad_consistency_for_fpds(
+            request.database, list(context.dependencies), max_nodes=request.max_nodes
+        )
+        return {
+            "consistent": outcome.consistent,
+            "method": "cad",
+            "search_nodes": outcome.search_nodes,
+        }

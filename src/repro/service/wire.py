@@ -1,0 +1,512 @@
+"""Versioned, deterministic JSON codecs for the query service (the wire layer).
+
+Every object the service accepts or produces — expressions, PDs/FPDs/FDs,
+partitions and universes, relations/databases/schemas, query requests and
+query results — has an ``encode_*``/``decode_*`` pair here.  The codecs obey
+two contracts that the rest of the service (and its tests) lean on:
+
+* **Determinism** — encoding is a pure function of the object's *semantics*:
+  attribute sets and relation rows are emitted sorted, partitions are emitted
+  in canonical first-occurrence label form, JSON is serialized with sorted
+  keys and no whitespace (:func:`canonical_dumps`).  Two equal objects encode
+  to identical bytes, so encoded results can be compared with ``==`` across
+  processes (the shard executor's ordering test and the CLI's byte-identical
+  end-to-end check both do exactly that).
+* **Round-tripping through the interned substrate** — decoding re-interns on
+  the way in: expressions go through the parser (so ``decode(encode(e)) is
+  e`` inside one process, by PR 2's hash-consing), partitions are rebuilt on
+  a fresh :class:`~repro.partitions.kernel.Universe` in canonical label form,
+  and ``encode → decode → encode`` is byte-identical for every wire type
+  (``tests/test_wire.py`` checks this on randomized inputs).
+
+The envelope carries ``{"v": WIRE_VERSION}``; :func:`decode_request` and
+:func:`decode_result` reject other versions, so incompatible format changes
+must bump :data:`WIRE_VERSION`.  Malformed payloads raise
+:class:`~repro.errors.ServiceError` — never ``KeyError``/``TypeError`` — so
+the CLI can turn them into structured error results.
+
+Expressions travel as their minimal-parenthesis infix rendering
+(:func:`repro.expressions.printer.to_infix`), which the parser inverts
+exactly; PDs travel as ``"lhs = rhs"`` over the same rendering.  This keeps
+request files human-writable: ``{"kind": "implies", "dependencies":
+["A = A * B"], "query": "A = A * B"}`` is a valid line of a JSONL stream.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from repro.dependencies.fpd import FunctionalPartitionDependency
+from repro.dependencies.pd import PartitionDependency
+from repro.errors import ServiceError
+from repro.expressions.ast import PartitionExpression
+from repro.expressions.parser import parse_expression
+from repro.expressions.printer import to_infix
+from repro.partitions.kernel import Universe
+from repro.partitions.partition import Partition
+from repro.relational.database import Database
+from repro.relational.functional_dependencies import FunctionalDependency
+from repro.relational.relations import Relation
+from repro.relational.schema import DatabaseScheme, RelationScheme
+from repro.relational.tuples import Row
+
+#: Wire format version; bump on any incompatible payload change.
+WIRE_VERSION = 1
+
+#: The query kinds the service understands.
+REQUEST_KINDS = (
+    "implies",
+    "equivalent",
+    "fd_implies",
+    "consistent",
+    "quotient",
+    "counterexample",
+)
+
+#: Consistency methods (Theorem 12 weak-instance test; Theorem 11 CAD search).
+CONSISTENT_METHODS = ("weak_instance", "cad")
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def canonical_dumps(payload: Any) -> str:
+    """Serialize a payload to its canonical JSON form (sorted keys, no spaces).
+
+    This is the *only* serializer the service uses, so equal payloads always
+    produce identical bytes.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True)
+
+
+def canonical_loads(text: str) -> Any:
+    """Inverse of :func:`canonical_dumps` (plain ``json.loads`` with error wrapping)."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"invalid JSON on the wire: {exc}") from None
+
+
+def _require(payload: Any, key: str, context: str) -> Any:
+    if not isinstance(payload, dict):
+        raise ServiceError(f"{context} payload must be a JSON object, got {type(payload).__name__}")
+    if key not in payload:
+        raise ServiceError(f"{context} payload is missing the {key!r} field")
+    return payload[key]
+
+
+def _require_int(payload: dict, key: str, context: str, default=None, allow_none=False):
+    value = payload.get(key, default)
+    if value is None:
+        if allow_none or key not in payload:
+            return default
+        raise ServiceError(f"{context} field {key!r} must be an integer, got null")
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServiceError(f"{context} field {key!r} must be an integer, got {value!r}")
+    return value
+
+
+def _check_version(payload: dict, context: str) -> None:
+    version = payload.get("v", WIRE_VERSION)
+    if version != WIRE_VERSION:
+        raise ServiceError(
+            f"{context} uses wire version {version!r}; this service speaks version {WIRE_VERSION}"
+        )
+
+
+# -- expressions and dependencies ------------------------------------------------
+
+
+def encode_expression(expression: PartitionExpression) -> str:
+    """An expression as its minimal-parenthesis infix string (parser-invertible)."""
+    return to_infix(expression)
+
+
+def decode_expression(text: Any) -> PartitionExpression:
+    """Parse an expression string, re-interning through the hash-consed AST."""
+    if not isinstance(text, str):
+        raise ServiceError(f"expression payload must be a string, got {text!r}")
+    try:
+        return parse_expression(text)
+    except Exception as exc:
+        raise ServiceError(f"cannot decode expression {text!r}: {exc}") from None
+
+
+def encode_pd(pd: PartitionDependency) -> str:
+    """A PD as ``"lhs = rhs"`` over the infix rendering."""
+    return f"{to_infix(pd.left)} = {to_infix(pd.right)}"
+
+
+def decode_pd(text: Any) -> PartitionDependency:
+    """Parse a PD string (``"e = e'"`` or the FPD shorthand ``"X <= Y"``)."""
+    if not isinstance(text, str):
+        raise ServiceError(f"PD payload must be a string, got {text!r}")
+    try:
+        return PartitionDependency.parse(text)
+    except Exception as exc:
+        raise ServiceError(f"cannot decode PD {text!r}: {exc}") from None
+
+
+def encode_fd(fd: FunctionalDependency) -> dict:
+    """An FD as sorted attribute lists (robust for multi-character names)."""
+    return {"lhs": fd.lhs.sorted(), "rhs": fd.rhs.sorted()}
+
+
+def decode_fd(payload: Any) -> FunctionalDependency:
+    lhs = _require(payload, "lhs", "FD")
+    rhs = _require(payload, "rhs", "FD")
+    try:
+        return FunctionalDependency(lhs, rhs)
+    except Exception as exc:
+        raise ServiceError(f"cannot decode FD {payload!r}: {exc}") from None
+
+
+def encode_fpd(fpd: FunctionalPartitionDependency) -> dict:
+    """An FPD in the same shape as an FD (it *is* one, semantically)."""
+    return {"lhs": fpd.lhs.sorted(), "rhs": fpd.rhs.sorted()}
+
+
+def decode_fpd(payload: Any) -> FunctionalPartitionDependency:
+    lhs = _require(payload, "lhs", "FPD")
+    rhs = _require(payload, "rhs", "FPD")
+    try:
+        return FunctionalPartitionDependency(lhs, rhs)
+    except Exception as exc:
+        raise ServiceError(f"cannot decode FPD {payload!r}: {exc}") from None
+
+
+# -- partitions and universes ----------------------------------------------------
+
+
+def _check_elements(elements: Iterable[Any], context: str) -> list:
+    checked = []
+    for element in elements:
+        if not isinstance(element, _SCALAR_TYPES):
+            raise ServiceError(
+                f"{context} elements must be JSON scalars, got {type(element).__name__}: {element!r}"
+            )
+        checked.append(element)
+    return checked
+
+
+def encode_universe(universe: Universe) -> list:
+    """A universe as its element list, in interning (id) order."""
+    return _check_elements(universe.elements, "universe")
+
+
+def decode_universe(payload: Any) -> Universe:
+    if not isinstance(payload, list):
+        raise ServiceError(f"universe payload must be a list, got {type(payload).__name__}")
+    return Universe(_check_elements(payload, "universe"))
+
+
+def encode_partition(partition: Partition) -> dict:
+    """A partition as ``{"universe": [...], "labels": [...]}`` in canonical label form."""
+    return {
+        "universe": _check_elements(partition.universe.elements, "partition"),
+        "labels": list(partition.labels),
+    }
+
+
+def decode_partition(payload: Any) -> Partition:
+    elements = _require(payload, "universe", "partition")
+    labels = _require(payload, "labels", "partition")
+    if not isinstance(elements, list) or not isinstance(labels, list):
+        raise ServiceError("partition payload needs list-valued 'universe' and 'labels'")
+    if len(elements) != len(labels):
+        raise ServiceError(
+            f"partition payload has {len(elements)} elements but {len(labels)} labels"
+        )
+    try:
+        return Partition.from_labels(Universe(elements), labels)
+    except Exception as exc:
+        raise ServiceError(f"cannot decode partition: {exc}") from None
+
+
+# -- relational objects ----------------------------------------------------------
+
+
+def encode_scheme(scheme: RelationScheme) -> dict:
+    """A relation scheme as its name plus sorted attribute list."""
+    return {"name": scheme.name, "attributes": scheme.attributes.sorted()}
+
+
+def decode_scheme(payload: Any) -> RelationScheme:
+    name = _require(payload, "name", "scheme")
+    attributes = _require(payload, "attributes", "scheme")
+    try:
+        return RelationScheme(name, attributes)
+    except Exception as exc:
+        raise ServiceError(f"cannot decode relation scheme {payload!r}: {exc}") from None
+
+
+def encode_database_scheme(scheme: DatabaseScheme) -> list:
+    """A database scheme as its relation schemes sorted by name."""
+    return [encode_scheme(s) for s in sorted(scheme, key=lambda s: s.name)]
+
+
+def decode_database_scheme(payload: Any) -> DatabaseScheme:
+    if not isinstance(payload, list):
+        raise ServiceError("database scheme payload must be a list of relation schemes")
+    return DatabaseScheme([decode_scheme(item) for item in payload])
+
+
+def encode_relation(relation: Relation) -> dict:
+    """A relation as sorted attribute columns and lexicographically sorted rows."""
+    attributes = relation.attributes.sorted()
+    rows = sorted([row[a] for a in attributes] for row in relation.rows)
+    return {"name": relation.name, "attributes": attributes, "rows": rows}
+
+
+def decode_relation(payload: Any) -> Relation:
+    name = _require(payload, "name", "relation")
+    attributes = _require(payload, "attributes", "relation")
+    raw_rows = _require(payload, "rows", "relation")
+    if not isinstance(attributes, list) or not isinstance(raw_rows, list):
+        raise ServiceError("relation payload needs list-valued 'attributes' and 'rows'")
+    try:
+        scheme = RelationScheme(name, attributes)
+        rows = []
+        for cells in raw_rows:
+            if not isinstance(cells, list) or len(cells) != len(attributes):
+                raise ServiceError(
+                    f"relation row {cells!r} does not match the {len(attributes)} attributes"
+                )
+            rows.append(Row(dict(zip(attributes, cells))))
+        return Relation(scheme, rows)
+    except ServiceError:
+        raise
+    except Exception as exc:
+        raise ServiceError(f"cannot decode relation {name!r}: {exc}") from None
+
+
+def encode_database(database: Database) -> dict:
+    """A database as its relations sorted by name."""
+    return {
+        "relations": [
+            encode_relation(r) for r in sorted(database.relations, key=lambda r: r.name)
+        ]
+    }
+
+
+def decode_database(payload: Any) -> Database:
+    relations = _require(payload, "relations", "database")
+    if not isinstance(relations, list):
+        raise ServiceError("database payload needs a list-valued 'relations' field")
+    try:
+        return Database([decode_relation(item) for item in relations])
+    except ServiceError:
+        raise
+    except Exception as exc:
+        raise ServiceError(f"cannot decode database: {exc}") from None
+
+
+# -- the request/response surface ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query against the service — the uniform unit of work.
+
+    ``dependencies`` is the PD set Γ the query reasons over; ``None`` means
+    "use the session's own Γ" (the stateful mode).  The remaining fields are
+    kind-specific; :func:`validate_request` states which are required.
+    """
+
+    kind: str
+    id: Optional[str] = None
+    dependencies: Optional[tuple[PartitionDependency, ...]] = None
+    query: Optional[PartitionDependency] = None
+    left: Optional[PartitionExpression] = None
+    right: Optional[PartitionExpression] = None
+    fds: Optional[tuple[FunctionalDependency, ...]] = None
+    target: Optional[FunctionalDependency] = None
+    database: Optional[Database] = None
+    method: str = "weak_instance"
+    pool: Optional[tuple[PartitionExpression, ...]] = None
+    max_pool: int = 400
+    max_nodes: Optional[int] = None
+
+    def with_id(self, new_id: Optional[str]) -> "QueryRequest":
+        """The same request under another id (results are id-independent)."""
+        return replace(self, id=new_id)
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The service's answer to one :class:`QueryRequest`.
+
+    ``value`` is a canonical-JSON-ready dict (kind-specific); on failure
+    ``ok`` is ``False`` and ``error`` carries ``{"type", "message"}``.
+    ``cached`` reports whether the session answered from its result cache —
+    it is *transport metadata*, deliberately excluded from the wire encoding
+    so cached and computed answers are byte-identical.
+    """
+
+    kind: str
+    ok: bool
+    id: Optional[str] = None
+    value: Optional[dict] = None
+    error: Optional[dict] = None
+    cached: bool = field(default=False, compare=False)
+
+
+def validate_request(request: QueryRequest) -> None:
+    """Check the kind-specific field contract; raise :class:`ServiceError` if broken."""
+    if request.kind not in REQUEST_KINDS:
+        raise ServiceError(f"unknown request kind {request.kind!r}; expected one of {REQUEST_KINDS}")
+    if request.kind in ("implies", "counterexample") and request.query is None:
+        raise ServiceError(f"a {request.kind!r} request needs a 'query' PD")
+    if request.kind == "equivalent" and (request.left is None or request.right is None):
+        raise ServiceError("an 'equivalent' request needs 'left' and 'right' expressions")
+    if request.kind == "fd_implies" and (request.fds is None or request.target is None):
+        raise ServiceError("an 'fd_implies' request needs 'fds' and a 'target' FD")
+    if request.kind == "consistent":
+        if request.database is None:
+            raise ServiceError("a 'consistent' request needs a 'database'")
+        if request.method not in CONSISTENT_METHODS:
+            raise ServiceError(
+                f"unknown consistency method {request.method!r}; expected one of {CONSISTENT_METHODS}"
+            )
+    if request.kind == "quotient" and not request.pool:
+        raise ServiceError("a 'quotient' request needs a non-empty 'pool' of expressions")
+
+
+def encode_request(request: QueryRequest) -> dict:
+    """A request as its canonical wire dict (only the fields its kind uses)."""
+    validate_request(request)
+    payload: dict[str, Any] = {"v": WIRE_VERSION, "kind": request.kind}
+    if request.id is not None:
+        payload["id"] = request.id
+    if request.dependencies is not None:
+        payload["dependencies"] = [encode_pd(pd) for pd in request.dependencies]
+    if request.kind in ("implies", "counterexample"):
+        payload["query"] = encode_pd(request.query)
+    if request.kind == "counterexample":
+        payload["max_pool"] = request.max_pool
+    if request.kind == "equivalent":
+        payload["left"] = encode_expression(request.left)
+        payload["right"] = encode_expression(request.right)
+    if request.kind == "fd_implies":
+        payload["fds"] = [encode_fd(fd) for fd in request.fds]
+        payload["target"] = encode_fd(request.target)
+    if request.kind == "consistent":
+        payload["database"] = encode_database(request.database)
+        payload["method"] = request.method
+        if request.max_nodes is not None:
+            payload["max_nodes"] = request.max_nodes
+    if request.kind == "quotient":
+        payload["pool"] = [encode_expression(e) for e in request.pool]
+    return payload
+
+
+def decode_request(payload: Any) -> QueryRequest:
+    """Rebuild a :class:`QueryRequest`, re-interning every expression on the way in."""
+    kind = _require(payload, "kind", "request")
+    _check_version(payload, "request")
+    if kind not in REQUEST_KINDS:
+        raise ServiceError(f"unknown request kind {kind!r}; expected one of {REQUEST_KINDS}")
+    raw_deps = payload.get("dependencies")
+    dependencies = None
+    if raw_deps is not None:
+        if not isinstance(raw_deps, list):
+            raise ServiceError("'dependencies' must be a list of PD strings")
+        dependencies = tuple(decode_pd(text) for text in raw_deps)
+    kwargs: dict[str, Any] = {
+        "kind": kind,
+        "id": payload.get("id"),
+        "dependencies": dependencies,
+    }
+    if kind in ("implies", "counterexample"):
+        kwargs["query"] = decode_pd(_require(payload, "query", kind))
+    if kind == "counterexample":
+        kwargs["max_pool"] = _require_int(payload, "max_pool", kind, default=400)
+    if kind == "equivalent":
+        kwargs["left"] = decode_expression(_require(payload, "left", kind))
+        kwargs["right"] = decode_expression(_require(payload, "right", kind))
+    if kind == "fd_implies":
+        fds = _require(payload, "fds", kind)
+        if not isinstance(fds, list):
+            raise ServiceError("'fds' must be a list of FD payloads")
+        kwargs["fds"] = tuple(decode_fd(item) for item in fds)
+        kwargs["target"] = decode_fd(_require(payload, "target", kind))
+    if kind == "consistent":
+        kwargs["database"] = decode_database(_require(payload, "database", kind))
+        kwargs["method"] = payload.get("method", "weak_instance")
+        # max_nodes is an optional bound: explicit null means "unbounded".
+        kwargs["max_nodes"] = _require_int(payload, "max_nodes", kind, allow_none=True)
+    if kind == "quotient":
+        pool = _require(payload, "pool", kind)
+        if not isinstance(pool, list):
+            raise ServiceError("'pool' must be a list of expression strings")
+        kwargs["pool"] = tuple(decode_expression(text) for text in pool)
+    request = QueryRequest(**kwargs)
+    validate_request(request)
+    return request
+
+
+def encode_result(result: QueryResult) -> dict:
+    """A result as its canonical wire dict (``cached`` transport flag excluded)."""
+    payload: dict[str, Any] = {"v": WIRE_VERSION, "kind": result.kind, "ok": result.ok}
+    if result.id is not None:
+        payload["id"] = result.id
+    if result.ok:
+        payload["value"] = result.value
+    else:
+        payload["error"] = result.error
+    return payload
+
+
+def decode_result(payload: Any) -> QueryResult:
+    kind = _require(payload, "kind", "result")
+    ok = _require(payload, "ok", "result")
+    _check_version(payload, "result")
+    if not isinstance(ok, bool):
+        raise ServiceError(f"result 'ok' must be a boolean, got {ok!r}")
+    if ok:
+        value = _require(payload, "value", "result")
+        if not isinstance(value, dict):
+            raise ServiceError("result 'value' must be a JSON object")
+        return QueryResult(kind=kind, ok=True, id=payload.get("id"), value=value)
+    error = _require(payload, "error", "result")
+    if not isinstance(error, dict):
+        raise ServiceError("result 'error' must be a JSON object")
+    return QueryResult(kind=kind, ok=False, id=payload.get("id"), error=error)
+
+
+def request_cache_key(request: QueryRequest) -> str:
+    """The canonical bytes of a request *minus its id* — the session cache key.
+
+    Two requests asking the same question under different ids share one cache
+    slot; the session re-stamps the stored result with the caller's id.
+    """
+    payload = encode_request(request)
+    payload.pop("id", None)
+    return canonical_dumps(payload)
+
+
+def dump_request_line(request: QueryRequest) -> str:
+    """One JSONL line for a request (canonical form, no trailing newline)."""
+    return canonical_dumps(encode_request(request))
+
+
+def load_request_line(line: str) -> QueryRequest:
+    """Parse one JSONL request line."""
+    return decode_request(canonical_loads(line))
+
+
+def dump_result_line(result: QueryResult) -> str:
+    """One JSONL line for a result (canonical form, no trailing newline)."""
+    return canonical_dumps(encode_result(result))
+
+
+def load_result_line(line: str) -> QueryResult:
+    """Parse one JSONL result line."""
+    return decode_result(canonical_loads(line))
+
+
+def requests_to_jsonl(requests: Sequence[QueryRequest]) -> str:
+    """A whole request stream as JSONL text (one canonical line per request)."""
+    return "".join(dump_request_line(r) + "\n" for r in requests)

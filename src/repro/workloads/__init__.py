@@ -21,6 +21,7 @@ from repro.workloads.random_implication import (
     random_implication_workload,
 )
 from repro.workloads.random_graphs import random_graph_relation, random_sparse_forest_relation
+from repro.workloads.random_service import random_service_requests
 from repro.workloads.random_relations import (
     attribute_names,
     chained_consistent_database,
@@ -50,4 +51,5 @@ __all__ = [
     "random_sparse_forest_relation",
     "random_3cnf",
     "random_nae_satisfiable_3cnf",
+    "random_service_requests",
 ]

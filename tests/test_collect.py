@@ -1,0 +1,90 @@
+"""benchmarks/collect.py: merging BENCH_*.json artifacts into one trajectory file."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def collect():
+    spec = importlib.util.spec_from_file_location(
+        "benchmarks_collect", REPO_ROOT / "benchmarks" / "collect.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _fake_artifact(path: Path, names: list, group: str) -> None:
+    payload = {
+        "machine_info": {"cpu": {"brand_raw": "TestCPU"}},
+        "experiment_map": {group: "a fake experiment"},
+        "benchmarks": [
+            {
+                "name": name,
+                "group": group,
+                "params": {"n": i},
+                "stats": {
+                    "min": 0.1 * (i + 1),
+                    "max": 0.2 * (i + 1),
+                    "mean": 0.15 * (i + 1),
+                    "stddev": 0.01,
+                    "median": 0.15,
+                    "rounds": 3,
+                    "iterations": 1,
+                    "data": [0.1, 0.2, 0.15],  # must be dropped from the summary
+                },
+            }
+            for i, name in enumerate(names)
+        ],
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+class TestCollect:
+    def test_merges_globbed_artifacts(self, collect, tmp_path, monkeypatch):
+        _fake_artifact(tmp_path / "BENCH_b.json", ["t2", "t1"], "EXP-B")
+        _fake_artifact(tmp_path / "BENCH_a.json", ["t3"], "EXP-A")
+        monkeypatch.chdir(tmp_path)
+        assert collect.main([]) == 0
+
+        trajectory = json.loads((tmp_path / "BENCH_trajectory.json").read_text())
+        assert trajectory["version"] == collect.TRAJECTORY_VERSION
+        assert trajectory["artifact_count"] == 2
+        assert trajectory["total_benchmarks"] == 3
+        files = [a["file"] for a in trajectory["artifacts"]]
+        assert files == ["BENCH_a.json", "BENCH_b.json"]
+        # Benchmarks are sorted and summarized (no raw round data).
+        names = [b["name"] for b in trajectory["artifacts"][1]["benchmarks"]]
+        assert names == ["t1", "t2"]
+        stats = trajectory["artifacts"][1]["benchmarks"][0]["stats"]
+        assert "data" not in stats
+        assert stats["rounds"] == 3
+        assert trajectory["artifacts"][0]["machine_info"] == "TestCPU"
+
+    def test_rerun_excludes_its_own_output(self, collect, tmp_path, monkeypatch):
+        _fake_artifact(tmp_path / "BENCH_a.json", ["t1"], "EXP-A")
+        monkeypatch.chdir(tmp_path)
+        assert collect.main([]) == 0
+        assert collect.main([]) == 0  # BENCH_trajectory.json must not ingest itself
+        trajectory = json.loads((tmp_path / "BENCH_trajectory.json").read_text())
+        assert trajectory["artifact_count"] == 1
+
+    def test_explicit_files_and_output(self, collect, tmp_path):
+        first = tmp_path / "BENCH_x.json"
+        _fake_artifact(first, ["t1"], "EXP-X")
+        out = tmp_path / "merged.json"
+        assert collect.main([str(first), "-o", str(out)]) == 0
+        assert json.loads(out.read_text())["artifact_count"] == 1
+
+    def test_missing_files_fail(self, collect, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert collect.main([]) == 2  # no artifacts at all
+        assert collect.main(["BENCH_ghost.json"]) == 2
+        assert "missing artifact" in capsys.readouterr().err

@@ -1,0 +1,121 @@
+"""Parser/printer round-trip properties: ``parse(render(e)) is e`` (hash-consed identity).
+
+The printer contract (``to_infix`` emits the minimal-parenthesis form the
+parser inverts exactly) had no direct test; the wire codecs now lean on it
+for every expression crossing a process boundary, so it is pinned here:
+
+* randomized round-trips through every rendering style (``to_infix``,
+  ``to_paper``, ``str``) come back as the *same interned object*;
+* precedence and associativity edge cases build exactly the expected trees;
+* minimality: ``to_infix`` output never contains a redundant paren pair
+  (checked by re-parsing with each paren pair removed — the result must
+  differ or fail).
+"""
+
+import pytest
+
+from repro.expressions.ast import Product, Sum, attrs
+from repro.expressions.parser import parse_expression
+from repro.expressions.printer import to_infix, to_paper, to_prefix
+from repro.workloads.random_expressions import random_expression
+
+A, B, C, D = attrs("A", "B", "C", "D")
+
+UNIVERSES = [
+    ["A", "B", "C"],
+    ["A", "B", "C", "D", "E"],
+    # Multi-character names exercise the tokenizer's maximal-munch rule.
+    ["A1", "B2", "employee_nr", "dept"],
+]
+
+
+class TestRandomizedRoundTrip:
+    @pytest.mark.parametrize("universe", UNIVERSES, ids=["abc", "abcde", "long-names"])
+    def test_parse_inverts_to_infix_on_random_expressions(self, universe):
+        for seed in range(150):
+            expression = random_expression(universe, seed=seed, max_complexity=6)
+            assert parse_expression(to_infix(expression)) is expression
+
+    def test_parse_inverts_paper_style(self):
+        for seed in range(100):
+            expression = random_expression(["A", "B", "C", "D"], seed=seed, max_complexity=5)
+            assert parse_expression(to_paper(expression)) is expression
+            # The paper's ``·`` product notation parses too.
+            assert parse_expression(to_paper(expression, product_symbol="·")) is expression
+
+    def test_parse_inverts_str(self):
+        for seed in range(100):
+            expression = random_expression(["A", "B", "C", "D"], seed=seed, max_complexity=5)
+            assert parse_expression(str(expression)) is expression
+
+    def test_product_bias_extremes_round_trip(self):
+        for seed in range(40):
+            for bias in (0.0, 1.0):
+                expression = random_expression(
+                    ["A", "B", "C"], seed=seed, max_complexity=5, product_bias=bias
+                )
+                assert parse_expression(to_infix(expression)) is expression
+
+
+class TestPrecedenceEdgeCases:
+    def test_product_binds_tighter_than_sum(self):
+        assert parse_expression("A + B * C") is Sum(A, Product(B, C))
+        assert parse_expression("A * B + C") is Sum(Product(A, B), C)
+
+    def test_parentheses_override_precedence(self):
+        assert parse_expression("(A + B) * C") is Product(Sum(A, B), C)
+        assert parse_expression("A * (B + C)") is Product(A, Sum(B, C))
+
+    def test_left_associativity(self):
+        assert parse_expression("A + B + C") is Sum(Sum(A, B), C)
+        assert parse_expression("A * B * C") is Product(Product(A, B), C)
+        assert parse_expression("A + B + C + D") is Sum(Sum(Sum(A, B), C), D)
+
+    def test_right_nested_operands_need_parens(self):
+        right_nested = Sum(A, Sum(B, C))
+        rendered = to_infix(right_nested)
+        assert rendered == "A + (B + C)"
+        assert parse_expression(rendered) is right_nested
+        assert parse_expression(rendered) is not parse_expression("A + B + C")
+
+    def test_nested_parens_collapse_to_same_node(self):
+        assert parse_expression("((A))") is A
+        assert parse_expression("(((A + B)))") is Sum(A, B)
+        assert parse_expression("( (A) * ((B)) )") is Product(A, B)
+
+    def test_mixed_depth_example(self):
+        expression = Product(Sum(Product(A, B), C), Sum(A, D))
+        assert to_infix(expression) == "(A * B + C) * (A + D)"
+        assert parse_expression(to_infix(expression)) is expression
+
+    def test_to_prefix_is_explicit_about_associativity(self):
+        assert to_prefix(parse_expression("A + B + C")) == "(+ (+ A B) C)"
+        assert to_prefix(parse_expression("A + (B + C)")) == "(+ A (+ B C))"
+
+
+class TestMinimality:
+    """``to_infix`` never emits parentheses the grammar does not require."""
+
+    def _paren_spans(self, text: str):
+        stack = []
+        for position, char in enumerate(text):
+            if char == "(":
+                stack.append(position)
+            elif char == ")":
+                yield stack.pop(), position
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_every_paren_pair_is_load_bearing(self, seed):
+        expression = random_expression(["A", "B", "C", "D"], seed=seed, max_complexity=6)
+        rendered = to_infix(expression)
+        for open_at, close_at in self._paren_spans(rendered):
+            stripped = (
+                rendered[:open_at] + rendered[open_at + 1 : close_at] + rendered[close_at + 1 :]
+            )
+            try:
+                reparsed = parse_expression(stripped)
+            except Exception:
+                continue  # removing the pair broke the syntax: load-bearing
+            assert reparsed is not expression, (
+                f"redundant parens in {rendered!r}: {stripped!r} parses identically"
+            )

@@ -26,6 +26,7 @@ class TestPublicApi:
             "repro.graphs",
             "repro.workloads",
             "repro.figures",
+            "repro.service",
         ]:
             module = importlib.import_module(subpackage)
             for name in getattr(module, "__all__", []):

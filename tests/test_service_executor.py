@@ -1,0 +1,115 @@
+"""Shard executor: deterministic ordering, byte-identical fan-out, both start methods."""
+
+import multiprocessing
+
+import pytest
+
+from repro.dependencies.pd import PartitionDependency
+from repro.errors import ServiceError
+from repro.service.executor import ShardExecutor
+from repro.service.planner import execute_plan
+from repro.service.session import Session
+from repro.service.wire import QueryRequest, dump_request_line, dump_result_line
+from repro.workloads.random_service import random_service_requests
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _pd(text: str) -> PartitionDependency:
+    return PartitionDependency.parse(text)
+
+
+def _encoded(results):
+    return [dump_result_line(r) for r in results]
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return random_service_requests(40, seed=31, theory_count=2, pds_per_theory=3)
+
+
+@pytest.fixture(scope="module")
+def reference(stream):
+    return _encoded(execute_plan(Session(), stream))
+
+
+class TestShardedExecution:
+    def test_two_shards_byte_identical_to_in_process(self, stream, reference):
+        with ShardExecutor(shards=2) as executor:
+            assert _encoded(executor.execute(stream)) == reference
+
+    def test_three_shards_byte_identical_and_ordered(self, stream, reference):
+        with ShardExecutor(shards=3) as executor:
+            results = executor.execute(stream)
+        assert _encoded(results) == reference
+        assert [r.id for r in results] == [r.id for r in stream]
+
+    def test_wire_level_entry_point(self, stream, reference):
+        lines = [dump_request_line(r) for r in stream]
+        with ShardExecutor(shards=2) as executor:
+            assert executor.execute_encoded(lines) == reference
+
+    def test_wire_level_entry_point_with_predecoded_requests(self, stream, reference):
+        lines = [dump_request_line(r) for r in stream]
+        with ShardExecutor(shards=2) as executor:
+            assert executor.execute_encoded(lines, requests=stream) == reference
+        with pytest.raises(ServiceError):
+            ShardExecutor(shards=2).execute_encoded(lines, requests=stream[:-1])
+
+    def test_more_shards_than_requests(self):
+        requests = random_service_requests(3, seed=2)
+        expected = _encoded(execute_plan(Session(), requests))
+        with ShardExecutor(shards=8) as executor:
+            assert _encoded(executor.execute(requests)) == expected
+
+    def test_empty_stream(self):
+        with ShardExecutor(shards=2) as executor:
+            assert executor.execute([]) == []
+            assert executor.execute_encoded([]) == []
+
+    def test_session_dependencies_reach_workers(self):
+        requests = [
+            QueryRequest(kind="implies", id="q0", query=_pd("A = A*C")),
+            QueryRequest(kind="implies", id="q1", query=_pd("C = C*A")),
+        ]
+        with ShardExecutor(shards=2, dependencies=["A = A*B", "B = B*C"]) as executor:
+            results = executor.execute(requests)
+        assert results[0].value == {"implied": True}
+        assert results[1].value == {"implied": False}
+
+    def test_pool_survives_multiple_execute_calls(self, stream, reference):
+        with ShardExecutor(shards=2) as executor:
+            first = _encoded(executor.execute(stream[:10]))
+            second = _encoded(executor.execute(stream[:10]))
+        assert first == second == reference[:10]
+
+
+class TestStartMethods:
+    @pytest.mark.skipif(not HAS_FORK, reason="platform has no fork start method")
+    def test_fork_workers(self):
+        requests = random_service_requests(12, seed=8)
+        expected = _encoded(execute_plan(Session(), requests))
+        with ShardExecutor(shards=2, start_method="fork") as executor:
+            assert _encoded(executor.execute(requests)) == expected
+
+    def test_spawn_workers(self):
+        # Spawn re-imports everything per worker; keep the stream tiny.
+        requests = random_service_requests(6, seed=8)
+        expected = _encoded(execute_plan(Session(), requests))
+        with ShardExecutor(shards=2, start_method="spawn") as executor:
+            assert _encoded(executor.execute(requests)) == expected
+
+
+class TestValidation:
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ServiceError):
+            ShardExecutor(shards=0)
+
+    def test_close_is_idempotent(self):
+        executor = ShardExecutor(shards=1)
+        executor.execute(random_service_requests(2, seed=1))
+        executor.close()
+        executor.close()
+        # A closed executor transparently re-creates its pool.
+        assert executor.execute(random_service_requests(2, seed=1))
+        executor.close()

@@ -1,0 +1,267 @@
+"""Wire codec round-trips: randomized byte-identity and semantic oracles (PR 5 satellite).
+
+Every wire type is pushed through ``encode → decode → encode`` on randomized
+inputs and the two encodings must be **byte-identical** (via
+:func:`~repro.service.wire.canonical_dumps`).  On top of the syntactic
+checks, decoded objects are cross-checked against oracle semantics:
+
+* a decoded partition *equals* the original partition (block structure, not
+  just labels);
+* a decoded Γ yields identical implication verdicts to the original on a
+  query stream (fresh engines on both sides, so the check does not lean on
+  interning identity);
+* decoded relations/databases satisfy exactly the same FDs/PDs.
+
+Malformed payloads must raise :class:`~repro.errors.ServiceError` — the CLI
+turns those into structured per-line error results.
+"""
+
+import random
+
+import pytest
+
+from repro.dependencies.fpd import FunctionalPartitionDependency
+from repro.dependencies.pd import PartitionDependency
+from repro.errors import ServiceError
+from repro.implication.alg import ImplicationEngine
+from repro.partitions.kernel import Universe
+from repro.partitions.partition import Partition, partition_from_mapping
+from repro.relational.schema import DatabaseScheme, RelationScheme
+from repro.service import wire
+from repro.service.wire import QueryRequest, QueryResult, canonical_dumps
+from repro.workloads.random_dependencies import random_fd_set, random_pd_set
+from repro.workloads.random_expressions import random_expression
+from repro.workloads.random_relations import random_database, random_relation
+from repro.workloads.random_service import random_service_requests
+
+
+def _double_trip(encoder, decoder, value):
+    """encode → decode → encode; returns (first, second) canonical strings."""
+    first = encoder(value)
+    second = encoder(decoder(first))
+    return canonical_dumps(first), canonical_dumps(second)
+
+
+class TestExpressionAndDependencyCodecs:
+    def test_expression_round_trip_is_interned_identity(self):
+        for seed in range(80):
+            expression = random_expression(["A", "B", "C", "D1"], seed=seed, max_complexity=5)
+            encoded = wire.encode_expression(expression)
+            assert wire.decode_expression(encoded) is expression
+            assert wire.encode_expression(wire.decode_expression(encoded)) == encoded
+
+    def test_pd_round_trip_byte_identical(self):
+        for pd in random_pd_set(4, 60, seed=11, max_complexity=4):
+            first, second = _double_trip(wire.encode_pd, wire.decode_pd, pd)
+            assert first == second
+
+    def test_pd_fpd_shorthand_decodes(self):
+        pd = wire.decode_pd("A <= B")
+        assert wire.encode_pd(pd) == "A = A * B"
+
+    def test_fd_round_trip_byte_identical(self):
+        for fd in random_fd_set(6, 40, seed=3, max_side=4):
+            first, second = _double_trip(wire.encode_fd, wire.decode_fd, fd)
+            assert first == second
+            assert wire.decode_fd(wire.encode_fd(fd)) == fd
+
+    def test_fpd_round_trip(self):
+        fpd = FunctionalPartitionDependency(["A", "B"], ["C"])
+        first, second = _double_trip(wire.encode_fpd, wire.decode_fpd, fpd)
+        assert first == second
+        assert wire.decode_fpd(wire.encode_fpd(fpd)) == fpd
+
+
+class TestPartitionCodecs:
+    def _random_partition(self, seed: int) -> Partition:
+        rng = random.Random(seed)
+        population = [f"x{i}" for i in range(rng.randint(1, 12))]
+        return partition_from_mapping({x: rng.randint(0, 3) for x in population})
+
+    def test_partition_round_trip_byte_identical(self):
+        for seed in range(60):
+            partition = self._random_partition(seed)
+            first, second = _double_trip(wire.encode_partition, wire.decode_partition, partition)
+            assert first == second
+
+    def test_decoded_partition_equals_oracle_blocks(self):
+        for seed in range(60):
+            partition = self._random_partition(seed)
+            decoded = wire.decode_partition(wire.encode_partition(partition))
+            assert decoded == partition
+            assert decoded.blocks == partition.blocks
+            assert decoded.block_count() == partition.block_count()
+
+    def test_universe_round_trip_preserves_id_order(self):
+        universe = Universe(["b", "a", "c", "a"])
+        encoded = wire.encode_universe(universe)
+        assert encoded == ["b", "a", "c"]
+        decoded = wire.decode_universe(encoded)
+        assert decoded.elements == universe.elements
+        assert wire.encode_universe(decoded) == encoded
+
+    def test_universe_rejects_non_scalar_elements(self):
+        with pytest.raises(ServiceError):
+            wire.decode_universe(["a", ["b"]])
+        with pytest.raises(ServiceError):
+            wire.encode_universe(Universe([("t", "uple")]))
+
+    def test_partition_rejects_non_scalar_elements(self):
+        partition = Partition([[("tuple", "element")]])
+        with pytest.raises(ServiceError):
+            wire.encode_partition(partition)
+
+    def test_partition_rejects_mismatched_lengths(self):
+        with pytest.raises(ServiceError):
+            wire.decode_partition({"universe": ["a", "b"], "labels": [0]})
+
+
+class TestRelationalCodecs:
+    def test_relation_round_trip_byte_identical(self):
+        for seed in range(25):
+            relation = random_relation(4, 6, domain_size=3, seed=seed)
+            first, second = _double_trip(wire.encode_relation, wire.decode_relation, relation)
+            assert first == second
+            assert wire.decode_relation(wire.encode_relation(relation)) == relation
+
+    def test_database_round_trip_byte_identical_and_semantics(self):
+        for seed in range(15):
+            database = random_database(3, 5, 3, 4, seed=seed)
+            first, second = _double_trip(wire.encode_database, wire.decode_database, database)
+            assert first == second
+            decoded = wire.decode_database(wire.encode_database(database))
+            assert decoded == database
+            assert decoded.universe == database.universe
+            # Decoded relations satisfy exactly the same FDs as the originals.
+            for fd in random_fd_set(5, 10, seed=seed + 1, max_side=2):
+                for original, copy in zip(
+                    sorted(database.relations, key=lambda r: r.name),
+                    sorted(decoded.relations, key=lambda r: r.name),
+                ):
+                    if fd.attributes <= original.attributes:
+                        assert original.satisfies_fd(fd) == copy.satisfies_fd(fd)
+
+    def test_scheme_round_trip(self):
+        scheme = RelationScheme("r", ["B", "A", "C"])
+        first, second = _double_trip(wire.encode_scheme, wire.decode_scheme, scheme)
+        assert first == second
+        assert wire.decode_scheme(wire.encode_scheme(scheme)) == scheme
+
+    def test_database_scheme_round_trip(self):
+        scheme = DatabaseScheme([RelationScheme("s", "CD"), RelationScheme("r", "AB")])
+        first = canonical_dumps(wire.encode_database_scheme(scheme))
+        decoded = wire.decode_database_scheme(wire.encode_database_scheme(scheme))
+        assert canonical_dumps(wire.encode_database_scheme(decoded)) == first
+
+
+class TestGammaOracle:
+    """A decoded Γ must answer implication exactly like the original."""
+
+    def test_decoded_gamma_yields_identical_verdicts(self):
+        for seed in range(12):
+            theory = random_pd_set(4, 5, seed=seed, max_complexity=3)
+            decoded_theory = [wire.decode_pd(wire.encode_pd(pd)) for pd in theory]
+            queries = random_pd_set(4, 12, seed=seed + 100, max_complexity=3)
+            original_engine = ImplicationEngine(theory)
+            decoded_engine = ImplicationEngine(decoded_theory)
+            for query in queries:
+                assert original_engine.implies(query) == decoded_engine.implies(query)
+
+
+class TestRequestResultCodecs:
+    def test_request_stream_round_trip_byte_identical(self):
+        requests = random_service_requests(
+            60, seed=21, include_cad=True, theory_count=3, pds_per_theory=3
+        )
+        for request in requests:
+            first, second = _double_trip(wire.encode_request, wire.decode_request, request)
+            assert first == second
+
+    def test_decoded_request_fields_reintern(self):
+        request = QueryRequest(
+            kind="implies",
+            id="r1",
+            dependencies=(PartitionDependency.parse("A = A*B"),),
+            query=PartitionDependency.parse("A = A * (B + C)"),
+        )
+        decoded = wire.decode_request(wire.encode_request(request))
+        assert decoded.query.left is request.query.left
+        assert decoded.query.right is request.query.right
+        assert decoded.dependencies[0].left is request.dependencies[0].left
+
+    def test_request_cache_key_is_id_independent(self):
+        base = QueryRequest(kind="implies", query=PartitionDependency.parse("A = A*B"))
+        assert wire.request_cache_key(base) == wire.request_cache_key(base.with_id("other"))
+        different = QueryRequest(kind="implies", query=PartitionDependency.parse("B = B*A"))
+        assert wire.request_cache_key(base) != wire.request_cache_key(different)
+
+    def test_result_round_trip_byte_identical(self):
+        results = [
+            QueryResult(kind="implies", ok=True, id="a", value={"implied": True}),
+            QueryResult(kind="consistent", ok=True, value={"consistent": False, "method": "cad"}),
+            QueryResult(kind="quotient", ok=False, id="z", error={"type": "X", "message": "m"}),
+        ]
+        for result in results:
+            first, second = _double_trip(wire.encode_result, wire.decode_result, result)
+            assert first == second
+
+    def test_cached_flag_is_transport_only(self):
+        plain = QueryResult(kind="implies", ok=True, value={"implied": True})
+        cached = QueryResult(kind="implies", ok=True, value={"implied": True}, cached=True)
+        assert wire.encode_result(plain) == wire.encode_result(cached)
+        assert plain == cached  # compare=False on the flag
+
+    def test_jsonl_helpers_round_trip(self):
+        requests = random_service_requests(10, seed=5)
+        text = wire.requests_to_jsonl(requests)
+        lines = text.strip().split("\n")
+        decoded = [wire.load_request_line(line) for line in lines]
+        assert [wire.dump_request_line(r) for r in decoded] == lines
+
+
+class TestMalformedPayloads:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not json at all",
+            '{"kind": "implies"}',  # missing query
+            '{"kind": "nonsense", "query": "A = B"}',
+            '{"kind": "implies", "query": "A = B", "v": 999}',
+            '{"kind": "consistent", "database": {"relations": []}, "method": "psychic"}',
+            '{"kind": "equivalent", "left": "A +* B", "right": "A"}',
+            '{"kind": "quotient", "pool": []}',
+            '{"kind": "fd_implies", "fds": [{"lhs": ["A"]}], "target": {"lhs": ["A"], "rhs": ["B"]}}',
+            '{"kind": "counterexample", "query": "A = B", "max_pool": "oops"}',
+            '{"kind": "counterexample", "query": "A = B", "max_pool": [400]}',
+            '{"kind": "counterexample", "query": "A = B", "max_pool": null}',
+            '{"kind": "consistent", "database": {"relations": []}, "max_nodes": "x"}',
+            '{"kind": "consistent", "database": {"relations": []}, "max_nodes": true}',
+        ],
+    )
+    def test_bad_request_lines_raise_service_error(self, payload):
+        with pytest.raises(ServiceError):
+            wire.load_request_line(payload)
+
+    def test_explicit_null_max_nodes_means_unbounded(self):
+        request = wire.load_request_line(
+            '{"kind": "consistent", "database": {"relations": '
+            '[{"name": "r", "attributes": ["A"], "rows": [["a"]]}]}, "max_nodes": null}'
+        )
+        assert request.max_nodes is None
+
+    def test_bad_result_payloads_raise_service_error(self):
+        for payload in (
+            {"kind": "implies"},
+            {"kind": "implies", "ok": "yes"},
+            {"kind": "implies", "ok": True},
+            {"kind": "implies", "ok": False, "error": "boom"},
+            {"kind": "implies", "ok": True, "value": {}, "v": 2},
+        ):
+            with pytest.raises(ServiceError):
+                wire.decode_result(payload)
+
+    def test_validate_request_rejects_missing_fields(self):
+        with pytest.raises(ServiceError):
+            wire.validate_request(QueryRequest(kind="equivalent"))
+        with pytest.raises(ServiceError):
+            wire.validate_request(QueryRequest(kind="consistent"))
