@@ -1,4 +1,4 @@
-"""EXP-SVC: the query service — planner batching and multiprocess shard scaling.
+"""EXP-SVC: the query service — planner batching, shard scaling, async serving.
 
 Series produced:
 
@@ -23,17 +23,35 @@ Series produced:
   the whole stream for 2 shards, which is what multi-core machines convert
   into wall-clock wins).
 
+* **open-loop async serving** — the continuous-serving claim.  A seeded
+  mixed stream arrives as a Poisson process (open loop: clients do not wait
+  for answers) and is served through the
+  :class:`~repro.service.microbatch.MicroBatcher`, (a) with a real window
+  (``max_wait_ms=10``, ``max_batch=32``) so in-flight requests re-batch
+  across arrivals and the planner's group-by amortization survives live
+  load, and (b) with the window degenerated to one request
+  (``max_batch=1``) — per-request dispatch, the naive serving shape.  At a
+  steady arrival rate the batched windows win (the gap is the same group
+  amortization the batch series measures, now recovered *in flight*), and
+  the stats snapshot reports enqueue→respond latency percentiles
+  (p50/p95/p99) plus window occupancy — the numbers CI exports to
+  ``BENCH_async.json``.
+
 Every benchmark round cross-checks the results against the naive baseline
 (byte-identical wire encodings), so the fast paths cannot silently diverge.
 """
 
+import asyncio
+import time
+
 import pytest
 
 from repro.service.executor import ShardExecutor
+from repro.service.microbatch import MicroBatcher
 from repro.service.planner import execute_plan, naive_dispatch
 from repro.service.session import Session
 from repro.service.wire import dump_result_line
-from repro.workloads.random_service import random_service_requests
+from repro.workloads.random_service import poisson_arrival_times, random_service_requests
 
 #: (stream length, PDs per theory): bigger theories make per-request engine
 #: construction — what the planner amortizes away — dominate.
@@ -96,3 +114,58 @@ def test_service_shard_scaling(benchmark, shards, rng_seed):
     results = benchmark.pedantic(run, setup=setup, rounds=3)
     reference = execute_plan(Session(), requests)
     assert _encoded(results) == _encoded(reference)
+
+
+#: Open-loop workload: stream shape and steady arrival rate (requests/second).
+OPEN_LOOP_COUNT, OPEN_LOOP_PDS, OPEN_LOOP_RATE = 120, 8, 500.0
+
+
+async def _drive_open_loop(requests, arrivals, mode):
+    """Serve an arrival-timed stream through the micro-batcher; returns (results, stats)."""
+    session = Session()
+    window = {"max_wait_ms": 10.0, "max_batch": 32} if mode == "microbatch" else {
+        "max_wait_ms": 0.0,
+        "max_batch": 1,
+    }
+    async with MicroBatcher(
+        session.execute_many, queue_limit=len(requests), **window
+    ) as batcher:
+
+        started = time.perf_counter()
+
+        async def one(arrival, request):
+            delay = started + arrival - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            ticket = await batcher.submit(request)
+            result = await ticket.result()
+            ticket.mark_responded()
+            return result
+
+        results = await asyncio.gather(
+            *(one(arrival, request) for arrival, request in zip(arrivals, requests))
+        )
+        stats = batcher.stats.snapshot()
+    return list(results), stats
+
+
+@pytest.mark.benchmark(group="EXP-SVC open-loop async: micro-batch window vs per-request")
+@pytest.mark.parametrize("mode", ["microbatch", "per_request"])
+def test_service_async_open_loop(benchmark, mode, rng_seed):
+    requests = _stream(OPEN_LOOP_COUNT, OPEN_LOOP_PDS, rng_seed)
+    arrivals = poisson_arrival_times(OPEN_LOOP_COUNT, OPEN_LOOP_RATE, seed=rng_seed)
+
+    def run():
+        return asyncio.run(_drive_open_loop(requests, arrivals, mode))
+
+    results, stats = benchmark(run)
+    # Served answers must be byte-identical to the batch pipeline's.
+    reference = execute_plan(Session(), requests)
+    assert _encoded(results) == _encoded(reference)
+    # The latency accounting must actually report percentiles.
+    total = stats["latency_ms"]["total"]
+    assert total["samples"] == len(requests)
+    assert total["p50"] is not None and total["p50"] <= total["p95"] <= total["p99"]
+    assert stats["windows"]["count"] >= 1
+    if mode == "per_request":
+        assert stats["windows"]["max_size"] == 1

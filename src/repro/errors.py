@@ -50,3 +50,20 @@ class ConsistencyError(ReproError):
 
 class ServiceError(ReproError):
     """A query-service payload is malformed (bad wire version, kind or fields)."""
+
+
+class QueryFailedError(ServiceError):
+    """A typed convenience query (``Session.implies`` & co.) got an ``ok=false`` result.
+
+    The wire surface reports decision-procedure failures as structured error
+    *results* (a stream must answer every line); the typed surface raises
+    instead, carrying the same ``{"type", "message"}`` payload in
+    :attr:`details`.
+    """
+
+    def __init__(self, kind: str, details: dict) -> None:
+        self.kind = kind
+        self.details = dict(details or {})
+        message = self.details.get("message", "query failed")
+        error_type = self.details.get("type", "Error")
+        super().__init__(f"{kind!r} query failed: {error_type}: {message}")

@@ -31,8 +31,24 @@ Minimal use::
     result.value   # {"implied": True}
 """
 
+from repro.service.api import (
+    ConsistencyAnswer,
+    CounterexampleAnswer,
+    EquivalenceAnswer,
+    ImplicationAnswer,
+    QuotientAnswer,
+    answer_for,
+    consistent_request,
+    counterexample_request,
+    equivalent_request,
+    implies_request,
+    quotient_request,
+)
+from repro.service.config import OVERLOAD_POLICIES, ServiceConfig
 from repro.service.executor import ShardExecutor
+from repro.service.microbatch import MicroBatcher, MicroBatchStats, Ticket
 from repro.service.planner import Batch, execute_plan, naive_dispatch, plan, plan_summary
+from repro.service.server import QueryServer, serve_stream
 from repro.service.session import DependencyContext, Session
 from repro.service.wire import (
     CONSISTENT_METHODS,
@@ -66,9 +82,11 @@ from repro.service.wire import (
     encode_result,
     encode_scheme,
     encode_universe,
+    error_result_for_line,
     load_request_line,
     load_result_line,
     request_cache_key,
+    request_id_hint,
     requests_to_jsonl,
 )
 
@@ -80,6 +98,24 @@ __all__ = [
     "QueryResult",
     "Session",
     "DependencyContext",
+    "ServiceConfig",
+    "OVERLOAD_POLICIES",
+    "QueryServer",
+    "serve_stream",
+    "MicroBatcher",
+    "MicroBatchStats",
+    "Ticket",
+    "ImplicationAnswer",
+    "EquivalenceAnswer",
+    "ConsistencyAnswer",
+    "QuotientAnswer",
+    "CounterexampleAnswer",
+    "implies_request",
+    "equivalent_request",
+    "consistent_request",
+    "quotient_request",
+    "counterexample_request",
+    "answer_for",
     "Batch",
     "plan",
     "plan_summary",
@@ -111,6 +147,8 @@ __all__ = [
     "encode_result",
     "decode_result",
     "request_cache_key",
+    "request_id_hint",
+    "error_result_for_line",
     "dump_request_line",
     "load_request_line",
     "dump_result_line",

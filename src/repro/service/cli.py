@@ -1,68 +1,57 @@
-"""``python -m repro.service`` — serve a JSONL request stream from a file or stdin.
+"""``python -m repro.service`` — serve a JSONL request stream, batch or continuous.
 
-Each input line is one wire-encoded :class:`~repro.service.wire.QueryRequest`
-(see that module for the format); each output line is the matching
-wire-encoded result, in input order.  Blank lines are ignored.  A malformed
-line becomes an ``ok=false`` result at its position — the stream always gets
-exactly one answer per request, and the exit code is 0 unless the service
-itself could not run.
+Two modes share one wire format and one :class:`~repro.service.config.ServiceConfig`:
 
-Dispatch modes:
+* **file mode** (default): ``python -m repro.service [FILE|-]`` answers a
+  pre-collected stream from a file or stdin, one wire-encoded
+  :class:`~repro.service.wire.QueryRequest` per line, one result line out,
+  in input order.  ``--no-batch`` selects the naive one-at-a-time baseline,
+  ``--shards N`` the multiprocess executor; all dispatch modes produce
+  byte-identical output (``tests/test_service_cli.py`` pins this end-to-end
+  on a 200-request mix).
+* **serve mode**: ``python -m repro.service serve`` starts the asyncio
+  socket server (:mod:`repro.service.server`) speaking the same JSONL
+  protocol continuously, with micro-batch windows (``--max-wait-ms``,
+  ``--max-batch``), bounded-queue backpressure (``--queue-limit``,
+  ``--overload block|shed``) and graceful drain on SIGINT/SIGTERM.  The
+  bound address is announced on stderr (``--port 0`` picks an ephemeral
+  port); ``--stats`` prints the latency/window statistics on shutdown.
 
-* default — one in-process :class:`~repro.service.session.Session` driven
-  through the batch planner;
-* ``--no-batch`` — the naive one-at-a-time baseline (fresh engines per
-  request; what EXP-SVC compares the planner against);
-* ``--shards N`` (N ≥ 2) — the multiprocess
-  :class:`~repro.service.executor.ShardExecutor`.
-
-All three produce byte-identical output for the same stream
-(``tests/test_service_cli.py`` pins this end-to-end on a 200-request mix).
+A malformed line becomes an ``ok=false`` result at its position — the stream
+always gets exactly one answer per request.  Error results echo the
+request's own ``id`` whenever the line parsed far enough to carry one, and
+fall back to the file line number (``"lineN"``) only for unparseable lines.
 
 Session dependencies (the base Γ for requests that do not carry their own)
-are given with ``--dependencies "A = A*B; B = B*C"`` or per line in the
-requests themselves.  ``--stats`` prints a one-line summary to stderr.
+are given with ``--dependencies "A = A*B; B = B*C"`` in either mode.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import contextlib
+import signal
 import sys
 import time
 from collections.abc import Sequence
 from typing import Optional, TextIO
 
-from repro.dependencies.pd import PartitionDependency, parse_pd_set
+from repro.dependencies.pd import PartitionDependency
 from repro.errors import ServiceError
-from repro.service.executor import ShardExecutor
+from repro.service.config import ServiceConfig, add_config_arguments, config_from_args
 from repro.service.planner import naive_dispatch, plan_summary
-from repro.service.session import Session
 from repro.service.wire import (
-    QueryResult,
+    canonical_dumps,
     dump_result_line,
+    error_result_for_line,
     load_request_line,
 )
-
-
-def _parse_dependencies(text: Optional[str]) -> list[PartitionDependency]:
-    if not text:
-        return []
-    return parse_pd_set(part for part in text.split(";") if part.strip())
 
 
 def _read_numbered_lines(stream: TextIO) -> list[tuple[int, str]]:
     """Non-blank lines paired with their 1-based position in the *file*."""
     return [(number, line.strip()) for number, line in enumerate(stream, 1) if line.strip()]
-
-
-def _error_result(line_number: int, exc: Exception) -> str:
-    result = QueryResult(
-        kind="invalid",
-        ok=False,
-        id=f"line{line_number}",
-        error={"type": type(exc).__name__, "message": str(exc)},
-    )
-    return dump_result_line(result)
 
 
 def serve_lines(
@@ -71,15 +60,20 @@ def serve_lines(
     shards: int = 1,
     batch: bool = True,
     with_plan: bool = False,
+    config: Optional[ServiceConfig] = None,
 ) -> tuple[list[str], dict]:
     """Answer request lines; returns (result lines in input order, stats dict).
 
     ``lines`` holds either bare request strings (numbered from 1) or
     ``(file_line_number, text)`` pairs, so error results name the line of the
     *original file* even when blank lines were skipped.  Each line is decoded
-    exactly once: undecodable lines become structured error results in place,
-    and the decoded remainder is served by the selected mode.
+    exactly once: undecodable lines become structured error results in place
+    (echoing the request id when one parsed), and the decoded remainder is
+    served by the selected mode.  A :class:`~repro.service.config.ServiceConfig`
+    supersedes the individual keyword arguments.
     """
+    if config is None:
+        config = ServiceConfig(dependencies=tuple(dependencies), shards=shards, batch=batch)
     numbered = [
         (position + 1, line) if isinstance(line, str) else line
         for position, line in enumerate(lines)
@@ -91,23 +85,18 @@ def serve_lines(
         try:
             requests.append(load_request_line(text))
         except ServiceError as exc:
-            out[position] = _error_result(line_number, exc)
+            out[position] = dump_result_line(error_result_for_line(text, line_number, exc))
         else:
             decoded.append((position, text))
 
     started = time.perf_counter()
-    if shards > 1:
-        if not batch:
-            raise ServiceError(
-                "batch=False (the naive baseline) cannot be combined with shards > 1: "
-                "workers always dispatch through the batch planner"
-            )
-        with ShardExecutor(shards=shards, dependencies=dependencies) as executor:
+    if config.shards > 1:
+        with config.make_executor() as executor:
             answered = executor.execute_encoded([text for _, text in decoded], requests=requests)
-    elif batch:
-        answered = [dump_result_line(r) for r in Session(dependencies).execute_many(requests)]
+    elif config.batch:
+        answered = [dump_result_line(r) for r in config.make_session().execute_many(requests)]
     else:
-        answered = [dump_result_line(r) for r in naive_dispatch(requests, dependencies)]
+        answered = [dump_result_line(r) for r in naive_dispatch(requests, config.dependencies)]
     elapsed = time.perf_counter() - started
 
     if len(answered) != len(decoded):  # loud, not misaligned
@@ -120,19 +109,23 @@ def serve_lines(
         "requests": len(numbered),
         "invalid": len(numbered) - len(decoded),
         "elapsed_seconds": elapsed,
-        "mode": f"shards={shards}" if shards > 1 else ("planner" if batch else "naive"),
+        "mode": f"shards={config.shards}"
+        if config.shards > 1
+        else ("planner" if config.batch else "naive"),
     }
     # Re-planning the stream just to describe it is not free; only do it
     # when the caller will actually print the stats.
-    if with_plan and requests and shards <= 1:
+    if with_plan and requests and config.shards <= 1:
         stats["plan"] = plan_summary(requests)
     return out, stats
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def batch_main(argv: Sequence[str]) -> int:
+    """The file/stdin mode (the original CLI surface)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
-        description="Answer a JSONL stream of partition-semantics queries.",
+        description="Answer a JSONL stream of partition-semantics queries "
+        "(or run 'serve' for the continuous socket server).",
     )
     parser.add_argument(
         "input",
@@ -141,40 +134,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="request file (JSONL), or '-' for stdin (default)",
     )
     parser.add_argument("-o", "--output", default="-", help="result file, or '-' for stdout")
-    parser.add_argument(
-        "-d",
-        "--dependencies",
-        default="",
-        help="base Γ for the session: semicolon-separated PDs, e.g. 'A = A*B; C = A + B'",
-    )
-    parser.add_argument(
-        "--shards",
-        type=int,
-        default=1,
-        help="number of worker processes (1 = in-process; default 1)",
-    )
-    parser.add_argument(
-        "--no-batch",
-        action="store_true",
-        help="disable the planner and dispatch one request at a time (baseline mode)",
-    )
-    parser.add_argument("--stats", action="store_true", help="print a summary line to stderr")
+    add_config_arguments(parser, serve=False)
     args = parser.parse_args(argv)
 
     try:
-        dependencies = _parse_dependencies(args.dependencies)
-    except Exception as exc:
-        print(f"error: cannot parse --dependencies: {exc}", file=sys.stderr)
-        return 2
-    if args.shards < 1:
-        print("error: --shards must be at least 1", file=sys.stderr)
-        return 2
-    if args.shards > 1 and args.no_batch:
-        print(
-            "error: --no-batch (naive one-at-a-time baseline) cannot be combined with "
-            "--shards; workers always dispatch through the batch planner",
-            file=sys.stderr,
-        )
+        config = config_from_args(args)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
 
     if args.input == "-":
@@ -187,9 +153,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"error: cannot read {args.input!r}: {exc}", file=sys.stderr)
             return 2
 
-    result_lines, stats = serve_lines(
-        lines, dependencies, shards=args.shards, batch=not args.no_batch, with_plan=args.stats
-    )
+    result_lines, stats = serve_lines(lines, config=config, with_plan=config.stats)
 
     text = "".join(line + "\n" for line in result_lines)
     if args.output == "-":
@@ -202,6 +166,59 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"error: cannot write {args.output!r}: {exc}", file=sys.stderr)
             return 2
 
-    if args.stats:
+    if config.stats:
         print(f"repro.service stats: {stats}", file=sys.stderr)
     return 0
+
+
+async def _serve(config: ServiceConfig) -> None:
+    """Run the socket server until SIGINT/SIGTERM, then drain gracefully."""
+    from repro.service.server import QueryServer
+
+    server = QueryServer(config)
+    host, port = await server.start()
+    print(f"repro.service serving on {host}:{port}", file=sys.stderr, flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError, ValueError):
+            loop.add_signal_handler(signum, stop.set)
+    try:
+        await stop.wait()
+    finally:
+        print("repro.service draining...", file=sys.stderr, flush=True)
+        await server.drain()
+        if config.stats:
+            print(
+                f"repro.service stats: {canonical_dumps(server.stats_snapshot())}",
+                file=sys.stderr,
+                flush=True,
+            )
+
+
+def serve_main(argv: Sequence[str]) -> int:
+    """The continuous serve mode (``python -m repro.service serve``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service serve",
+        description="Continuously serve partition-semantics queries over a socket "
+        "(JSONL in, JSONL out, micro-batched).",
+    )
+    add_config_arguments(parser, serve=True)
+    args = parser.parse_args(argv)
+    try:
+        config = config_from_args(args)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        asyncio.run(_serve(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    return batch_main(argv)

@@ -1,0 +1,218 @@
+"""One configuration surface for every deployment shape of the query service.
+
+Before this module, each entry point threaded its own keyword arguments:
+the CLI passed ``shards``/``batch`` into :func:`~repro.service.cli.serve_lines`,
+the executor took its own constructor keywords, and session tuning (cache
+size, foreign-context limit) was reachable only by instantiating
+:class:`~repro.service.session.Session` by hand.  :class:`ServiceConfig` is
+the single dataclass all of them consume:
+
+* the **batch CLI** (``python -m repro.service FILE``) reads ``dependencies``,
+  ``shards`` and ``batch``;
+* the **async server** (``python -m repro.service serve``) additionally reads
+  the micro-batch window bounds (``max_wait_ms``, ``max_batch``), the
+  admission-queue depth (``queue_limit``), the ``overload`` policy and the
+  listen address;
+* :meth:`ServiceConfig.make_session` / :meth:`ServiceConfig.make_executor`
+  build the matching pipeline objects, so the three consumers cannot drift
+  apart on defaults.
+
+:func:`add_config_arguments` / :func:`config_from_args` translate the shared
+dataclass to and from ``argparse`` flags; both CLI modes use them, which is
+what keeps ``--dependencies``/``--shards``/``--cache-size`` spelled and
+validated identically in file mode and serve mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.dependencies.pd import PartitionDependency, parse_pd_set
+from repro.errors import ServiceError
+
+#: Admission behaviours when the bounded queue is full: ``block`` delays the
+#: reader (TCP-level pushback), ``shed`` answers immediately with a
+#: well-formed ``ok=false`` result.
+OVERLOAD_POLICIES = ("block", "shed")
+
+
+def parse_dependency_text(text: Optional[str]) -> tuple[PartitionDependency, ...]:
+    """Parse the CLI's ``"A = A*B; B = B*C"`` dependency syntax (``None``/empty → ())."""
+    if not text:
+        return ()
+    try:
+        return tuple(parse_pd_set(part for part in text.split(";") if part.strip()))
+    except ServiceError:
+        raise
+    except Exception as exc:
+        raise ServiceError(f"cannot parse dependencies {text!r}: {exc}") from None
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every tunable of the query service, in one validated place.
+
+    ``shards == 1`` means in-process dispatch; ``batch=False`` selects the
+    naive one-at-a-time baseline (file mode only — the server always
+    batches, that is its point).  ``max_wait_ms``/``max_batch`` bound the
+    micro-batch window in time and size; ``queue_limit`` bounds admission;
+    ``port = 0`` asks the OS for an ephemeral port.
+    """
+
+    dependencies: tuple[PartitionDependency, ...] = ()
+    shards: int = 1
+    batch: bool = True
+    result_cache_size: int = 1024
+    foreign_context_limit: int = 16
+    max_wait_ms: float = 20.0
+    max_batch: int = 32
+    queue_limit: int = 256
+    overload: str = "block"
+    host: str = "127.0.0.1"
+    port: int = 0
+    stats: bool = False
+    stats_window: int = field(default=4096, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ServiceError(f"shards must be at least 1, got {self.shards}")
+        if self.shards > 1 and not self.batch:
+            raise ServiceError(
+                "batch=False (the naive baseline) cannot be combined with shards > 1: "
+                "workers always dispatch through the batch planner"
+            )
+        if self.result_cache_size < 0:
+            raise ServiceError(f"result_cache_size must be >= 0, got {self.result_cache_size}")
+        if self.foreign_context_limit < 1:
+            raise ServiceError(
+                f"foreign_context_limit must be >= 1, got {self.foreign_context_limit}"
+            )
+        if self.max_wait_ms < 0:
+            raise ServiceError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.queue_limit < 1:
+            raise ServiceError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.overload not in OVERLOAD_POLICIES:
+            raise ServiceError(
+                f"unknown overload policy {self.overload!r}; expected one of {OVERLOAD_POLICIES}"
+            )
+        if not (0 <= self.port <= 65535):
+            raise ServiceError(f"port must be in [0, 65535], got {self.port}")
+        if self.stats_window < 1:
+            raise ServiceError(f"stats_window must be >= 1, got {self.stats_window}")
+
+    # -- factories -------------------------------------------------------------
+
+    def with_dependencies(self, text: Optional[str]) -> "ServiceConfig":
+        """This config over the parsed ``--dependencies`` string."""
+        return replace(self, dependencies=parse_dependency_text(text))
+
+    def make_session(self):
+        """An in-process :class:`~repro.service.session.Session` per this config."""
+        from repro.service.session import Session
+
+        return Session(
+            self.dependencies,
+            result_cache_size=self.result_cache_size,
+            foreign_context_limit=self.foreign_context_limit,
+        )
+
+    def make_executor(self):
+        """A :class:`~repro.service.executor.ShardExecutor` per this config.
+
+        Only meaningful for ``shards > 1``; callers pick between
+        :meth:`make_session` and this by the shard count.
+        """
+        from repro.service.executor import ShardExecutor
+
+        return ShardExecutor(shards=self.shards, dependencies=self.dependencies)
+
+
+def add_config_arguments(parser: argparse.ArgumentParser, serve: bool = False) -> None:
+    """Install the shared service flags (plus the serve-only window/listen flags)."""
+    defaults = ServiceConfig()
+    parser.add_argument(
+        "-d",
+        "--dependencies",
+        default="",
+        help="base Γ for the session: semicolon-separated PDs, e.g. 'A = A*B; C = A + B'",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=defaults.shards,
+        help="number of worker processes (1 = in-process; default 1)",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=defaults.result_cache_size,
+        help=f"session result-cache entries (0 disables; default {defaults.result_cache_size})",
+    )
+    parser.add_argument("--stats", action="store_true", help="print a summary line to stderr")
+    if not serve:
+        parser.add_argument(
+            "--no-batch",
+            action="store_true",
+            help="disable the planner and dispatch one request at a time (baseline mode)",
+        )
+        return
+    parser.add_argument("--host", default=defaults.host, help=f"listen address (default {defaults.host})")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=defaults.port,
+        help="listen port (0 = ephemeral; the bound port is announced on stderr)",
+    )
+    parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=defaults.max_wait_ms,
+        help=f"micro-batch window timer in milliseconds (default {defaults.max_wait_ms})",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=defaults.max_batch,
+        help=f"micro-batch window size bound (default {defaults.max_batch})",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=defaults.queue_limit,
+        help=f"bounded admission-queue depth (default {defaults.queue_limit})",
+    )
+    parser.add_argument(
+        "--overload",
+        choices=OVERLOAD_POLICIES,
+        default=defaults.overload,
+        help="policy when the admission queue is full: delay reads or shed with an error result",
+    )
+
+
+def config_from_args(args: argparse.Namespace) -> ServiceConfig:
+    """The :class:`ServiceConfig` an ``argparse`` namespace describes.
+
+    Raises :class:`~repro.errors.ServiceError` on invalid values (the CLI
+    turns that into exit code 2), so both modes validate identically.
+    """
+    try:
+        dependencies = parse_dependency_text(args.dependencies)
+    except ServiceError as exc:
+        raise ServiceError(f"cannot parse --dependencies: {exc}") from None
+    return ServiceConfig(
+        dependencies=dependencies,
+        shards=args.shards,
+        batch=not getattr(args, "no_batch", False),
+        result_cache_size=args.cache_size,
+        max_wait_ms=getattr(args, "max_wait_ms", ServiceConfig.max_wait_ms),
+        max_batch=getattr(args, "max_batch", ServiceConfig.max_batch),
+        queue_limit=getattr(args, "queue_limit", ServiceConfig.queue_limit),
+        overload=getattr(args, "overload", ServiceConfig.overload),
+        host=getattr(args, "host", ServiceConfig.host),
+        port=getattr(args, "port", ServiceConfig.port),
+        stats=args.stats,
+    )

@@ -1,0 +1,314 @@
+"""The always-on front door: an asyncio socket server over the micro-batcher.
+
+``python -m repro.service serve`` turns the batch pipeline of PR 5 into a
+continuously serving process.  The protocol is exactly the file CLI's JSONL
+wire format — one :class:`~repro.service.wire.QueryRequest` per line in, one
+result line out — so anything that could be piped into the CLI can be
+streamed over a socket instead, and the answers are **byte-identical**
+(``tests/test_service_server.py`` pins this on the 200-request acceptance
+stream, including under 8 concurrent connections).
+
+Shape of the thing:
+
+* every connection gets a **reader loop** (decode lines, admit requests into
+  the shared :class:`~repro.service.microbatch.MicroBatcher`) and a **writer
+  loop** (emit answers strictly in that connection's request order, awaiting
+  each ticket in turn) — per-connection ordering is preserved while the
+  batcher windows requests *across* connections, which is where the
+  planner's group-by amortization comes back under live load;
+* **backpressure** is physical: the batcher's admission queue is bounded, so
+  under the ``block`` policy a full queue suspends the reader coroutine,
+  the socket stops being read and TCP pushes back on the client.  Under
+  ``shed`` the client instead receives a well-formed ``ok=false`` result
+  with error type ``"Overloaded"``;
+* **control lines** — ``{"control": "stats"}`` answers with the latency
+  percentiles (p50/p95/p99 per stage) and window-occupancy statistics,
+  ``{"control": "ping"}`` answers ``{"control": "pong"}``; both are served
+  in-order like any other line;
+* **graceful drain** — :meth:`QueryServer.drain` stops accepting
+  connections, stops reading new lines, then answers every request already
+  admitted before shutting the batcher down: accepted requests always get
+  answers;
+* undecodable lines become structured error results in place, echoing the
+  request ``id`` whenever the line parsed far enough to carry one
+  (:func:`~repro.service.wire.error_result_for_line`).
+
+The compute backend follows :class:`~repro.service.config.ServiceConfig`:
+one in-process :class:`~repro.service.session.Session` by default, the
+multiprocess :class:`~repro.service.executor.ShardExecutor` for
+``shards > 1`` (its worker pool is created eagerly at :meth:`start`, before
+any serving thread exists).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.errors import ServiceError
+from repro.service.config import ServiceConfig
+from repro.service.microbatch import MicroBatcher, Ticket
+from repro.service.session import Session
+from repro.service.wire import (
+    canonical_dumps,
+    canonical_loads,
+    decode_request,
+    dump_result_line,
+    error_result_for_line,
+)
+
+#: Writer-queue sentinel: the reader is done, flush and close.
+_END = object()
+
+
+class QueryServer:
+    """One listening socket, one shared micro-batcher, many ordered connections."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None, session: Optional[Session] = None) -> None:
+        self.config = config or ServiceConfig()
+        self._session = session
+        self._executor = None
+        self._batcher: Optional[MicroBatcher] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._drain_event = asyncio.Event()
+        self._drained = False
+        self._connections_served = 0
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and serve; returns the bound ``(host, port)`` (port 0 → ephemeral)."""
+        if self._server is not None:
+            raise ServiceError("server is already started")
+        config = self.config
+        if config.shards > 1:
+            self._executor = config.make_executor()
+            # Create the worker pool now, in the main thread, so fork happens
+            # before the window worker thread exists.
+            self._executor.__enter__()
+            execute = self._executor.execute
+        else:
+            if self._session is None:
+                self._session = config.make_session()
+            execute = self._session.execute_many
+        self._batcher = MicroBatcher(
+            execute,
+            max_wait_ms=config.max_wait_ms,
+            max_batch=config.max_batch,
+            queue_limit=config.queue_limit,
+            overload=config.overload,
+            stats_window=config.stats_window,
+        )
+        await self._batcher.start()
+        self._server = await asyncio.start_server(self._handle_connection, config.host, config.port)
+        bound = self._server.sockets[0].getsockname()
+        self.host, self.port = bound[0], bound[1]
+        return self.host, self.port
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, answer everything admitted, stop.
+
+        Order matters: the listener closes first (no new connections), then
+        readers are told to stop (no new lines admitted), then the batcher
+        flushes its open window — its drain sentinel rides the same FIFO
+        queue as the tickets, so everything admitted resolves first — and the
+        open writers finish delivering every admitted answer.  The batcher
+        drain must not wait for the writers: they are waiting on *it* to
+        close a window that would otherwise sit out its full ``max_wait_ms``.
+        """
+        if self._drained:
+            return
+        self._drained = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._drain_event.set()
+        conn_tasks = list(self._conn_tasks)
+        if self._batcher is not None:
+            await self._batcher.drain()
+        if conn_tasks:
+            await asyncio.gather(*conn_tasks, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    async def __aenter__(self) -> "QueryServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.drain()
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        """Batcher latency/window statistics plus server-level counters."""
+        snapshot = self._batcher.stats.snapshot() if self._batcher is not None else {}
+        snapshot["server"] = {
+            "connections_open": len(self._conn_tasks),
+            "connections_served": self._connections_served,
+            "mode": f"shards={self.config.shards}" if self.config.shards > 1 else "session",
+            "window": {
+                "max_wait_ms": self.config.max_wait_ms,
+                "max_batch": self.config.max_batch,
+                "queue_limit": self.config.queue_limit,
+                "overload": self.config.overload,
+            },
+        }
+        return snapshot
+
+    @property
+    def session(self) -> Optional[Session]:
+        """The in-process session backend (``None`` when sharded)."""
+        return self._session
+
+    @property
+    def batcher(self) -> Optional[MicroBatcher]:
+        """The shared micro-batcher (exposed for tests and diagnostics)."""
+        return self._batcher
+
+    # -- per-connection machinery ----------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._connections_served += 1
+        pending: "asyncio.Queue" = asyncio.Queue()
+        writer_task = asyncio.ensure_future(self._write_responses(pending, writer))
+        drain_wait = asyncio.ensure_future(self._drain_event.wait())
+        line_number = 0
+        try:
+            while not self._drain_event.is_set():
+                read_task = asyncio.ensure_future(reader.readline())
+                done, _ = await asyncio.wait(
+                    {read_task, drain_wait}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if read_task not in done:
+                    # Draining: stop reading; anything already admitted is
+                    # answered by the writer loop below.
+                    read_task.cancel()
+                    try:
+                        await read_task
+                    except (asyncio.CancelledError, Exception):
+                        pass
+                    break
+                raw = read_task.result()
+                if not raw:
+                    break  # client EOF
+                line_number += 1
+                text = raw.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                await self._handle_line(text, line_number, pending)
+        except (ConnectionError, OSError):
+            pass  # client went away; the writer loop unwinds below
+        finally:
+            drain_wait.cancel()
+            try:
+                await drain_wait
+            except (asyncio.CancelledError, Exception):
+                pass
+            await pending.put(_END)
+            await writer_task
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            if task is not None:
+                self._conn_tasks.discard(task)
+
+    async def _handle_line(self, text: str, line_number: int, pending: "asyncio.Queue") -> None:
+        """Decode one line into an ordered response slot (ticket or immediate line)."""
+        try:
+            payload = canonical_loads(text)
+        except ServiceError as exc:
+            await pending.put(dump_result_line(error_result_for_line(text, line_number, exc)))
+            return
+        if isinstance(payload, dict) and "control" in payload:
+            await pending.put(self._control_line(payload))
+            return
+        try:
+            request = decode_request(payload)
+        except ServiceError as exc:
+            await pending.put(dump_result_line(error_result_for_line(payload, line_number, exc)))
+            return
+        try:
+            ticket = await self._batcher.submit(request)  # blocks under backpressure
+        except ServiceError as exc:
+            # Lost the race with drain: the line was read but cannot be
+            # admitted — still answer it, the stream contract holds.
+            await pending.put(dump_result_line(error_result_for_line(payload, line_number, exc)))
+            return
+        await pending.put(ticket)
+
+    def _control_line(self, payload: dict) -> str:
+        op = payload.get("control")
+        if op == "stats":
+            return canonical_dumps({"control": "stats", "stats": self.stats_snapshot()})
+        if op == "ping":
+            return canonical_dumps({"control": "pong"})
+        return canonical_dumps(
+            {
+                "control": op,
+                "error": {
+                    "type": "ServiceError",
+                    "message": f"unknown control operation {op!r}; expected 'stats' or 'ping'",
+                },
+            }
+        )
+
+    async def _write_responses(self, pending: "asyncio.Queue", writer: asyncio.StreamWriter) -> None:
+        """Deliver answers strictly in this connection's request order."""
+        while True:
+            item = await pending.get()
+            if item is _END:
+                return
+            ticket = item if isinstance(item, Ticket) else None
+            line = dump_result_line(await ticket.result()) if ticket is not None else item
+            try:
+                writer.write(line.encode("utf-8") + b"\n")
+                await writer.drain()
+            except (ConnectionError, OSError):
+                # Client gone: keep consuming slots so admitted tickets are
+                # still awaited (and counted), but nothing more is written.
+                continue
+            if ticket is not None:
+                ticket.mark_responded()
+
+
+async def serve_stream(
+    requests_jsonl: str, config: Optional[ServiceConfig] = None
+) -> tuple[list[str], dict]:
+    """Answer a whole JSONL text through an in-process server over a real socket.
+
+    Convenience for tests and examples: starts a :class:`QueryServer` on an
+    ephemeral port, plays the stream over one connection, drains, and returns
+    (result lines, stats snapshot).
+    """
+    server = QueryServer(config)
+    host, port = await server.start()
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+        lines = [line for line in requests_jsonl.split("\n") if line.strip()]
+        writer.write(("".join(line + "\n" for line in lines)).encode("utf-8"))
+        await writer.drain()
+        writer.write_eof()
+        out = []
+        for _ in lines:
+            answer = await reader.readline()
+            if not answer:
+                raise ServiceError("server closed the connection before answering the stream")
+            out.append(answer.decode("utf-8").rstrip("\n"))
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        return out, server.stats_snapshot()
+    finally:
+        await server.drain()

@@ -236,6 +236,50 @@ class Session:
             return execute_plan(self, requests)
         return [self.execute(request) for request in requests]
 
+    # -- the typed convenience surface -----------------------------------------
+    #
+    # Thin factories over the uniform execute(): each builds the canonical
+    # QueryRequest (repro.service.api), runs it through the same caches and
+    # dispatch as any wire request, and returns a typed answer — failures
+    # raise QueryFailedError instead of coming back as ok=false results.
+
+    def implies(self, query, rhs=None, *, dependencies=None):
+        """Does Γ imply the PD (``implies(pd)`` or ``implies(lhs, rhs)``)?"""
+        from repro.service import api
+
+        request = api.implies_request(query, rhs, dependencies=dependencies)
+        return api.answer_for(self.execute(request))
+
+    def equivalent(self, left, right, *, dependencies=None):
+        """Are two expressions Γ-equivalent?"""
+        from repro.service import api
+
+        request = api.equivalent_request(left, right, dependencies=dependencies)
+        return api.answer_for(self.execute(request))
+
+    def consistent(self, database, *, method="weak_instance", dependencies=None, max_nodes=None):
+        """Is a database consistent with Γ (Theorem 12 weak-instance or Theorem 11 CAD)?"""
+        from repro.service import api
+
+        request = api.consistent_request(
+            database, method=method, dependencies=dependencies, max_nodes=max_nodes
+        )
+        return api.answer_for(self.execute(request))
+
+    def quotient(self, expressions, *, dependencies=None):
+        """The Γ-congruence classes and order of an expression pool."""
+        from repro.service import api
+
+        request = api.quotient_request(expressions, dependencies=dependencies)
+        return api.answer_for(self.execute(request))
+
+    def counterexample(self, query, *, max_pool=400, dependencies=None):
+        """A finite lattice refuting Γ ⊨ query, or the verdict that none exists."""
+        from repro.service import api
+
+        request = api.counterexample_request(query, max_pool=max_pool, dependencies=dependencies)
+        return api.answer_for(self.execute(request))
+
     @property
     def cache_enabled(self) -> bool:
         """Whether this session keeps a result cache at all."""

@@ -487,6 +487,41 @@ def request_cache_key(request: QueryRequest) -> str:
     return canonical_dumps(payload)
 
 
+def request_id_hint(payload: Any) -> Optional[str]:
+    """The ``id`` of a request payload that *parsed* but failed to decode.
+
+    Takes either the raw line text or an already-parsed payload.  Returns the
+    id only when it is a string (the wire type of request ids); malformed or
+    missing ids yield ``None`` so error results fall back to line numbers.
+    """
+    if isinstance(payload, str):
+        try:
+            payload = json.loads(payload)
+        except json.JSONDecodeError:
+            return None
+    if isinstance(payload, dict):
+        request_id = payload.get("id")
+        if isinstance(request_id, str):
+            return request_id
+    return None
+
+
+def error_result_for_line(text: Any, line_number: int, exc: Exception) -> QueryResult:
+    """The structured error result for an undecodable request line.
+
+    The result echoes the request's own ``id`` whenever the line parsed far
+    enough to carry one — async clients correlate failures by id, and a
+    line number alone is meaningless across concurrent connections.  Only
+    unparseable lines fall back to the ``"lineN"`` position id.
+    """
+    return QueryResult(
+        kind="invalid",
+        ok=False,
+        id=request_id_hint(text) or f"line{line_number}",
+        error={"type": type(exc).__name__, "message": str(exc)},
+    )
+
+
 def dump_request_line(request: QueryRequest) -> str:
     """One JSONL line for a request (canonical form, no trailing newline)."""
     return canonical_dumps(encode_request(request))

@@ -42,6 +42,43 @@ from repro.workloads.random_relations import attribute_names, random_database
 
 RandomLike = Union[int, random.Random]
 
+
+def poisson_arrival_times(
+    count: int, rate: float, seed: RandomLike = 0, start: float = 0.0
+) -> list[float]:
+    """``count`` Poisson-process arrival offsets (seconds) at ``rate`` arrivals/second.
+
+    The open-loop serving workload: inter-arrival gaps are i.i.d.
+    exponential with mean ``1/rate``, so the stream models independent
+    clients who do *not* wait for answers before sending — exactly the load
+    shape where a micro-batch window either recovers the planner's
+    amortization or the per-request baseline falls behind.  Deterministic
+    per seed; strictly increasing.
+    """
+    if rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate}")
+    rng = _rng(seed)
+    times: list[float] = []
+    now = start
+    for _ in range(count):
+        now += rng.expovariate(rate)
+        times.append(now)
+    return times
+
+
+def open_loop_service_workload(
+    count: int, rate: float, seed: RandomLike = 0, **request_kwargs
+) -> list[tuple[float, "QueryRequest"]]:
+    """A seeded open-loop stream: ``(arrival_seconds, request)`` pairs.
+
+    Requests come from :func:`random_service_requests` (``request_kwargs``
+    forwarded), arrivals from :func:`poisson_arrival_times`; both draw from
+    one generator so a single seed pins the whole workload.
+    """
+    rng = _rng(seed)
+    requests = random_service_requests(count, seed=rng, **request_kwargs)
+    return list(zip(poisson_arrival_times(count, rate, seed=rng), requests))
+
 #: Default mixture; weights need not sum to anything in particular.
 DEFAULT_KIND_WEIGHTS = {
     "implies": 5,

@@ -145,7 +145,27 @@ class TestCliSurface:
         assert proc.returncode == 0, proc.stderr
         result = load_result_line(proc.stdout.strip())
         assert not result.ok
+        assert result.id == "z"  # the id parsed, so the error echoes it
         assert result.error["type"] == "ServiceError"
+
+    def test_error_results_echo_the_request_id_when_one_parses(self):
+        stdin = (
+            '{"kind":"implies","id":"missing-query"}\n'
+            '{"kind":"no-such-kind","id":"weird-kind","query":"A = A"}\n'
+            "not json at all\n"
+        )
+        proc = _run_cli(["-"], stdin_text=stdin)
+        assert proc.returncode == 0, proc.stderr
+        lines = proc.stdout.strip().split("\n")
+        results = [load_result_line(line) for line in lines]
+        assert [r.ok for r in results] == [False, False, False]
+        # Valid JSON carrying an id: the error result echoes that id, so a
+        # client matching answers by id sees its own request fail, instead of
+        # an anonymous "lineN" it never sent.
+        assert results[0].id == "missing-query"
+        assert results[1].id == "weird-kind"
+        # Unparseable lines still fall back to the file line number.
+        assert results[2].id == "line3"
 
     def test_missing_input_file_fails_cleanly(self, tmp_path):
         proc = _run_cli([str(tmp_path / "does-not-exist.jsonl")])
