@@ -73,6 +73,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="artifact files to merge (default: glob BENCH_*.json in the working directory)",
     )
     parser.add_argument("-o", "--output", default="BENCH_trajectory.json")
+    parser.add_argument(
+        "--min-artifacts",
+        type=int,
+        default=0,
+        help=(
+            "fail unless at least this many artifact files were merged "
+            "(CI uses this to catch an export job silently dropping a BENCH_*.json)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.files:
@@ -89,6 +98,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     if not paths:
         print("error: no BENCH_*.json artifacts found", file=sys.stderr)
+        return 2
+    if len(paths) < args.min_artifacts:
+        print(
+            f"error: merged only {len(paths)} artifacts, "
+            f"but --min-artifacts {args.min_artifacts} was required",
+            file=sys.stderr,
+        )
         return 2
 
     trajectory = collect(paths)

@@ -70,6 +70,36 @@ class NormalizedDependencies:
     fresh_attributes: list[Attribute] = field(default_factory=list)
     attribute_closure_pairs: list[tuple[Attribute, Attribute]] = field(default_factory=list)
 
+    @classmethod
+    def from_artifacts(
+        cls,
+        original: Sequence[PartitionDependencyLike],
+        fds: Sequence[FunctionalDependency],
+        sum_constraints: Sequence[SumConstraint],
+        fresh_attributes: Sequence[Attribute],
+        attribute_closure_pairs: Sequence[tuple[Attribute, Attribute]],
+    ) -> "NormalizedDependencies":
+        """Rebuild a pipeline output from stored artifacts (the snapshot restore path).
+
+        No normalization runs: the caller asserts the artifacts came from
+        :func:`normalize_dependencies` over ``original``.  Shapes are still
+        checked — a restored artifact that is not an FD/constraint at all
+        raises :class:`ValueError` before it can poison a chase.
+        """
+        for fd in fds:
+            if not isinstance(fd, FunctionalDependency):
+                raise ValueError(f"normalized FD artifact {fd!r} is not a FunctionalDependency")
+        for constraint in sum_constraints:
+            if not isinstance(constraint, SumConstraint):
+                raise ValueError(f"sum-constraint artifact {constraint!r} is not a SumConstraint")
+        return cls(
+            original=[as_partition_dependency(pd) for pd in original],
+            fds=list(fds),
+            sum_constraints=list(sum_constraints),
+            fresh_attributes=list(fresh_attributes),
+            attribute_closure_pairs=[(a, b) for a, b in attribute_closure_pairs],
+        )
+
     @property
     def universe(self) -> AttributeSet:
         """All attributes mentioned after normalization (original + fresh)."""

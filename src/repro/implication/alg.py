@@ -274,6 +274,20 @@ class ImplicationEngine:
         else:
             self._index = ImplicationIndex(self._dependencies, query_expressions)
 
+    @classmethod
+    def from_index(cls, index: ImplicationIndex) -> "ImplicationEngine":
+        """Wrap an existing (e.g. snapshot-restored) index without recomputation.
+
+        The engine adopts the index's dependency set; nothing is propagated —
+        the index is already closed.  This is the restore path of
+        :mod:`repro.service.snapshot`.
+        """
+        engine = cls.__new__(cls)
+        engine._dependencies = list(index.dependencies)
+        engine._naive = False
+        engine._index = index
+        return engine
+
     @property
     def dependencies(self) -> list[PartitionDependency]:
         """The PD set ``E`` this engine reasons over."""

@@ -214,6 +214,112 @@ class ImplicationIndex:
                         pairs.add((self._exprs[i], self._exprs[j]))
         return pairs
 
+    # -- snapshot support -------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """The closed arc relation as plain, restore-ready Python structures.
+
+        Everything derived (members, predecessor sets, operand indexes, the
+        empty worklist) is omitted — :meth:`from_state` rebuilds it — so the
+        state is minimal and canonical: expressions in vertex-id order, the
+        union-find flattened to per-vertex roots, and arcs as sorted target
+        lists per class representative.  Exporting twice (or exporting a
+        restored index) yields equal structures, which is what gives the
+        service's snapshot codec its encode→decode→encode byte-identity.
+        """
+        self._drain()  # exported state must be a fixpoint, never mid-propagation
+        return {
+            "expressions": list(self._exprs),
+            "dependencies": list(self._dependencies),
+            "parent": [self._find(vid) for vid in range(len(self._parent))],
+            "arcs": {root: sorted(targets) for root, targets in self._succ.items()},
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        dependencies: Iterable[PartitionDependencyLike],
+        expressions: Iterable[PartitionExpression],
+        parent: Iterable[int],
+        arcs: dict[int, Iterable[int]],
+    ) -> "ImplicationIndex":
+        """Rebuild an index from :meth:`export_state` output without re-propagating.
+
+        The stored relation is already the ALG fixpoint, so no rules fire:
+        the vertices are re-registered in their original order (re-interning
+        each expression), the union-find and arc sets are installed directly,
+        and the derived tables (members, predecessors, operand indexes) are
+        reconstructed.  Malformed state raises :class:`ValueError` — the
+        service codec wraps that into its own error type.
+        """
+        index = cls.__new__(cls)
+        index._dependencies = [as_partition_dependency(pd) for pd in dependencies]
+        index._vertex = {}
+        index._exprs = []
+        index._parent = []
+        index._members = {}
+        index._succ = {}
+        index._pred = {}
+        index._products = {}
+        index._sums = {}
+        index._product_by_operand = {}
+        index._sum_by_operand = {}
+        index._worklist = deque()
+        index._pending_merges = deque()
+
+        for vid, node in enumerate(expressions):
+            if node in index._vertex:
+                raise ValueError(f"duplicate vertex expression at id {vid}")
+            if not isinstance(node, Attr):
+                left = index._vertex.get(node.left)  # type: ignore[attr-defined]
+                right = index._vertex.get(node.right)  # type: ignore[attr-defined]
+                if left is None or right is None:
+                    raise ValueError(
+                        f"vertex {vid} appears before its operands (state is not children-first)"
+                    )
+                if isinstance(node, Product):
+                    index._products[vid] = (left, right)
+                else:
+                    index._sums[vid] = (left, right)
+            index._vertex[node] = vid
+            index._exprs.append(node)
+
+        count = len(index._exprs)
+        roots = list(parent)
+        if len(roots) != count:
+            raise ValueError(f"parent array has {len(roots)} entries for {count} vertices")
+        for vid, root in enumerate(roots):
+            if not isinstance(root, int) or not 0 <= root <= vid or roots[root] != root:
+                raise ValueError(f"vertex {vid} has invalid class root {root!r}")
+        index._parent = roots
+        for vid, root in enumerate(roots):
+            index._members.setdefault(root, []).append(vid)
+
+        for root in index._members:
+            index._succ[root] = set()
+            index._pred[root] = set()
+        for source, targets in arcs.items():
+            if source not in index._members:
+                raise ValueError(f"arc source {source!r} is not a class representative")
+            for target in targets:
+                if target not in index._members:
+                    raise ValueError(f"arc target {target!r} is not a class representative")
+                index._succ[source].add(target)
+                index._pred[target].add(source)
+
+        for table, composites in (
+            (index._product_by_operand, index._products),
+            (index._sum_by_operand, index._sums),
+        ):
+            for vid in sorted(composites):
+                left, right = composites[vid]
+                left_root = roots[left]
+                right_root = roots[right]
+                table.setdefault(left_root, []).append(vid)
+                if right_root != left_root:
+                    table.setdefault(right_root, []).append(vid)
+        return index
+
     # -- vertex registration ----------------------------------------------------
 
     def _register(self, expression: PartitionExpression) -> int:

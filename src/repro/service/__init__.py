@@ -20,7 +20,11 @@ request surface:
   fan-out with per-worker session warm-up, wire-codec transport and
   deterministic result ordering;
 * :mod:`repro.service.cli` — ``python -m repro.service``, serving JSONL
-  request files or stdin streams.
+  request files or stdin streams;
+* :mod:`repro.service.snapshot` — durable Γ snapshots: a versioned,
+  digest-protected codec for a warm session's implication-index fixpoint,
+  normalization artifacts and result cache, enabling zero-warmup restores
+  of sessions, shard workers and servers (``--snapshot-dir``).
 
 Minimal use::
 
@@ -50,6 +54,16 @@ from repro.service.microbatch import MicroBatcher, MicroBatchStats, Ticket
 from repro.service.planner import Batch, execute_plan, naive_dispatch, plan, plan_summary
 from repro.service.server import QueryServer, serve_stream
 from repro.service.session import DependencyContext, Session
+from repro.service.snapshot import (
+    SNAPSHOT_VERSION,
+    decode_snapshot,
+    dump_snapshot,
+    encode_snapshot,
+    read_snapshot,
+    restore_session,
+    save_snapshot,
+    snapshot_path,
+)
 from repro.service.wire import (
     CONSISTENT_METHODS,
     REQUEST_KINDS,
@@ -122,6 +136,14 @@ __all__ = [
     "execute_plan",
     "naive_dispatch",
     "ShardExecutor",
+    "SNAPSHOT_VERSION",
+    "encode_snapshot",
+    "dump_snapshot",
+    "decode_snapshot",
+    "restore_session",
+    "save_snapshot",
+    "read_snapshot",
+    "snapshot_path",
     "canonical_dumps",
     "canonical_loads",
     "encode_expression",

@@ -24,6 +24,13 @@ fall back to the file line number (``"lineN"``) only for unparseable lines.
 
 Session dependencies (the base Γ for requests that do not carry their own)
 are given with ``--dependencies "A = A*B; B = B*C"`` in either mode.
+
+``--snapshot-dir DIR`` (either mode) makes the boot *zero-warmup*: when
+``DIR/session.snapshot.json`` exists the session (or every shard worker) is
+restored from it instead of replaying the Γ closure, and a fresh snapshot is
+saved after the stream (file mode, planner dispatch) or on drain (serve
+mode).  A live server can also be snapshotted with the
+``{"control": "snapshot"}`` line.  See :mod:`repro.service.snapshot`.
 """
 
 from __future__ import annotations
@@ -90,11 +97,15 @@ def serve_lines(
             decoded.append((position, text))
 
     started = time.perf_counter()
+    session = None
     if config.shards > 1:
         with config.make_executor() as executor:
             answered = executor.execute_encoded([text for _, text in decoded], requests=requests)
     elif config.batch:
-        answered = [dump_result_line(r) for r in config.make_session().execute_many(requests)]
+        # make_session() restores from --snapshot-dir when a snapshot exists,
+        # so a warm previous run makes this one boot without replaying Γ.
+        session = config.make_session()
+        answered = [dump_result_line(r) for r in session.execute_many(requests)]
     else:
         answered = [dump_result_line(r) for r in naive_dispatch(requests, config.dependencies)]
     elapsed = time.perf_counter() - started
@@ -117,6 +128,10 @@ def serve_lines(
     # when the caller will actually print the stats.
     if with_plan and requests and config.shards <= 1:
         stats["plan"] = plan_summary(requests)
+    if config.snapshot_dir is not None and session is not None:
+        from repro.service.snapshot import save_snapshot
+
+        stats["snapshot"] = str(save_snapshot(session, config.snapshot_dir))
     return out, stats
 
 

@@ -74,6 +74,7 @@ class ServiceConfig:
     port: int = 0
     stats: bool = False
     stats_window: int = field(default=4096, repr=False)
+    snapshot_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -110,10 +111,37 @@ class ServiceConfig:
         """This config over the parsed ``--dependencies`` string."""
         return replace(self, dependencies=parse_dependency_text(text))
 
+    def read_boot_snapshot(self) -> Optional[str]:
+        """The snapshot text in ``snapshot_dir``, if both are present.
+
+        The text is unverified — the restore path refuses corruption and
+        version skew with a :class:`~repro.errors.ServiceError`, which the
+        entry points surface instead of silently booting cold.
+        """
+        if self.snapshot_dir is None:
+            return None
+        from repro.service.snapshot import read_snapshot
+
+        return read_snapshot(self.snapshot_dir)
+
     def make_session(self):
-        """An in-process :class:`~repro.service.session.Session` per this config."""
+        """An in-process :class:`~repro.service.session.Session` per this config.
+
+        With ``snapshot_dir`` set and a snapshot on disk, the session is
+        *restored* instead of recomputed (zero-warmup boot).  A configured
+        non-empty Γ must match the snapshot's; an empty configured Γ adopts
+        the snapshot's.
+        """
         from repro.service.session import Session
 
+        snapshot = self.read_boot_snapshot()
+        if snapshot is not None:
+            return Session.restore(
+                snapshot,
+                result_cache_size=self.result_cache_size,
+                foreign_context_limit=self.foreign_context_limit,
+                expected_dependencies=self.dependencies or None,
+            )
         return Session(
             self.dependencies,
             result_cache_size=self.result_cache_size,
@@ -124,11 +152,16 @@ class ServiceConfig:
         """A :class:`~repro.service.executor.ShardExecutor` per this config.
 
         Only meaningful for ``shards > 1``; callers pick between
-        :meth:`make_session` and this by the shard count.
+        :meth:`make_session` and this by the shard count.  A boot snapshot,
+        when present, ships to every worker for zero-warmup restore.
         """
         from repro.service.executor import ShardExecutor
 
-        return ShardExecutor(shards=self.shards, dependencies=self.dependencies)
+        return ShardExecutor(
+            shards=self.shards,
+            dependencies=self.dependencies,
+            snapshot=self.read_boot_snapshot(),
+        )
 
 
 def add_config_arguments(parser: argparse.ArgumentParser, serve: bool = False) -> None:
@@ -153,6 +186,15 @@ def add_config_arguments(parser: argparse.ArgumentParser, serve: bool = False) -
         help=f"session result-cache entries (0 disables; default {defaults.result_cache_size})",
     )
     parser.add_argument("--stats", action="store_true", help="print a summary line to stderr")
+    parser.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help=(
+            "directory for durable Γ snapshots: restore the session from "
+            "session.snapshot.json on boot when present, and save one on "
+            "drain (serve mode) or after the stream (file mode)"
+        ),
+    )
     if not serve:
         parser.add_argument(
             "--no-batch",
@@ -215,4 +257,5 @@ def config_from_args(args: argparse.Namespace) -> ServiceConfig:
         host=getattr(args, "host", ServiceConfig.host),
         port=getattr(args, "port", ServiceConfig.port),
         stats=args.stats,
+        snapshot_dir=getattr(args, "snapshot_dir", None),
     )

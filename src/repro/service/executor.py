@@ -62,9 +62,24 @@ from repro.service.wire import (
 _WORKER_SESSION: Optional[Session] = None
 
 
-def _initialize_worker(encoded_dependencies: list[str]) -> None:
-    """Build (and warm up) this worker's session from wire-encoded Γ."""
+def _initialize_worker(
+    encoded_dependencies: list[str], snapshot_text: Optional[str] = None
+) -> None:
+    """Build this worker's warm session — from a snapshot when one is shipped.
+
+    Without a snapshot the worker pays the Γ closure itself (the cold path).
+    With one, it restores the parent's exported fixpoint instead: the
+    snapshot text crosses the process boundary like any other wire payload,
+    expressions re-intern through the parser in *this* process, and the
+    worker starts warm without replaying Γ — the EXP-SNAP benchmark pins the
+    difference.
+    """
     global _WORKER_SESSION
+    if snapshot_text is not None:
+        from repro.service.snapshot import restore_session
+
+        _WORKER_SESSION = restore_session(snapshot_text)
+        return
     from repro.dependencies.pd import parse_pd_set
 
     _WORKER_SESSION = Session(parse_pd_set(encoded_dependencies))
@@ -98,11 +113,30 @@ class ShardExecutor:
         shards: int = 2,
         dependencies: Iterable[PartitionDependencyLike] = (),
         start_method: Optional[str] = None,
+        snapshot: Optional[str] = None,
     ) -> None:
         if shards < 1:
             raise ServiceError(f"shard count must be positive, got {shards}")
         self.shards = shards
         self._dependencies = [as_partition_dependency(pd) for pd in dependencies]
+        if snapshot is not None:
+            # Validate once in the parent — a corrupt or mismatched snapshot
+            # should fail loudly at construction, not inside every worker.
+            from repro.service.snapshot import decode_snapshot
+            from repro.service.wire import decode_pd
+
+            payload = decode_snapshot(snapshot)
+            if self._dependencies:
+                encoded = [encode_pd(pd) for pd in self._dependencies]
+                if encoded != list(payload["dependencies"]):
+                    raise ServiceError(
+                        "snapshot Γ mismatch: the snapshot captures "
+                        f"{payload['dependencies']!r} but the executor was "
+                        f"configured with {encoded!r}"
+                    )
+            else:
+                self._dependencies = [decode_pd(text) for text in payload["dependencies"]]
+        self._snapshot = snapshot
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in available else "spawn"
@@ -118,7 +152,7 @@ class ShardExecutor:
             self._pool = context.Pool(
                 processes=self.shards,
                 initializer=_initialize_worker,
-                initargs=(encoded,),
+                initargs=(encoded, self._snapshot),
             )
         return self._pool
 

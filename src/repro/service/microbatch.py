@@ -41,7 +41,7 @@ import time
 from collections import deque
 from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.errors import ServiceError
 from repro.service.wire import QueryRequest, QueryResult
@@ -254,6 +254,18 @@ class MicroBatcher:
         await self._queue.put(_DRAIN)
         await self._collector
         self._worker.shutdown(wait=True)
+
+    async def run_exclusive(self, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` on the window worker thread, serialized against windows.
+
+        Windows execute one at a time on the batcher's single worker thread;
+        submitting ``fn`` to the same thread means it can never interleave
+        with a window that is mutating the session.  The live-snapshot
+        control line uses this to export a consistent Γ state from a serving
+        process without pausing admission.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._worker, fn)
 
     # -- admission -------------------------------------------------------------
 

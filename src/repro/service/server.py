@@ -22,9 +22,12 @@ Shape of the thing:
   ``shed`` the client instead receives a well-formed ``ok=false`` result
   with error type ``"Overloaded"``;
 * **control lines** — ``{"control": "stats"}`` answers with the latency
-  percentiles (p50/p95/p99 per stage) and window-occupancy statistics,
-  ``{"control": "ping"}`` answers ``{"control": "pong"}``; both are served
-  in-order like any other line;
+  percentiles (p50/p95/p99 per stage), window-occupancy statistics and the
+  session's cache diagnostics, ``{"control": "ping"}`` answers
+  ``{"control": "pong"}``, and ``{"control": "snapshot"}`` exports a durable
+  Γ snapshot of the *live* session into ``--snapshot-dir`` (the export runs
+  on the window worker thread, so it never races a mutating window); all are
+  served in-order like any other line;
 * **graceful drain** — :meth:`QueryServer.drain` stops accepting
   connections, stops reading new lines, then answers every request already
   admitted before shutting the batcher down: accepted requests always get
@@ -131,6 +134,12 @@ class QueryServer:
             await self._batcher.drain()
         if conn_tasks:
             await asyncio.gather(*conn_tasks, return_exceptions=True)
+        if self.config.snapshot_dir is not None and self._session is not None:
+            # Save-on-drain: the batcher is flushed, so the session is
+            # quiescent and the export captures everything this run learned.
+            from repro.service.snapshot import save_snapshot
+
+            save_snapshot(self._session, self.config.snapshot_dir)
         if self._executor is not None:
             self._executor.close()
             self._executor = None
@@ -158,6 +167,8 @@ class QueryServer:
                 "overload": self.config.overload,
             },
         }
+        if self._session is not None:
+            snapshot["session_cache"] = self._session.cache_info()
         return snapshot
 
     @property
@@ -230,7 +241,7 @@ class QueryServer:
             await pending.put(dump_result_line(error_result_for_line(text, line_number, exc)))
             return
         if isinstance(payload, dict) and "control" in payload:
-            await pending.put(self._control_line(payload))
+            await pending.put(await self._control_line(payload))
             return
         try:
             request = decode_request(payload)
@@ -246,19 +257,69 @@ class QueryServer:
             return
         await pending.put(ticket)
 
-    def _control_line(self, payload: dict) -> str:
+    async def _control_line(self, payload: dict) -> str:
         op = payload.get("control")
         if op == "stats":
             return canonical_dumps({"control": "stats", "stats": self.stats_snapshot()})
         if op == "ping":
             return canonical_dumps({"control": "pong"})
+        if op == "snapshot":
+            return await self._snapshot_control()
         return canonical_dumps(
             {
                 "control": op,
                 "error": {
                     "type": "ServiceError",
-                    "message": f"unknown control operation {op!r}; expected 'stats' or 'ping'",
+                    "message": (
+                        f"unknown control operation {op!r}; "
+                        "expected 'stats', 'ping' or 'snapshot'"
+                    ),
                 },
+            }
+        )
+
+    async def _snapshot_control(self) -> str:
+        """Snapshot the live session to ``snapshot_dir`` without pausing service.
+
+        The export runs on the batcher's window worker thread
+        (:meth:`~repro.service.microbatch.MicroBatcher.run_exclusive`), so it
+        serializes with window execution — no window can mutate the session
+        mid-export — while the event loop keeps admitting requests.
+        """
+
+        def _error(message: str) -> str:
+            return canonical_dumps(
+                {
+                    "control": "snapshot",
+                    "error": {"type": "ServiceError", "message": message},
+                }
+            )
+
+        if self._session is None:
+            return _error(
+                "the sharded backend cannot be snapshotted: workers own the warm "
+                "state; run with shards=1 (or snapshot before sharding)"
+            )
+        if self.config.snapshot_dir is None:
+            return _error("no snapshot directory configured; start with --snapshot-dir")
+        session = self._session
+        directory = self.config.snapshot_dir
+
+        def _save():
+            from repro.service.snapshot import save_snapshot
+
+            return save_snapshot(session, directory)
+
+        try:
+            path = await self._batcher.run_exclusive(_save)
+        except ServiceError as exc:
+            return _error(str(exc))
+        return canonical_dumps(
+            {
+                "control": "snapshot",
+                "path": str(path),
+                "generation": session.generation,
+                "bytes": path.stat().st_size,
             }
         )
 

@@ -94,6 +94,15 @@ class DependencyContext:
             self._chase_engine = ChaseEngine(self.normalized.fds)
         return self._chase_engine
 
+    def peek_normalized(self) -> Optional[NormalizedDependencies]:
+        """The normalization artifacts if already built, without forcing them.
+
+        The snapshot codec uses this so snapshotting never *computes*
+        anything: a session that has not run a weak-instance query yet
+        snapshots ``normalized: null`` and the restore stays lazy too.
+        """
+        return self._normalized
+
     def extend(self, dependencies: Sequence[PartitionDependency]) -> None:
         """Grow Γ in place; the ALG engine resumes, the chase artifacts rebuild."""
         self._dependencies = self._dependencies + tuple(dependencies)
@@ -105,6 +114,26 @@ class DependencyContext:
     def warm_up(self) -> None:
         """Force the implication engine into existence (worker warm-up hook)."""
         self.engine  # noqa: B018 - property access builds the engine
+
+    @classmethod
+    def from_artifacts(
+        cls,
+        dependencies: Sequence[PartitionDependency],
+        engine: ImplicationEngine,
+        normalized: Optional[NormalizedDependencies] = None,
+        chase_engine: Optional[ChaseEngine] = None,
+    ) -> "DependencyContext":
+        """A context over pre-built artifacts (the snapshot restore path).
+
+        The lazy properties then simply *find* the artifacts instead of
+        computing them; anything passed as ``None`` stays lazy exactly as in
+        a freshly constructed context.
+        """
+        context = cls(dependencies)
+        context._engine = engine
+        context._normalized = normalized
+        context._chase_engine = chase_engine
+        return context
 
 
 class Session:
@@ -127,6 +156,85 @@ class Session:
         self._misses = 0
         self._foreign_context_limit = max(1, foreign_context_limit)
         self._foreign: "OrderedDict[tuple[str, ...], DependencyContext]" = OrderedDict()
+
+    # -- durable snapshots -----------------------------------------------------
+
+    def export_snapshot(self) -> str:
+        """This session's warm Γ state as one canonical snapshot document.
+
+        See :mod:`repro.service.snapshot` for the format.  The export never
+        computes anything new — it captures the implication index fixpoint,
+        whatever normalization artifacts exist, and the result cache as they
+        stand — so it is cheap enough to run on a live server's worker
+        thread between micro-batch windows.
+        """
+        from repro.service.snapshot import dump_snapshot
+
+        return dump_snapshot(self)
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot,
+        result_cache_size: int = 1024,
+        foreign_context_limit: int = 16,
+        expected_generation: Optional[int] = None,
+        expected_dependencies=None,
+    ) -> "Session":
+        """A warm session rebuilt from :meth:`export_snapshot` output.
+
+        Expressions and results re-enter through the wire codecs (and hence
+        the hash-consed AST), so the restored session answers byte-identically
+        to the warm one it was captured from.  ``expected_generation`` /
+        ``expected_dependencies`` refuse stale or mismatched snapshots with a
+        :class:`~repro.errors.ServiceError`.
+        """
+        from repro.service.snapshot import restore_session
+
+        return restore_session(
+            snapshot,
+            result_cache_size=result_cache_size,
+            foreign_context_limit=foreign_context_limit,
+            expected_generation=expected_generation,
+            expected_dependencies=expected_dependencies,
+        )
+
+    def _snapshot_state(self) -> dict:
+        """The raw material the snapshot codec serializes (internal)."""
+        return {
+            "generation": self._generation,
+            "context": self._base,
+            "results": list(self._results.items()),
+        }
+
+    @classmethod
+    def _from_restored(
+        cls,
+        base: DependencyContext,
+        generation: int,
+        results: Sequence[tuple[str, tuple[bool, QueryResult]]],
+        result_cache_size: int,
+        foreign_context_limit: int,
+    ) -> "Session":
+        """Assemble a session around restored artifacts (internal; codec-only).
+
+        Hit/miss counters restart at zero — they are per-process diagnostics,
+        not Γ state — and cache entries beyond the configured capacity are
+        dropped from the cold (least recent) end.
+        """
+        session = cls.__new__(cls)
+        session._base = base
+        session._generation = generation
+        session._result_cache_size = max(0, result_cache_size)
+        entries = list(results)
+        if len(entries) > session._result_cache_size:
+            entries = entries[len(entries) - session._result_cache_size :]
+        session._results = OrderedDict(entries)
+        session._hits = 0
+        session._misses = 0
+        session._foreign_context_limit = max(1, foreign_context_limit)
+        session._foreign = OrderedDict()
+        return session
 
     # -- Γ management ----------------------------------------------------------
 

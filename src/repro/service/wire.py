@@ -20,15 +20,17 @@ two contracts that the rest of the service (and its tests) lean on:
   (``tests/test_wire.py`` checks this on randomized inputs).
 
 The envelope carries ``{"v": WIRE_VERSION}``; :func:`decode_request` and
-:func:`decode_result` reject other versions, so incompatible format changes
-must bump :data:`WIRE_VERSION`.  Malformed payloads raise
+:func:`decode_result` require the version *explicitly* and reject every
+other value — a payload without ``"v"`` is refused, never silently assumed
+current, so incompatible format changes must bump :data:`WIRE_VERSION` and
+old envelopes cannot be mis-versioned by omission.  Malformed payloads raise
 :class:`~repro.errors.ServiceError` — never ``KeyError``/``TypeError`` — so
 the CLI can turn them into structured error results.
 
 Expressions travel as their minimal-parenthesis infix rendering
 (:func:`repro.expressions.printer.to_infix`), which the parser inverts
 exactly; PDs travel as ``"lhs = rhs"`` over the same rendering.  This keeps
-request files human-writable: ``{"kind": "implies", "dependencies":
+request files human-writable: ``{"v": 1, "kind": "implies", "dependencies":
 ["A = A * B"], "query": "A = A * B"}`` is a valid line of a JSONL stream.
 """
 
@@ -108,11 +110,16 @@ def _require_int(payload: dict, key: str, context: str, default=None, allow_none
     return value
 
 
-def _check_version(payload: dict, context: str) -> None:
-    version = payload.get("v", WIRE_VERSION)
-    if version != WIRE_VERSION:
+def _check_version(payload: dict, context: str, expected: int = WIRE_VERSION) -> None:
+    if "v" not in payload:
         raise ServiceError(
-            f"{context} uses wire version {version!r}; this service speaks version {WIRE_VERSION}"
+            f"{context} payload is missing the 'v' version field; "
+            f"this service speaks version {expected} and requires it explicitly"
+        )
+    version = payload["v"]
+    if version != expected:
+        raise ServiceError(
+            f"{context} uses version {version!r}; this service speaks version {expected}"
         )
 
 

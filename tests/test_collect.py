@@ -88,3 +88,16 @@ class TestCollect:
         assert collect.main([]) == 2  # no artifacts at all
         assert collect.main(["BENCH_ghost.json"]) == 2
         assert "missing artifact" in capsys.readouterr().err
+
+    def test_min_artifacts_guards_against_dropped_exports(
+        self, collect, tmp_path, monkeypatch, capsys
+    ):
+        _fake_artifact(tmp_path / "BENCH_a.json", ["t1"], "EXP-A")
+        _fake_artifact(tmp_path / "BENCH_b.json", ["t2"], "EXP-B")
+        monkeypatch.chdir(tmp_path)
+        assert collect.main(["--min-artifacts", "2"]) == 0
+        assert collect.main(["--min-artifacts", "3"]) == 2
+        assert "--min-artifacts 3" in capsys.readouterr().err
+        # The passing run still wrote a complete trajectory.
+        trajectory = json.loads((tmp_path / "BENCH_trajectory.json").read_text())
+        assert trajectory["artifact_count"] == 2

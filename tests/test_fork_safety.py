@@ -129,6 +129,78 @@ class TestSpawnChildren:
         assert report["verdicts"] == _oracle_verdicts()
 
 
+def _restored_child_report(snapshot_text: str, encoded_requests: list) -> dict:
+    """Runs inside a worker: restore a session from snapshot text, answer a stream.
+
+    Restoring *inside* the child is the sharp case: every snapshot expression
+    re-interns through the parser against the child's (rebuilt, post-fork)
+    weak tables, and the restored index must agree with them.
+    """
+    from repro.service.snapshot import restore_session
+    from repro.service.wire import dump_result_line, load_request_line
+
+    session = restore_session(snapshot_text)
+    requests = [load_request_line(line) for line in encoded_requests]
+    lines = [dump_result_line(r) for r in session.execute_many(requests)]
+    probe = parse_expression(to_infix(session.dependencies[0].left))
+    return {
+        "lines": lines,
+        "generation": session.generation,
+        "reinterned_identity": probe is session.dependencies[0].left,
+    }
+
+
+def _snapshot_fixture():
+    from repro.service.session import Session
+    from repro.service.snapshot import dump_snapshot
+    from repro.service.wire import dump_request_line, dump_result_line
+    from repro.workloads.random_service import random_service_requests
+
+    warm = Session(["A = A*B", "B = B*C"])
+    stream = random_service_requests(
+        30, seed=77, attribute_count=4, theory_count=1, pds_per_theory=2, max_complexity=2
+    )
+    expected = [dump_result_line(r) for r in warm.execute_many(stream)]
+    return dump_snapshot(warm), [dump_request_line(r) for r in stream], expected
+
+
+class TestRestoredSessionsInChildren:
+    """Snapshot restore composes with the fork/spawn safety story (PR 7)."""
+
+    @pytest.mark.skipif(not HAS_FORK, reason="platform has no fork start method")
+    def test_fork_child_restores_byte_identically(self):
+        snapshot, encoded, expected = _snapshot_fixture()
+        context = multiprocessing.get_context("fork")
+        with context.Pool(1) as pool:
+            report = pool.apply(_restored_child_report, (snapshot, encoded))
+        assert report["lines"] == expected
+        assert report["generation"] == 0
+        assert report["reinterned_identity"]
+
+    def test_spawn_child_restores_byte_identically(self):
+        snapshot, encoded, expected = _snapshot_fixture()
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(1) as pool:
+            report = pool.apply(_restored_child_report, (snapshot, encoded))
+        assert report["lines"] == expected
+        assert report["reinterned_identity"]
+
+    @pytest.mark.skipif(not HAS_FORK, reason="platform has no fork start method")
+    def test_forking_a_restored_session_keeps_children_consistent(self):
+        # The other direction: restore in the *parent*, then fork workers that
+        # re-intern the same expressions from scratch.
+        from repro.service.snapshot import restore_session
+        from repro.service.wire import dump_result_line, load_request_line
+
+        snapshot, encoded, expected = _snapshot_fixture()
+        restored = restore_session(snapshot)
+        requests = [load_request_line(t) for t in encoded]
+        assert [dump_result_line(r) for r in restored.execute_many(requests)] == expected
+        report = _run_in_child("fork", _parent_payload())
+        assert all(report["reinterned_identity"])
+        assert report["verdicts"] == _oracle_verdicts()
+
+
 class TestAtForkHookMechanics:
     def test_register_at_fork_is_available_here(self):
         # The hooks are what the skipif-guarded tests rely on; if this ever

@@ -224,27 +224,36 @@ class TestMalformedPayloads:
         "payload",
         [
             "not json at all",
-            '{"kind": "implies"}',  # missing query
-            '{"kind": "nonsense", "query": "A = B"}',
+            '{"v": 1, "kind": "implies"}',  # missing query
+            '{"v": 1, "kind": "nonsense", "query": "A = B"}',
             '{"kind": "implies", "query": "A = B", "v": 999}',
-            '{"kind": "consistent", "database": {"relations": []}, "method": "psychic"}',
-            '{"kind": "equivalent", "left": "A +* B", "right": "A"}',
-            '{"kind": "quotient", "pool": []}',
-            '{"kind": "fd_implies", "fds": [{"lhs": ["A"]}], "target": {"lhs": ["A"], "rhs": ["B"]}}',
-            '{"kind": "counterexample", "query": "A = B", "max_pool": "oops"}',
-            '{"kind": "counterexample", "query": "A = B", "max_pool": [400]}',
-            '{"kind": "counterexample", "query": "A = B", "max_pool": null}',
-            '{"kind": "consistent", "database": {"relations": []}, "max_nodes": "x"}',
-            '{"kind": "consistent", "database": {"relations": []}, "max_nodes": true}',
+            '{"v": 1, "kind": "consistent", "database": {"relations": []}, "method": "psychic"}',
+            '{"v": 1, "kind": "equivalent", "left": "A +* B", "right": "A"}',
+            '{"v": 1, "kind": "quotient", "pool": []}',
+            '{"v": 1, "kind": "fd_implies", "fds": [{"lhs": ["A"]}],'
+            ' "target": {"lhs": ["A"], "rhs": ["B"]}}',
+            '{"v": 1, "kind": "counterexample", "query": "A = B", "max_pool": "oops"}',
+            '{"v": 1, "kind": "counterexample", "query": "A = B", "max_pool": [400]}',
+            '{"v": 1, "kind": "counterexample", "query": "A = B", "max_pool": null}',
+            '{"v": 1, "kind": "consistent", "database": {"relations": []}, "max_nodes": "x"}',
+            '{"v": 1, "kind": "consistent", "database": {"relations": []}, "max_nodes": true}',
         ],
     )
     def test_bad_request_lines_raise_service_error(self, payload):
         with pytest.raises(ServiceError):
             wire.load_request_line(payload)
 
+    def test_missing_version_is_rejected_explicitly(self):
+        # The version is required, never defaulted: an envelope without "v"
+        # is refused with a message that names the field.
+        with pytest.raises(ServiceError, match="missing the 'v' version field"):
+            wire.load_request_line('{"kind": "implies", "query": "A = B"}')
+        with pytest.raises(ServiceError, match="missing the 'v' version field"):
+            wire.decode_result({"kind": "implies", "ok": True, "value": {}})
+
     def test_explicit_null_max_nodes_means_unbounded(self):
         request = wire.load_request_line(
-            '{"kind": "consistent", "database": {"relations": '
+            '{"v": 1, "kind": "consistent", "database": {"relations": '
             '[{"name": "r", "attributes": ["A"], "rows": [["a"]]}]}, "max_nodes": null}'
         )
         assert request.max_nodes is None
