@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.consistency.normalization import validate_only_fpds
+from repro.deadline import check_deadline
 from repro.dependencies.pd import PartitionDependencyLike
 from repro.errors import ConsistencyError
 from repro.partitions.canonical import canonical_interpretation
@@ -266,6 +267,7 @@ def cad_consistency(
         row_index, attribute = unknowns[index]
         for symbol in domains[attribute]:
             nodes += 1
+            check_deadline()  # NP-complete search: one budget check per node
             if max_nodes is not None and nodes > max_nodes:
                 raise ConsistencyError(f"CAD search exceeded {max_nodes} nodes")
             consistent = checker.assign(row_index, attribute, symbol)

@@ -1,0 +1,117 @@
+"""Cooperative query deadlines: a thread-local stack of wall-clock budgets.
+
+The decision procedures behind the service are super-polynomial in the worst
+case (`counterexample` product closures, CAD backtracking), so a production
+deployment needs a way to bound one query without killing the process that
+hosts it.  This module is the cooperative half of that story:
+
+* :func:`deadline_scope` pushes an absolute expiry (monotonic clock) onto a
+  thread-local stack for the duration of a ``with`` block and yields the
+  :class:`DeadlineScope` as a token;
+* :func:`check_deadline` is the check-function hook the long-running kernels
+  call once per unit of search work (one product-closure step, one backtrack
+  node, one chase merge event).  When any active scope has expired it raises
+  :class:`~repro.errors.DeadlineExceeded` carrying the *earliest-expired*
+  scope, so nested budgets compose: a per-request ``deadline_ms`` and an
+  enclosing micro-batch window budget each catch exactly their own token and
+  re-raise the other's.
+
+The no-deadline fast path is one thread-local attribute read and a truthiness
+check — cheap enough to sit inside every search loop.  Scopes are strictly
+lexically nested per thread (the ``with`` protocol enforces it), and the
+stack is thread-local, so concurrent sessions on different threads never see
+each other's budgets.  The *hard* half of deadline enforcement — killing a
+worker stuck in non-instrumented code — lives in
+:mod:`repro.service.supervisor`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.errors import DeadlineExceeded
+
+
+class DeadlineScope:
+    """One active budget: an absolute expiry on the monotonic clock.
+
+    The scope object doubles as the *token* identifying which budget expired:
+    handlers compare ``exc.scope is my_scope`` and re-raise foreign tokens so
+    an enclosing budget is never mistaken for the request's own.
+    """
+
+    __slots__ = ("budget_ms", "expires_at")
+
+    def __init__(self, budget_ms: float) -> None:
+        self.budget_ms = budget_ms
+        self.expires_at = time.monotonic() + budget_ms / 1000.0
+
+    def remaining_ms(self) -> float:
+        """Milliseconds until expiry (negative once expired)."""
+        return (self.expires_at - time.monotonic()) * 1000.0
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+
+_LOCAL = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_LOCAL, "scopes", None)
+    if stack is None:
+        stack = []
+        _LOCAL.scopes = stack
+    return stack
+
+
+def active_deadlines() -> tuple[DeadlineScope, ...]:
+    """The scopes currently active on this thread, outermost first."""
+    return tuple(getattr(_LOCAL, "scopes", None) or ())
+
+
+@contextmanager
+def deadline_scope(budget_ms: Optional[float]) -> Iterator[Optional[DeadlineScope]]:
+    """Run a block under a wall-clock budget; ``None`` means no deadline.
+
+    Yields the :class:`DeadlineScope` token (or ``None``), which the caller
+    compares against :attr:`DeadlineExceeded.scope` to tell its own expiry
+    apart from an enclosing one.
+    """
+    if budget_ms is None:
+        yield None
+        return
+    scope = DeadlineScope(budget_ms)
+    stack = _stack()
+    stack.append(scope)
+    try:
+        yield scope
+    finally:
+        stack.remove(scope)
+
+
+def check_deadline() -> None:
+    """Raise :class:`~repro.errors.DeadlineExceeded` if any active scope expired.
+
+    The exception carries the earliest-expired scope, so when both a request
+    deadline and an enclosing window budget have run out, the innermost
+    matching handler (the request's) wins — the window only degrades when a
+    request *without* its own deadline overruns.
+    """
+    stack = getattr(_LOCAL, "scopes", None)
+    if not stack:
+        return
+    now = time.monotonic()
+    expired: Optional[DeadlineScope] = None
+    for scope in stack:
+        if now >= scope.expires_at and (expired is None or scope.expires_at < expired.expires_at):
+            expired = scope
+    if expired is not None:
+        raise DeadlineExceeded(
+            expired,
+            f"deadline of {expired.budget_ms:g} ms exceeded "
+            f"({-expired.remaining_ms():.1f} ms over budget)",
+        )

@@ -48,6 +48,21 @@ class ConsistencyError(ReproError):
     """A consistency-test input is malformed (not: the test answered 'no')."""
 
 
+class DeadlineExceeded(ReproError):
+    """An active deadline scope has expired (cooperative control flow, not a fault).
+
+    Raised by :func:`repro.deadline.check_deadline` inside the long-running
+    kernels; :attr:`scope` is the expired :class:`repro.deadline.DeadlineScope`
+    token, which handlers compare by identity so nested budgets (a request's
+    ``deadline_ms`` inside a micro-batch window budget) each catch exactly
+    their own expiry and re-raise the other's.
+    """
+
+    def __init__(self, scope=None, message: str = "deadline exceeded") -> None:
+        self.scope = scope
+        super().__init__(message)
+
+
 class ServiceError(ReproError):
     """A query-service payload is malformed (bad wire version, kind or fields)."""
 
@@ -67,3 +82,12 @@ class QueryFailedError(ServiceError):
         message = self.details.get("message", "query failed")
         error_type = self.details.get("type", "Error")
         super().__init__(f"{kind!r} query failed: {error_type}: {message}")
+
+
+class QueryTimeoutError(QueryFailedError):
+    """A typed query ran out of its ``deadline_ms`` budget (error type ``Timeout``).
+
+    A subclass so existing ``except QueryFailedError`` handlers still catch
+    it, while callers that want to treat overruns specially (retry elsewhere,
+    degrade the answer) can target the timeout alone.
+    """

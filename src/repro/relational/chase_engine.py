@@ -48,6 +48,7 @@ from collections import deque
 from collections.abc import Iterable, Sequence
 from typing import Optional
 
+from repro.deadline import check_deadline
 from repro.relational.attributes import Attribute, AttributeSet
 from repro.relational.chase import ChaseResult, Tableau, TableauValue, representative_instance
 from repro.relational.database import Database
@@ -166,6 +167,7 @@ class _ChaseRun:
         resolve = tableau.resolve
         equate = tableau.equate
         for fd_index, lhs in enumerate(engine._lhs):
+            check_deadline()  # one budget check per FD pass over the rows
             rhs = engine._rhs[fd_index]
             buckets = self._buckets[fd_index]
             for i, raw in enumerate(raw_rows):
@@ -200,6 +202,7 @@ class _ChaseRun:
         merges = self._merges
         occurrences = self._occurrences
         while merges:
+            check_deadline()  # one budget check per merge event
             _winner, loser = merges.popleft()
             entries = occurrences.pop(loser, None)
             if not entries:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
+from repro.deadline import check_deadline
 from repro.sat.formulas import Clause, CnfFormula, FormulaError, Literal
 
 
@@ -182,6 +183,7 @@ def nae_backtracking(formula: CnfFormula) -> Optional[dict[str, bool]]:
         return all(values) or not any(values)
 
     def backtrack(index: int) -> bool:
+        check_deadline()  # exponential search: one budget check per node
         if index == len(variables):
             return formula.nae_evaluate(assignment)
         variable = variables[index]

@@ -19,6 +19,12 @@ request surface:
 * :mod:`repro.service.executor` — :class:`ShardExecutor`, the multiprocess
   fan-out with per-worker session warm-up, wire-codec transport and
   deterministic result ordering;
+* :mod:`repro.service.supervisor` — :class:`SupervisedPool`, the fault-
+  tolerant worker pool under the executor: liveness monitoring, warm
+  restarts, retry/split/quarantine escalation and hard deadline kills;
+* :mod:`repro.service.faults` — :class:`FaultPlan`, the deterministic
+  fault-injection harness (worker crashes, poison requests, delays, hangs,
+  corrupted replies) used by the chaos tests and the CI smoke job;
 * :mod:`repro.service.cli` — ``python -m repro.service``, serving JSONL
   request files or stdin streams;
 * :mod:`repro.service.snapshot` — durable Γ snapshots: a versioned,
@@ -49,11 +55,21 @@ from repro.service.api import (
     quotient_request,
 )
 from repro.service.config import OVERLOAD_POLICIES, ServiceConfig
-from repro.service.executor import ShardExecutor
+from repro.service.executor import ShardExecutor, pool_map_encoded
+from repro.service.faults import (
+    FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    clear_fault_plan,
+    install_fault_plan,
+    install_from_env,
+    installed_plan,
+)
 from repro.service.microbatch import MicroBatcher, MicroBatchStats, Ticket
 from repro.service.planner import Batch, execute_plan, naive_dispatch, plan, plan_summary
 from repro.service.server import QueryServer, serve_stream
 from repro.service.session import DependencyContext, Session
+from repro.service.supervisor import SupervisedPool, SupervisorStats, WorkItem, WorkUnit
 from repro.service.snapshot import (
     SNAPSHOT_VERSION,
     decode_snapshot,
@@ -136,6 +152,18 @@ __all__ = [
     "execute_plan",
     "naive_dispatch",
     "ShardExecutor",
+    "pool_map_encoded",
+    "SupervisedPool",
+    "SupervisorStats",
+    "WorkItem",
+    "WorkUnit",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "install_fault_plan",
+    "install_from_env",
+    "installed_plan",
+    "clear_fault_plan",
     "SNAPSHOT_VERSION",
     "encode_snapshot",
     "dump_snapshot",

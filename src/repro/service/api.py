@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.dependencies.pd import PartitionDependency, PartitionDependencyLike, as_partition_dependency
-from repro.errors import QueryFailedError, ServiceError
+from repro.errors import QueryFailedError, QueryTimeoutError, ServiceError
 from repro.expressions.ast import PartitionExpression
 from repro.expressions.parser import parse_expression
 from repro.relational.database import Database
@@ -99,6 +99,7 @@ def implies_request(
     rhs: Optional[ExpressionLike] = None,
     *,
     dependencies: Optional[Iterable[PartitionDependencyLike]] = None,
+    deadline_ms: Optional[int] = None,
     id: Optional[str] = None,
 ) -> QueryRequest:
     """An ``implies`` request: does Γ imply the PD ``query`` (or ``query = rhs``)?
@@ -112,7 +113,11 @@ def implies_request(
     else:
         pd = _as_pd(query)
     return QueryRequest(
-        kind="implies", id=id, dependencies=_as_dependencies(dependencies), query=pd
+        kind="implies",
+        id=id,
+        dependencies=_as_dependencies(dependencies),
+        query=pd,
+        deadline_ms=deadline_ms,
     )
 
 
@@ -121,6 +126,7 @@ def equivalent_request(
     right: ExpressionLike,
     *,
     dependencies: Optional[Iterable[PartitionDependencyLike]] = None,
+    deadline_ms: Optional[int] = None,
     id: Optional[str] = None,
 ) -> QueryRequest:
     """An ``equivalent`` request: are the two expressions Γ-equivalent?"""
@@ -130,6 +136,7 @@ def equivalent_request(
         dependencies=_as_dependencies(dependencies),
         left=as_expression(left),
         right=as_expression(right),
+        deadline_ms=deadline_ms,
     )
 
 
@@ -139,6 +146,7 @@ def consistent_request(
     method: str = "weak_instance",
     dependencies: Optional[Iterable[PartitionDependencyLike]] = None,
     max_nodes: Optional[int] = None,
+    deadline_ms: Optional[int] = None,
     id: Optional[str] = None,
 ) -> QueryRequest:
     """A ``consistent`` request over a database (object or wire payload dict)."""
@@ -149,6 +157,7 @@ def consistent_request(
         database=_as_database(database),
         method=method,
         max_nodes=max_nodes,
+        deadline_ms=deadline_ms,
     )
 
 
@@ -156,6 +165,7 @@ def quotient_request(
     expressions: Iterable[ExpressionLike],
     *,
     dependencies: Optional[Iterable[PartitionDependencyLike]] = None,
+    deadline_ms: Optional[int] = None,
     id: Optional[str] = None,
 ) -> QueryRequest:
     """A ``quotient`` request over a pool of expressions."""
@@ -164,6 +174,7 @@ def quotient_request(
         id=id,
         dependencies=_as_dependencies(dependencies),
         pool=tuple(as_expression(e) for e in expressions),
+        deadline_ms=deadline_ms,
     )
 
 
@@ -172,6 +183,7 @@ def counterexample_request(
     *,
     max_pool: int = 400,
     dependencies: Optional[Iterable[PartitionDependencyLike]] = None,
+    deadline_ms: Optional[int] = None,
     id: Optional[str] = None,
 ) -> QueryRequest:
     """A ``counterexample`` request: find a finite lattice refuting Γ ⊨ query."""
@@ -181,6 +193,7 @@ def counterexample_request(
         dependencies=_as_dependencies(dependencies),
         query=_as_pd(query),
         max_pool=max_pool,
+        deadline_ms=deadline_ms,
     )
 
 
@@ -246,9 +259,16 @@ class CounterexampleAnswer:
 
 
 def answer_for(result: QueryResult):
-    """The typed answer for a wire result; raises on ``ok=false``."""
+    """The typed answer for a wire result; raises on ``ok=false``.
+
+    A ``Timeout`` error result (a blown ``deadline_ms`` budget) raises the
+    more specific :class:`~repro.errors.QueryTimeoutError`.
+    """
     if not result.ok:
-        raise QueryFailedError(result.kind, result.error or {})
+        error = result.error or {}
+        if error.get("type") == "Timeout":
+            raise QueryTimeoutError(result.kind, error)
+        raise QueryFailedError(result.kind, error)
     value = result.value or {}
     if result.kind in ("implies", "fd_implies"):
         return ImplicationAnswer(implied=value["implied"], cached=result.cached)

@@ -96,6 +96,15 @@ def serve_lines(
         else:
             decoded.append((position, text))
 
+    # Arm the deterministic chaos hooks exactly like the server does: an
+    # explicit --fault-plan wins, else the REPRO_FAULT_PLAN environment hook.
+    from repro.service import faults
+
+    if config.fault_plan is not None:
+        faults.install_fault_plan(config.fault_plan)
+    else:
+        faults.install_from_env()
+
     started = time.perf_counter()
     session = None
     if config.shards > 1:

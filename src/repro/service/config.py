@@ -75,6 +75,10 @@ class ServiceConfig:
     stats: bool = False
     stats_window: int = field(default=4096, repr=False)
     snapshot_dir: Optional[str] = None
+    window_budget_ms: Optional[float] = None
+    unit_timeout_ms: Optional[float] = None
+    breaker_threshold: int = 4
+    fault_plan: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -104,6 +108,20 @@ class ServiceConfig:
             raise ServiceError(f"port must be in [0, 65535], got {self.port}")
         if self.stats_window < 1:
             raise ServiceError(f"stats_window must be >= 1, got {self.stats_window}")
+        if self.window_budget_ms is not None and self.window_budget_ms <= 0:
+            raise ServiceError(
+                f"window_budget_ms must be positive, got {self.window_budget_ms}"
+            )
+        if self.unit_timeout_ms is not None and self.unit_timeout_ms <= 0:
+            raise ServiceError(f"unit_timeout_ms must be positive, got {self.unit_timeout_ms}")
+        if self.breaker_threshold < 0:
+            raise ServiceError(
+                f"breaker_threshold must be >= 0 (0 disables), got {self.breaker_threshold}"
+            )
+        if self.fault_plan is not None:
+            from repro.service.faults import FaultPlan
+
+            FaultPlan.from_json(self.fault_plan)  # fail loudly at config time
 
     # -- factories -------------------------------------------------------------
 
@@ -161,6 +179,8 @@ class ServiceConfig:
             shards=self.shards,
             dependencies=self.dependencies,
             snapshot=self.read_boot_snapshot(),
+            fault_plan=self.fault_plan,
+            unit_timeout_ms=self.unit_timeout_ms,
         )
 
 
@@ -186,6 +206,20 @@ def add_config_arguments(parser: argparse.ArgumentParser, serve: bool = False) -
         help=f"session result-cache entries (0 disables; default {defaults.result_cache_size})",
     )
     parser.add_argument("--stats", action="store_true", help="print a summary line to stderr")
+    parser.add_argument(
+        "--unit-timeout-ms",
+        type=float,
+        default=None,
+        help=(
+            "hard wall-clock limit per sharded work unit in milliseconds "
+            "(default: none; deadline-carrying units always get max deadline + grace)"
+        ),
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        help="a FaultPlan JSON document for deterministic chaos testing (see repro.service.faults)",
+    )
     parser.add_argument(
         "--snapshot-dir",
         default=None,
@@ -233,6 +267,24 @@ def add_config_arguments(parser: argparse.ArgumentParser, serve: bool = False) -
         default=defaults.overload,
         help="policy when the admission queue is full: delay reads or shed with an error result",
     )
+    parser.add_argument(
+        "--window-budget-ms",
+        type=float,
+        default=defaults.window_budget_ms,
+        help=(
+            "execution budget per micro-batch window in milliseconds; an over-budget "
+            "window degrades to a per-request retry lane (default: none)"
+        ),
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=defaults.breaker_threshold,
+        help=(
+            "worker crashes before the circuit breaker trips sharded execution down "
+            f"to in-process (0 disables; default {defaults.breaker_threshold})"
+        ),
+    )
 
 
 def config_from_args(args: argparse.Namespace) -> ServiceConfig:
@@ -258,4 +310,8 @@ def config_from_args(args: argparse.Namespace) -> ServiceConfig:
         port=getattr(args, "port", ServiceConfig.port),
         stats=args.stats,
         snapshot_dir=getattr(args, "snapshot_dir", None),
+        window_budget_ms=getattr(args, "window_budget_ms", None),
+        unit_timeout_ms=getattr(args, "unit_timeout_ms", None),
+        breaker_threshold=getattr(args, "breaker_threshold", ServiceConfig.breaker_threshold),
+        fault_plan=getattr(args, "fault_plan", None),
     )

@@ -2,7 +2,7 @@
 
 Python's decision kernels are CPU-bound and single-threaded, so horizontal
 scale means processes.  :class:`ShardExecutor` partitions a stream across
-``shards`` worker processes:
+``shards`` supervised worker processes:
 
 * **Transport is the wire format** — requests cross the process boundary as
   canonical JSONL strings and results come back the same way, so the worker
@@ -10,23 +10,28 @@ scale means processes.  :class:`ShardExecutor` partitions a stream across
   the hash-consed AST re-interns per process via the parser, never by
   pickling live objects).
 * **Per-worker session warm-up** — each worker builds one
-  :class:`~repro.service.session.Session` over the executor's base Γ in its
-  initializer (ALG engine constructed eagerly), then answers its whole shard
-  through the batch planner.  Workers therefore amortize exactly like the
-  in-process service; the executor adds parallelism on top.
+  :class:`~repro.service.session.Session` over the executor's base Γ (or
+  restores the configured snapshot), then answers its units through the
+  batch planner.  Workers therefore amortize exactly like the in-process
+  service; the executor adds parallelism on top.
 * **Plan-aware sharding** — the parent plans the stream first
   (:func:`repro.service.planner.plan`) and deals *batch-aligned work units*
-  to shards instead of dealing raw requests round-robin.  Amortization lives
-  in the batches (one Γ closure per implication chunk, one normalization per
-  consistency group); a round-robin deal would scatter every batch over
-  every worker and re-pay each group's setup ``shards`` times — measured, it
-  made 4 shards *slower* than one process.  Units are the planner's own
-  amortization quanta (an implication chunk, a consistency group slice, a
-  single CAD/quotient/counterexample request) and are bin-packed greedily by
-  size, largest first, onto the least-loaded shard — deterministic, so the
-  same stream always shards the same way.
+  instead of raw requests round-robin.  Amortization lives in the batches
+  (one Γ closure per implication chunk, one normalization per consistency
+  group); a round-robin deal would scatter every batch over every worker
+  and re-pay each group's setup ``shards`` times — measured, it made 4
+  shards *slower* than one process.  Units are the planner's own
+  amortization quanta and are dealt dynamically, largest first, to whichever
+  worker is idle.
+* **Supervision, not hope** — the unit loop lives in
+  :class:`~repro.service.supervisor.SupervisedPool`: a crashed worker is
+  restarted (warm, when a snapshot is configured), its unit retried, split
+  and at worst quarantined to a single typed ``WorkerCrashed`` error line;
+  budget-carrying units get a hard wall-clock kill surfacing as typed
+  ``Timeout`` results.  :meth:`supervision_stats` exposes the counters the
+  server's health endpoint and circuit breaker read.
 * **Deterministic ordering** — every result is reassembled at the request's
-  original stream position, so the output is byte-identical to the
+  original stream position, so a fault-free run is byte-identical to the
   single-process planner run on the same stream, regardless of worker
   scheduling (``tests/test_service_executor.py`` asserts this).
 
@@ -36,7 +41,8 @@ children inherit the parent's interned AST; safe since PR 5's
 Whitman memo in the child) with ``spawn`` as the portable fallback.  The
 pool is created lazily and kept alive across :meth:`execute` calls so
 benchmark loops measure steady-state throughput; use the executor as a
-context manager (or call :meth:`close`) to release the workers.
+context manager (or call :meth:`close`, which shuts workers down
+*gracefully* — in-flight units finish, terminate is the fallback).
 """
 
 from __future__ import annotations
@@ -49,30 +55,29 @@ from repro.dependencies.pd import PartitionDependencyLike, as_partition_dependen
 from repro.errors import ServiceError
 from repro.service.planner import IMPLICATION_CHUNK, plan
 from repro.service.session import Session
+from repro.service.supervisor import SupervisedPool, SupervisorStats, WorkItem, WorkUnit
 from repro.service.wire import (
     QueryRequest,
     QueryResult,
     dump_result_line,
     encode_pd,
+    error_result_for_line,
     load_request_line,
     load_result_line,
 )
 
-# Worker-global session, installed once per worker process by _initialize_worker.
+# Worker-global session for the plain-Pool baseline below.
 _WORKER_SESSION: Optional[Session] = None
 
 
 def _initialize_worker(
     encoded_dependencies: list[str], snapshot_text: Optional[str] = None
 ) -> None:
-    """Build this worker's warm session — from a snapshot when one is shipped.
+    """Build a pool worker's warm session — from a snapshot when one is shipped.
 
-    Without a snapshot the worker pays the Γ closure itself (the cold path).
-    With one, it restores the parent's exported fixpoint instead: the
-    snapshot text crosses the process boundary like any other wire payload,
-    expressions re-intern through the parser in *this* process, and the
-    worker starts warm without replaying Γ — the EXP-SNAP benchmark pins the
-    difference.
+    This is the initializer of the *unsupervised* ``multiprocessing.Pool``
+    baseline (:func:`pool_map_encoded`), kept as the reference point the
+    EXP-FLT benchmark measures supervision overhead against.
     """
     global _WORKER_SESSION
     if snapshot_text is not None:
@@ -86,12 +91,7 @@ def _initialize_worker(
 
 
 def _execute_shard(payload: tuple[int, list[tuple[int, str]]]) -> tuple[int, list[tuple[int, str]]]:
-    """Answer one shard: decode each request line, run the planner, encode results.
-
-    The payload pairs every request line with its original stream index; the
-    result list echoes those indices so the parent can reassemble the stream
-    order without trusting shard completion order.
-    """
+    """Answer one shard of the ``Pool`` baseline: decode, plan, encode."""
     shard_index, lines = payload
     session = _WORKER_SESSION
     if session is None:  # pragma: no cover - initializer always runs first
@@ -106,7 +106,7 @@ def _execute_shard(payload: tuple[int, list[tuple[int, str]]]) -> tuple[int, lis
 
 
 class ShardExecutor:
-    """Execute request streams across a pool of warmed-up worker processes."""
+    """Execute request streams across a supervised pool of warm worker processes."""
 
     def __init__(
         self,
@@ -114,9 +114,15 @@ class ShardExecutor:
         dependencies: Iterable[PartitionDependencyLike] = (),
         start_method: Optional[str] = None,
         snapshot: Optional[str] = None,
+        fault_plan: Optional[str] = None,
+        unit_timeout_ms: Optional[float] = None,
+        deadline_grace_ms: float = 2000.0,
+        max_unit_attempts: int = 2,
     ) -> None:
         if shards < 1:
             raise ServiceError(f"shard count must be positive, got {shards}")
+        if max_unit_attempts < 1:
+            raise ServiceError(f"max_unit_attempts must be positive, got {max_unit_attempts}")
         self.shards = shards
         self._dependencies = [as_partition_dependency(pd) for pd in dependencies]
         if snapshot is not None:
@@ -137,30 +143,41 @@ class ShardExecutor:
             else:
                 self._dependencies = [decode_pd(text) for text in payload["dependencies"]]
         self._snapshot = snapshot
+        self._fault_plan = fault_plan
+        self._unit_timeout_ms = unit_timeout_ms
+        self._deadline_grace_ms = deadline_grace_ms
+        self._max_unit_attempts = max_unit_attempts
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in available else "spawn"
         self._start_method = start_method
-        self._pool = None
+        self._pool: Optional[SupervisedPool] = None
+        self._final_stats: Optional[SupervisorStats] = None
 
     # -- lifecycle -------------------------------------------------------------
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> SupervisedPool:
         if self._pool is None:
-            context = multiprocessing.get_context(self._start_method)
-            encoded = [encode_pd(pd) for pd in self._dependencies]
-            self._pool = context.Pool(
-                processes=self.shards,
-                initializer=_initialize_worker,
-                initargs=(encoded, self._snapshot),
+            self._pool = SupervisedPool(
+                workers=self.shards,
+                encoded_dependencies=[encode_pd(pd) for pd in self._dependencies],
+                snapshot=self._snapshot,
+                start_method=self._start_method,
+                fault_plan_json=self._fault_plan,
+                unit_timeout_ms=self._unit_timeout_ms,
+                deadline_grace_ms=self._deadline_grace_ms,
             )
         return self._pool
 
-    def close(self) -> None:
-        """Shut the worker pool down (a later :meth:`execute` re-creates it)."""
+    def close(self, timeout: float = 5.0) -> None:
+        """Gracefully shut the workers down (a later :meth:`execute` re-creates them).
+
+        Workers finish whatever unit they hold and exit on the shutdown
+        sentinel; only a worker that outlives ``timeout`` is terminated.
+        """
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            self._final_stats = self._pool.stats
+            self._pool.close(timeout=timeout)
             self._pool = None
 
     def __enter__(self) -> "ShardExecutor":
@@ -169,6 +186,14 @@ class ShardExecutor:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def supervision_stats(self) -> dict:
+        """The supervisor's counters (live pool, or the last closed pool's)."""
+        if self._pool is not None:
+            return self._pool.stats.as_dict()
+        if self._final_stats is not None:
+            return self._final_stats.as_dict()
+        return SupervisorStats().as_dict()
 
     # -- sharding --------------------------------------------------------------
 
@@ -179,12 +204,16 @@ class ShardExecutor:
         size (each chunk shares one engine wherever it lands); consistency
         and FD-implication groups split into at most ``shards`` slices (one
         normalization / translated engine per slice); the per-request kinds
-        (CAD, quotient, counterexample) split all the way down for balance.
+        (CAD, quotient, counterexample) and every deadline-carrying batch
+        split all the way down — a budgeted request must be its own unit so
+        a hard kill takes nobody else with it.
         """
         units: list[list[int]] = []
         for batch in plan(requests):
             indices = list(batch.indices)
-            if batch.kind in ("implies", "equivalent"):
+            if batch.deadline:
+                step = 1
+            elif batch.kind in ("implies", "equivalent"):
                 step = IMPLICATION_CHUNK
             elif batch.kind in ("consistent", "fd_implies") and batch.method != "cad":
                 step = max(1, -(-len(indices) // self.shards))
@@ -193,18 +222,6 @@ class ShardExecutor:
             for start in range(0, len(indices), step):
                 units.append(indices[start : start + step])
         return units
-
-    def _assign_units(self, units: list[list[int]]) -> list[list[int]]:
-        """Greedy deterministic bin-packing: largest unit first, least-loaded shard."""
-        buckets: list[list[int]] = [[] for _ in range(self.shards)]
-        loads = [0] * self.shards
-        for unit in sorted(units, key=len, reverse=True):  # stable: ties keep plan order
-            shard = loads.index(min(loads))
-            buckets[shard].extend(unit)
-            loads[shard] += len(unit)
-        for bucket in buckets:
-            bucket.sort()  # stream order within the shard
-        return buckets
 
     # -- execution -------------------------------------------------------------
 
@@ -217,30 +234,50 @@ class ShardExecutor:
         strings crosses the process boundary in either direction.  A caller
         that already decoded the stream (the CLI validates every line first)
         passes ``requests`` so the parent-side planning pass does not re-parse
-        each line; the two sequences must be position-aligned.
+        each line; the two sequences must be position-aligned.  When the
+        executor decodes the stream itself, an undecodable line becomes an
+        in-place error result and the rest of the stream still computes.
         """
         if not lines:
             return []
+        out: list[Optional[str]] = [None] * len(lines)
         if requests is None:
-            requests = [load_request_line(line) for line in lines]
+            decoded: list[QueryRequest] = []
+            index_map: list[int] = []
+            for position, line in enumerate(lines):
+                try:
+                    decoded.append(load_request_line(line))
+                    index_map.append(position)
+                except Exception as exc:  # isolate the bad line
+                    out[position] = dump_result_line(
+                        error_result_for_line(line, position + 1, exc)
+                    )
+            requests = decoded
         elif len(requests) != len(lines):
             raise ServiceError(
                 f"{len(requests)} decoded requests for {len(lines)} encoded lines"
             )
-        shard_lines: list[list[tuple[int, str]]] = [
-            [(index, lines[index]) for index in bucket]
-            for bucket in self._assign_units(self._work_units(requests))
-        ]
-        payloads = [
-            (shard_index, chunk)
-            for shard_index, chunk in enumerate(shard_lines)
-            if chunk
+        else:
+            index_map = list(range(len(lines)))
+        units = [
+            WorkUnit(
+                items=tuple(
+                    WorkItem(
+                        index=index_map[i],
+                        line=lines[index_map[i]],
+                        request_id=requests[i].id,
+                        kind=requests[i].kind,
+                        deadline_ms=requests[i].deadline_ms,
+                    )
+                    for i in unit_indices
+                ),
+                attempts_left=self._max_unit_attempts,
+            )
+            for unit_indices in self._work_units(requests)
         ]
         pool = self._ensure_pool()
-        out: list[Optional[str]] = [None] * len(lines)
-        for _, encoded in pool.map(_execute_shard, payloads):
-            for original_index, line in encoded:
-                out[original_index] = line
+        for original_index, line in pool.run_units(units).items():
+            out[original_index] = line
         missing = [i for i, line in enumerate(out) if line is None]
         if missing:  # pragma: no cover - reassembly invariant
             raise ServiceError(f"shard executor lost results for requests {missing[:5]}")
@@ -251,4 +288,54 @@ class ShardExecutor:
         from repro.service.wire import dump_request_line
 
         lines = [dump_request_line(request) for request in requests]
-        return [load_result_line(line) for line in self.execute_encoded(lines)]
+        return [load_result_line(line) for line in self.execute_encoded(lines, requests=requests)]
+
+
+def pool_map_encoded(
+    lines: Sequence[str],
+    shards: int = 2,
+    dependencies: Iterable[PartitionDependencyLike] = (),
+    start_method: Optional[str] = None,
+    snapshot: Optional[str] = None,
+) -> list[str]:
+    """The PR 7 ``multiprocessing.Pool`` execution path, kept as a baseline.
+
+    No supervision, no deadlines, no fault isolation: one static greedy deal,
+    one ``pool.map``.  The EXP-FLT benchmark runs this against the supervised
+    executor to assert the supervision overhead stays under its budget.
+    """
+    if not lines:
+        return []
+    pds = [as_partition_dependency(pd) for pd in dependencies]
+    requests = [load_request_line(line) for line in lines]
+    helper = ShardExecutor(shards=shards, dependencies=pds)
+    units = helper._work_units(requests)
+    buckets: list[list[int]] = [[] for _ in range(shards)]
+    loads = [0] * shards
+    for unit in sorted(units, key=len, reverse=True):  # stable: ties keep plan order
+        shard = loads.index(min(loads))
+        buckets[shard].extend(unit)
+        loads[shard] += len(unit)
+    for bucket in buckets:
+        bucket.sort()
+    if start_method is None:
+        available = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in available else "spawn"
+    context = multiprocessing.get_context(start_method)
+    encoded = [encode_pd(pd) for pd in pds]
+    payloads = [
+        (shard_index, [(index, lines[index]) for index in bucket])
+        for shard_index, bucket in enumerate(buckets)
+        if bucket
+    ]
+    out: list[Optional[str]] = [None] * len(lines)
+    with context.Pool(
+        processes=shards, initializer=_initialize_worker, initargs=(encoded, snapshot)
+    ) as pool:
+        for _, chunk in pool.map(_execute_shard, payloads):
+            for original_index, line in chunk:
+                out[original_index] = line
+    missing = [i for i, line in enumerate(out) if line is None]
+    if missing:  # pragma: no cover - reassembly invariant
+        raise ServiceError(f"pool baseline lost results for requests {missing[:5]}")
+    return out  # type: ignore[return-value]

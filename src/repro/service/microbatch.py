@@ -43,7 +43,8 @@ from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Optional
 
-from repro.errors import ServiceError
+from repro.deadline import deadline_scope
+from repro.errors import DeadlineExceeded, ServiceError
 from repro.service.wire import QueryRequest, QueryResult
 
 #: Queue sentinel that tells the collector loop to finish (FIFO order makes
@@ -137,6 +138,9 @@ class MicroBatchStats:
         self.window_size_sum = 0
         self.window_size_max = 0
         self.closed_by = {"size": 0, "timer": 0, "drain": 0}
+        self.over_budget = 0
+        self.budget_retried = 0
+        self.budget_timeouts = 0
         self._total: deque[float] = deque(maxlen=stats_window)
         self._queue_wait: deque[float] = deque(maxlen=stats_window)
         self._execute: deque[float] = deque(maxlen=stats_window)
@@ -175,6 +179,9 @@ class MicroBatchStats:
                 "max_size": self.window_size_max,
                 "occupancy": round(mean_size / self._max_batch, 4) if mean_size else None,
                 "closed_by": dict(self.closed_by),
+                "over_budget": self.over_budget,
+                "budget_retried": self.budget_retried,
+                "budget_timeouts": self.budget_timeouts,
             },
             "latency_ms": {
                 "total": _stage_summary(self._total),
@@ -203,6 +210,7 @@ class MicroBatcher:
         queue_limit: int = 256,
         overload: str = "block",
         stats_window: int = 4096,
+        window_budget_ms: Optional[float] = None,
     ) -> None:
         if max_batch < 1:
             raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
@@ -212,7 +220,10 @@ class MicroBatcher:
             raise ServiceError(f"queue_limit must be >= 1, got {queue_limit}")
         if overload not in ("block", "shed"):
             raise ServiceError(f"unknown overload policy {overload!r}")
+        if window_budget_ms is not None and window_budget_ms <= 0:
+            raise ServiceError(f"window_budget_ms must be positive, got {window_budget_ms}")
         self._execute_window = execute_window
+        self._window_budget_ms = window_budget_ms
         self._max_wait = max_wait_ms / 1000.0
         self._max_batch = max_batch
         self._queue_limit = queue_limit
@@ -374,9 +385,68 @@ class MicroBatcher:
                 ticket.future.set_result(result)
 
     def _execute_window_checked(self, requests: list[QueryRequest]) -> Sequence[QueryResult]:
-        results = list(self._execute_window(requests))
+        """Execute a window, optionally under the per-window execution budget.
+
+        The budget is a :func:`~repro.deadline.deadline_scope` around the
+        whole window: when it expires (cooperatively, inside a kernel's
+        ``check_deadline``), the window degrades to a per-request **retry
+        lane** — each request re-runs alone under a fresh budget, so one
+        pathological request costs only itself a ``Timeout`` while its window
+        neighbors still answer (typically from the session cache, since
+        results computed before the expiry were already stored).  The budget
+        only bites executors that compute on this thread (the in-process
+        session); a sharded backend's workers enforce deadlines in their own
+        processes under the supervisor's wall clock.
+        """
+        if self._window_budget_ms is None:
+            results = list(self._execute_window(requests))
+        else:
+            scope = None
+            try:
+                with deadline_scope(self._window_budget_ms) as scope:
+                    results = list(self._execute_window(requests))
+            except DeadlineExceeded as exc:
+                if scope is None or exc.scope is not scope:
+                    raise  # a request-level budget leaked; not ours to handle
+                return self._retry_individually(requests)
         if len(results) != len(requests):  # loud, not misaligned
             raise ServiceError(
                 f"window executor answered {len(results)} of {len(requests)} requests"
             )
         return results
+
+    def _retry_individually(self, requests: list[QueryRequest]) -> list[QueryResult]:
+        """The over-budget retry lane: one request at a time, fresh budget each."""
+        self.stats.over_budget += 1
+        out: list[QueryResult] = []
+        for request in requests:
+            self.stats.budget_retried += 1
+            scope = None
+            try:
+                with deadline_scope(self._window_budget_ms) as scope:
+                    answers = list(self._execute_window([request]))
+            except DeadlineExceeded as exc:
+                if scope is None or exc.scope is not scope:
+                    raise
+                self.stats.budget_timeouts += 1
+                out.append(
+                    QueryResult(
+                        kind=request.kind,
+                        ok=False,
+                        id=request.id,
+                        error={
+                            "type": "Timeout",
+                            "message": (
+                                f"request exhausted the {self._window_budget_ms:g} ms "
+                                "micro-batch window budget even when retried alone"
+                            ),
+                        },
+                    )
+                )
+                continue
+            if len(answers) != 1:  # loud, not misaligned
+                raise ServiceError(
+                    f"window executor answered {len(answers)} of 1 retried request"
+                )
+            out.append(answers[0])
+        return out

@@ -41,10 +41,10 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.dependencies.pd import PartitionDependency, PartitionDependencyLike
-from repro.errors import ServiceError
+from repro.errors import DeadlineExceeded, ServiceError
 from repro.implication.fd_implication import fd_implies_all_via_pds
 from repro.implication.word_problems import lattice_word_problems
-from repro.service.session import Session
+from repro.service.session import Session, _faults
 from repro.service.wire import (
     QueryRequest,
     QueryResult,
@@ -55,8 +55,9 @@ from repro.service.wire import (
     validate_request,
 )
 
-#: Group key: (kind, consistency method or "", dependency-set key or None).
-BatchKey = tuple[str, str, Optional[tuple[str, ...]]]
+#: Group key: (kind, consistency method or "", dependency-set key or None,
+#: carries-a-deadline flag).
+BatchKey = tuple[str, str, Optional[tuple[str, ...]], bool]
 
 #: Queries per fresh ALG engine in an implication/equivalence batch.  The
 #: measured sweet spot: large enough to amortize Γ's closure, small enough
@@ -67,12 +68,19 @@ IMPLICATION_CHUNK = 8
 
 @dataclass(frozen=True)
 class Batch:
-    """One planned dispatch group: same kind, method and dependency set."""
+    """One planned dispatch group: same kind, method and dependency set.
+
+    ``deadline`` marks a group of budget-carrying requests.  Those are kept
+    out of the grouped kernel calls (a shared engine cannot charge one
+    caller's budget) and dispatched one request at a time, each under its own
+    :func:`~repro.deadline.deadline_scope`.
+    """
 
     kind: str
     method: str
     dep_key: Optional[tuple[str, ...]]
     indices: tuple[int, ...]
+    deadline: bool = False
 
     def __len__(self) -> int:
         return len(self.indices)
@@ -98,11 +106,16 @@ def plan(requests: Sequence[QueryRequest]) -> list[Batch]:
     for index, request in enumerate(requests):
         validate_request(request)
         method = request.method if request.kind == "consistent" else ""
-        key: BatchKey = (request.kind, method, _dependency_key(request))
+        key: BatchKey = (
+            request.kind,
+            method,
+            _dependency_key(request),
+            request.deadline_ms is not None,
+        )
         groups.setdefault(key, []).append(index)
     return [
-        Batch(kind=kind, method=method, dep_key=dep_key, indices=tuple(indices))
-        for (kind, method, dep_key), indices in groups.items()
+        Batch(kind=kind, method=method, dep_key=dep_key, indices=tuple(indices), deadline=deadline)
+        for (kind, method, dep_key, deadline), indices in groups.items()
     ]
 
 
@@ -154,7 +167,14 @@ def execute_plan(session: Session, requests: Sequence[QueryRequest]) -> list[Que
                 first_by_key[key] = index
             pending.append(index)
         if pending:
-            if batch.kind == "fd_implies":
+            if batch.deadline:
+                # A deadline lane: one dispatch per request so each runs under
+                # its own scope and a blown budget costs nobody else anything.
+                for index in pending:
+                    result = session.execute(requests[index], use_cache=False)
+                    session.cache_store(requests[index], result, key=keys.get(index))
+                    results[index] = result
+            elif batch.kind == "fd_implies":
                 _execute_fd_batch(session, requests, results, pending, keys)
             elif batch.kind in ("implies", "equivalent"):
                 _execute_implication_batch(session, requests, results, pending, keys)
@@ -225,8 +245,16 @@ def _execute_implication_batch(
                 queries.append(request.query)
             else:
                 queries.append(PartitionDependency(request.left, request.right))
+        # The grouped kernel bypasses Session._evaluate, so the injection
+        # hook fires here — a poison request kills its worker whichever lane
+        # it rides in (the chunk has no deadline scopes; this is a no-op
+        # without an installed fault plan).
+        for index in chunk:
+            _faults().on_request(requests[index].id)
         try:
             verdicts = lattice_word_problems(dependencies, queries)
+        except DeadlineExceeded:
+            raise  # an enclosing budget (window budget) owns this, not a line
         except Exception:
             # Fall back to per-request dispatch so errors are reported per line.
             for index in chunk:
@@ -250,8 +278,12 @@ def _execute_fd_batch(
     """Decide a same-Σ ``fd_implies`` group with one engine over the FPD translation."""
     fds = requests[pending[0]].fds
     targets = [requests[index].target for index in pending]
+    for index in pending:  # injection hook; see _execute_implication_batch
+        _faults().on_request(requests[index].id)
     try:
         verdicts = fd_implies_all_via_pds(fds, targets)
+    except DeadlineExceeded:
+        raise  # an enclosing budget (window budget) owns this, not a line
     except Exception:
         # Fall back to per-request dispatch so errors are reported per line.
         for index in pending:

@@ -24,10 +24,16 @@ Shape of the thing:
 * **control lines** — ``{"control": "stats"}`` answers with the latency
   percentiles (p50/p95/p99 per stage), window-occupancy statistics and the
   session's cache diagnostics, ``{"control": "ping"}`` answers
-  ``{"control": "pong"}``, and ``{"control": "snapshot"}`` exports a durable
-  Γ snapshot of the *live* session into ``--snapshot-dir`` (the export runs
+  ``{"control": "pong"}``, ``{"control": "health"}`` reports the circuit
+  breaker, supervision counters (crashes/restarts/quarantines/timeouts) and
+  request totals, and ``{"control": "snapshot"}`` exports a durable Γ
+  snapshot of the *live* session into ``--snapshot-dir`` (the export runs
   on the window worker thread, so it never races a mutating window); all are
   served in-order like any other line;
+* **graceful degradation** — with a sharded backend, repeated worker crashes
+  (``breaker_threshold`` of them) trip a circuit breaker: the executor is
+  closed and the server falls back to in-process execution, answering every
+  subsequent request itself rather than feeding a crash loop;
 * **graceful drain** — :meth:`QueryServer.drain` stops accepting
   connections, stops reading new lines, then answers every request already
   admitted before shutting the batcher down: accepted requests always get
@@ -71,6 +77,8 @@ class QueryServer:
         self.config = config or ServiceConfig()
         self._session = session
         self._executor = None
+        self._breaker_tripped = False
+        self._supervision_final: Optional[dict] = None
         self._batcher: Optional[MicroBatcher] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._conn_tasks: set[asyncio.Task] = set()
@@ -87,12 +95,18 @@ class QueryServer:
         if self._server is not None:
             raise ServiceError("server is already started")
         config = self.config
+        from repro.service import faults
+
+        if config.fault_plan is not None:
+            faults.install_fault_plan(config.fault_plan)
+        else:
+            faults.install_from_env()
         if config.shards > 1:
             self._executor = config.make_executor()
             # Create the worker pool now, in the main thread, so fork happens
             # before the window worker thread exists.
             self._executor.__enter__()
-            execute = self._executor.execute
+            execute = self._execute_sharded
         else:
             if self._session is None:
                 self._session = config.make_session()
@@ -104,6 +118,7 @@ class QueryServer:
             queue_limit=config.queue_limit,
             overload=config.overload,
             stats_window=config.stats_window,
+            window_budget_ms=config.window_budget_ms,
         )
         await self._batcher.start()
         self._server = await asyncio.start_server(self._handle_connection, config.host, config.port)
@@ -151,7 +166,53 @@ class QueryServer:
     async def __aexit__(self, *exc_info) -> None:
         await self.drain()
 
+    # -- the circuit breaker ---------------------------------------------------
+
+    def _execute_sharded(self, requests):
+        """The sharded window executor, wrapped in the circuit breaker.
+
+        Runs on the batcher's window worker thread.  After every window the
+        supervisor's crash counter is checked against ``breaker_threshold``;
+        crossing it *trips the breaker*: the executor is closed (gracefully —
+        restarted workers are healthy, they are just being crashed faster
+        than they can earn their keep) and every later window executes
+        in-process.  A tripped breaker stays tripped: flapping between
+        backends would re-pay worker warm-up on every crash burst.
+        """
+        executor = self._executor
+        if executor is None:  # breaker already tripped
+            return self._fallback_session().execute_many(requests)
+        results = executor.execute(requests)
+        threshold = self.config.breaker_threshold
+        if threshold > 0 and executor.supervision_stats()["crashes"] >= threshold:
+            self._trip_breaker()
+        return results
+
+    def _trip_breaker(self) -> None:
+        executor = self._executor
+        self._executor = None
+        self._breaker_tripped = True
+        if executor is not None:
+            self._supervision_final = executor.supervision_stats()
+            executor.close()
+        self._fallback_session()  # build the in-process backend eagerly
+
+    def _fallback_session(self) -> Session:
+        if self._session is None:
+            self._session = self.config.make_session()
+        return self._session
+
     # -- diagnostics -----------------------------------------------------------
+
+    def _backend_name(self) -> str:
+        if self.config.shards > 1 and not self._breaker_tripped:
+            return f"shards={self.config.shards}"
+        return "session"
+
+    def _supervision_snapshot(self) -> Optional[dict]:
+        if self._executor is not None:
+            return self._executor.supervision_stats()
+        return self._supervision_final
 
     def stats_snapshot(self) -> dict:
         """Batcher latency/window statistics plus server-level counters."""
@@ -159,7 +220,7 @@ class QueryServer:
         snapshot["server"] = {
             "connections_open": len(self._conn_tasks),
             "connections_served": self._connections_served,
-            "mode": f"shards={self.config.shards}" if self.config.shards > 1 else "session",
+            "mode": self._backend_name(),
             "window": {
                 "max_wait_ms": self.config.max_wait_ms,
                 "max_batch": self.config.max_batch,
@@ -167,9 +228,33 @@ class QueryServer:
                 "overload": self.config.overload,
             },
         }
+        supervision = self._supervision_snapshot()
+        if supervision is not None:
+            snapshot["supervision"] = supervision
         if self._session is not None:
             snapshot["session_cache"] = self._session.cache_info()
         return snapshot
+
+    def health_snapshot(self) -> dict:
+        """Liveness-and-degradation summary: breaker, supervision, request totals."""
+        sharded = self.config.shards > 1
+        stats = self._batcher.stats if self._batcher is not None else None
+        return {
+            "status": "degraded" if self._breaker_tripped else "ok",
+            "backend": self._backend_name(),
+            "breaker": {
+                "enabled": sharded and self.config.breaker_threshold > 0,
+                "threshold": self.config.breaker_threshold,
+                "tripped": self._breaker_tripped,
+            },
+            "supervision": self._supervision_snapshot(),
+            "requests": {
+                "submitted": stats.submitted if stats else 0,
+                "answered": stats.answered if stats else 0,
+                "shed": stats.shed if stats else 0,
+                "budget_timeouts": stats.budget_timeouts if stats else 0,
+            },
+        }
 
     @property
     def session(self) -> Optional[Session]:
@@ -263,6 +348,8 @@ class QueryServer:
             return canonical_dumps({"control": "stats", "stats": self.stats_snapshot()})
         if op == "ping":
             return canonical_dumps({"control": "pong"})
+        if op == "health":
+            return canonical_dumps({"control": "health", "health": self.health_snapshot()})
         if op == "snapshot":
             return await self._snapshot_control()
         return canonical_dumps(
@@ -272,7 +359,7 @@ class QueryServer:
                     "type": "ServiceError",
                     "message": (
                         f"unknown control operation {op!r}; "
-                        "expected 'stats', 'ping' or 'snapshot'"
+                        "expected 'stats', 'ping', 'health' or 'snapshot'"
                     ),
                 },
             }

@@ -38,8 +38,9 @@ from typing import Optional
 from repro.consistency.cad import cad_consistency_for_fpds
 from repro.consistency.normalization import NormalizedDependencies, normalize_dependencies
 from repro.consistency.pd_consistency import pd_consistency
+from repro.deadline import deadline_scope
 from repro.dependencies.pd import PartitionDependency, PartitionDependencyLike, as_partition_dependency
-from repro.errors import ServiceError
+from repro.errors import DeadlineExceeded, ServiceError
 from repro.expressions.printer import to_infix
 from repro.implication.alg import ImplicationEngine
 from repro.implication.fd_implication import fd_implies_via_pds
@@ -52,6 +53,19 @@ from repro.service.wire import (
     request_cache_key,
     validate_request,
 )
+
+
+_FAULTS = None
+
+
+def _faults():
+    """The fault-injection module, imported lazily (hot path stays import-free)."""
+    global _FAULTS
+    if _FAULTS is None:
+        from repro.service import faults
+
+        _FAULTS = faults
+    return _FAULTS
 
 
 class DependencyContext:
@@ -351,41 +365,61 @@ class Session:
     # dispatch as any wire request, and returns a typed answer — failures
     # raise QueryFailedError instead of coming back as ok=false results.
 
-    def implies(self, query, rhs=None, *, dependencies=None):
+    def implies(self, query, rhs=None, *, dependencies=None, deadline_ms=None):
         """Does Γ imply the PD (``implies(pd)`` or ``implies(lhs, rhs)``)?"""
         from repro.service import api
 
-        request = api.implies_request(query, rhs, dependencies=dependencies)
+        request = api.implies_request(
+            query, rhs, dependencies=dependencies, deadline_ms=deadline_ms
+        )
         return api.answer_for(self.execute(request))
 
-    def equivalent(self, left, right, *, dependencies=None):
+    def equivalent(self, left, right, *, dependencies=None, deadline_ms=None):
         """Are two expressions Γ-equivalent?"""
         from repro.service import api
 
-        request = api.equivalent_request(left, right, dependencies=dependencies)
+        request = api.equivalent_request(
+            left, right, dependencies=dependencies, deadline_ms=deadline_ms
+        )
         return api.answer_for(self.execute(request))
 
-    def consistent(self, database, *, method="weak_instance", dependencies=None, max_nodes=None):
+    def consistent(
+        self,
+        database,
+        *,
+        method="weak_instance",
+        dependencies=None,
+        max_nodes=None,
+        deadline_ms=None,
+    ):
         """Is a database consistent with Γ (Theorem 12 weak-instance or Theorem 11 CAD)?"""
         from repro.service import api
 
         request = api.consistent_request(
-            database, method=method, dependencies=dependencies, max_nodes=max_nodes
+            database,
+            method=method,
+            dependencies=dependencies,
+            max_nodes=max_nodes,
+            deadline_ms=deadline_ms,
         )
         return api.answer_for(self.execute(request))
 
-    def quotient(self, expressions, *, dependencies=None):
+    def quotient(self, expressions, *, dependencies=None, deadline_ms=None):
         """The Γ-congruence classes and order of an expression pool."""
         from repro.service import api
 
-        request = api.quotient_request(expressions, dependencies=dependencies)
+        request = api.quotient_request(
+            expressions, dependencies=dependencies, deadline_ms=deadline_ms
+        )
         return api.answer_for(self.execute(request))
 
-    def counterexample(self, query, *, max_pool=400, dependencies=None):
+    def counterexample(self, query, *, max_pool=400, dependencies=None, deadline_ms=None):
         """A finite lattice refuting Γ ⊨ query, or the verdict that none exists."""
         from repro.service import api
 
-        request = api.counterexample_request(query, max_pool=max_pool, dependencies=dependencies)
+        request = api.counterexample_request(
+            query, max_pool=max_pool, dependencies=dependencies, deadline_ms=deadline_ms
+        )
         return api.answer_for(self.execute(request))
 
     @property
@@ -407,10 +441,24 @@ class Session:
     # -- evaluation ------------------------------------------------------------
 
     def _evaluate(self, request: QueryRequest) -> QueryResult:
+        scope = None
         try:
-            value = self._value_for(request)
+            with deadline_scope(request.deadline_ms) as scope:
+                _faults().on_request(request.id)
+                value = self._value_for(request)
         except ServiceError:
             raise
+        except DeadlineExceeded as exc:
+            if scope is None or exc.scope is not scope:
+                # An enclosing budget (e.g. the micro-batcher's window budget)
+                # expired, not this request's — let its owner handle it.
+                raise
+            return QueryResult(
+                kind=request.kind,
+                ok=False,
+                id=request.id,
+                error={"type": "Timeout", "message": str(exc)},
+            )
         except Exception as exc:  # a service answers every request
             return QueryResult(
                 kind=request.kind,

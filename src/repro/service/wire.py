@@ -20,10 +20,14 @@ two contracts that the rest of the service (and its tests) lean on:
   (``tests/test_wire.py`` checks this on randomized inputs).
 
 The envelope carries ``{"v": WIRE_VERSION}``; :func:`decode_request` and
-:func:`decode_result` require the version *explicitly* and reject every
-other value — a payload without ``"v"`` is refused, never silently assumed
-current, so incompatible format changes must bump :data:`WIRE_VERSION` and
-old envelopes cannot be mis-versioned by omission.  Malformed payloads raise
+:func:`decode_result` require the version *explicitly* and reject everything
+outside :data:`SUPPORTED_WIRE_VERSIONS` — a payload without ``"v"`` is
+refused, never silently assumed current, so incompatible format changes must
+bump :data:`WIRE_VERSION` and old envelopes cannot be mis-versioned by
+omission.  Version 2 added the optional ``deadline_ms`` request field (a
+per-query wall-clock budget); version-1 payloads still decode, but a v1
+envelope carrying ``deadline_ms`` is rejected — an old peer echoing unknown
+fields must not silently gain semantics.  Malformed payloads raise
 :class:`~repro.errors.ServiceError` — never ``KeyError``/``TypeError`` — so
 the CLI can turn them into structured error results.
 
@@ -56,7 +60,10 @@ from repro.relational.schema import DatabaseScheme, RelationScheme
 from repro.relational.tuples import Row
 
 #: Wire format version; bump on any incompatible payload change.
-WIRE_VERSION = 1
+WIRE_VERSION = 2
+
+#: Versions this service still decodes (encoding always emits WIRE_VERSION).
+SUPPORTED_WIRE_VERSIONS = (1, 2)
 
 #: The query kinds the service understands.
 REQUEST_KINDS = (
@@ -110,17 +117,22 @@ def _require_int(payload: dict, key: str, context: str, default=None, allow_none
     return value
 
 
-def _check_version(payload: dict, context: str, expected: int = WIRE_VERSION) -> None:
+def _check_version(payload: dict, context: str, expected=SUPPORTED_WIRE_VERSIONS) -> int:
+    accepted = expected if isinstance(expected, tuple) else (expected,)
+    spoken = (
+        f"version {accepted[0]}"
+        if len(accepted) == 1
+        else "versions " + " and ".join(str(v) for v in accepted)
+    )
     if "v" not in payload:
         raise ServiceError(
             f"{context} payload is missing the 'v' version field; "
-            f"this service speaks version {expected} and requires it explicitly"
+            f"this service speaks {spoken} and requires it explicitly"
         )
     version = payload["v"]
-    if version != expected:
-        raise ServiceError(
-            f"{context} uses version {version!r}; this service speaks version {expected}"
-        )
+    if version not in accepted:
+        raise ServiceError(f"{context} uses version {version!r}; this service speaks {spoken}")
+    return version
 
 
 # -- expressions and dependencies ------------------------------------------------
@@ -335,6 +347,7 @@ class QueryRequest:
     pool: Optional[tuple[PartitionExpression, ...]] = None
     max_pool: int = 400
     max_nodes: Optional[int] = None
+    deadline_ms: Optional[int] = None
 
     def with_id(self, new_id: Optional[str]) -> "QueryRequest":
         """The same request under another id (results are id-independent)."""
@@ -379,6 +392,15 @@ def validate_request(request: QueryRequest) -> None:
             )
     if request.kind == "quotient" and not request.pool:
         raise ServiceError("a 'quotient' request needs a non-empty 'pool' of expressions")
+    if request.deadline_ms is not None:
+        if isinstance(request.deadline_ms, bool) or not isinstance(request.deadline_ms, int):
+            raise ServiceError(
+                f"'deadline_ms' must be a positive integer, got {request.deadline_ms!r}"
+            )
+        if request.deadline_ms <= 0:
+            raise ServiceError(
+                f"'deadline_ms' must be a positive integer, got {request.deadline_ms}"
+            )
 
 
 def encode_request(request: QueryRequest) -> dict:
@@ -406,13 +428,19 @@ def encode_request(request: QueryRequest) -> dict:
             payload["max_nodes"] = request.max_nodes
     if request.kind == "quotient":
         payload["pool"] = [encode_expression(e) for e in request.pool]
+    if request.deadline_ms is not None:
+        payload["deadline_ms"] = request.deadline_ms
     return payload
 
 
 def decode_request(payload: Any) -> QueryRequest:
     """Rebuild a :class:`QueryRequest`, re-interning every expression on the way in."""
     kind = _require(payload, "kind", "request")
-    _check_version(payload, "request")
+    version = _check_version(payload, "request")
+    if "deadline_ms" in payload and version < 2:
+        raise ServiceError(
+            "'deadline_ms' needs wire version 2; a version-1 request cannot carry a deadline"
+        )
     if kind not in REQUEST_KINDS:
         raise ServiceError(f"unknown request kind {kind!r}; expected one of {REQUEST_KINDS}")
     raw_deps = payload.get("dependencies")
@@ -449,6 +477,8 @@ def decode_request(payload: Any) -> QueryRequest:
         if not isinstance(pool, list):
             raise ServiceError("'pool' must be a list of expression strings")
         kwargs["pool"] = tuple(decode_expression(text) for text in pool)
+    # Explicit null means "no deadline", same as omission.
+    kwargs["deadline_ms"] = _require_int(payload, "deadline_ms", "request", allow_none=True)
     request = QueryRequest(**kwargs)
     validate_request(request)
     return request
@@ -484,13 +514,17 @@ def decode_result(payload: Any) -> QueryResult:
 
 
 def request_cache_key(request: QueryRequest) -> str:
-    """The canonical bytes of a request *minus its id* — the session cache key.
+    """The canonical bytes of a request *minus id and deadline* — the cache key.
 
     Two requests asking the same question under different ids share one cache
-    slot; the session re-stamps the stored result with the caller's id.
+    slot; the session re-stamps the stored result with the caller's id.  The
+    deadline is excluded too: a budget changes *whether* an answer arrives in
+    time, never what the answer is, and timeouts are error results, which are
+    never cached.
     """
     payload = encode_request(request)
     payload.pop("id", None)
+    payload.pop("deadline_ms", None)
     return canonical_dumps(payload)
 
 

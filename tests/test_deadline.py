@@ -1,0 +1,115 @@
+"""Cooperative deadlines: scope stack semantics and the kernel check hooks."""
+
+import time
+
+import pytest
+
+from repro.consistency.cad import cad_consistency
+from repro.deadline import DeadlineScope, active_deadlines, check_deadline, deadline_scope
+from repro.errors import DeadlineExceeded, ReproError
+from repro.lattice.quotient import finite_counterexample
+from repro.relational.chase_engine import chase_database_indexed
+from repro.relational.database import Database
+from repro.relational.functional_dependencies import parse_fd_set
+from repro.relational.relations import Relation
+from repro.sat.nae3sat import nae_backtracking
+from repro.workloads.random_formulas import random_3cnf
+
+
+class TestScopeSemantics:
+    def test_no_scope_is_a_no_op(self):
+        check_deadline()  # must not raise outside any scope
+        assert active_deadlines() == ()
+
+    def test_none_budget_yields_none_and_pushes_nothing(self):
+        with deadline_scope(None) as scope:
+            assert scope is None
+            assert active_deadlines() == ()
+            check_deadline()
+
+    def test_unexpired_scope_does_not_raise(self):
+        with deadline_scope(60_000.0) as scope:
+            assert isinstance(scope, DeadlineScope)
+            assert active_deadlines() == (scope,)
+            assert scope.remaining_ms() > 0
+            assert not scope.expired()
+            check_deadline()
+        assert active_deadlines() == ()
+
+    def test_expired_scope_raises_with_its_own_token(self):
+        with deadline_scope(0.0) as scope:
+            assert scope.expired()
+            with pytest.raises(DeadlineExceeded) as info:
+                check_deadline()
+        assert info.value.scope is scope
+        assert "deadline of 0 ms exceeded" in str(info.value)
+        assert isinstance(info.value, ReproError)
+
+    def test_scope_pops_even_after_expiry(self):
+        with pytest.raises(DeadlineExceeded):
+            with deadline_scope(0.0):
+                check_deadline()
+        assert active_deadlines() == ()
+        check_deadline()
+
+    def test_nested_scopes_report_earliest_expired(self):
+        # The outer scope expires first on the wall clock; when both have
+        # expired, the exception must carry the outer (earlier) token so the
+        # enclosing handler — not the inner request — claims the expiry.
+        with deadline_scope(0.0) as outer:
+            time.sleep(0.002)
+            with deadline_scope(0.5) as inner:
+                time.sleep(0.002)
+                assert outer.expired() and inner.expired()
+                with pytest.raises(DeadlineExceeded) as info:
+                    check_deadline()
+        assert info.value.scope is outer
+
+    def test_inner_expiry_leaves_outer_scope_usable(self):
+        with deadline_scope(60_000.0) as outer:
+            with deadline_scope(0.0) as inner:
+                with pytest.raises(DeadlineExceeded) as info:
+                    check_deadline()
+            assert info.value.scope is inner
+            check_deadline()  # outer budget still healthy
+            assert active_deadlines() == (outer,)
+
+
+class TestKernelHooks:
+    """Every instrumented kernel aborts promptly under a pre-expired budget."""
+
+    def test_finite_counterexample_honors_deadline(self):
+        with deadline_scope(0.0):
+            with pytest.raises(DeadlineExceeded):
+                finite_counterexample(["A = A*B"], "C = C*D")
+
+    def test_cad_consistency_honors_deadline(self):
+        database = Database(
+            [
+                Relation.from_strings("R", "AB", ["a1.b1"]),
+                Relation.from_strings("S", "AC", ["a1.c1"]),
+            ]
+        )
+        with deadline_scope(0.0):
+            with pytest.raises(DeadlineExceeded):
+                cad_consistency(database, parse_fd_set(["A -> B"]))
+
+    def test_nae_backtracking_honors_deadline(self):
+        formula = random_3cnf(variable_count=8, clause_count=20, seed=5)
+        with deadline_scope(0.0):
+            with pytest.raises(DeadlineExceeded):
+                nae_backtracking(formula)
+
+    def test_chase_honors_deadline(self):
+        database = Database.single(
+            Relation.from_strings("R", "ABC", ["a1.b1.c1", "a1.b2.c2", "a2.b2.c3"])
+        )
+        with deadline_scope(0.0):
+            with pytest.raises(DeadlineExceeded):
+                chase_database_indexed(database, parse_fd_set(["A -> B", "B -> C"]))
+
+    def test_kernels_run_normally_under_generous_budget(self):
+        with deadline_scope(60_000.0):
+            assert finite_counterexample(["A = A*B"], "A = A*B") is None
+            formula = random_3cnf(variable_count=4, clause_count=6, seed=5)
+            nae_backtracking(formula)

@@ -264,7 +264,7 @@ class TestMalformedPayloads:
             {"kind": "implies", "ok": "yes"},
             {"kind": "implies", "ok": True},
             {"kind": "implies", "ok": False, "error": "boom"},
-            {"kind": "implies", "ok": True, "value": {}, "v": 2},
+            {"kind": "implies", "ok": True, "value": {}, "v": 3},
         ):
             with pytest.raises(ServiceError):
                 wire.decode_result(payload)
@@ -274,3 +274,41 @@ class TestMalformedPayloads:
             wire.validate_request(QueryRequest(kind="equivalent"))
         with pytest.raises(ServiceError):
             wire.validate_request(QueryRequest(kind="consistent"))
+
+
+class TestDeadlineOnTheWire:
+    def test_deadline_round_trips_at_version_2(self):
+        request = QueryRequest(
+            kind="implies", id="q1", query=PartitionDependency.parse("A = A*B"), deadline_ms=250
+        )
+        payload = wire.encode_request(request)
+        assert payload["v"] == wire.WIRE_VERSION == 2
+        assert payload["deadline_ms"] == 250
+        assert wire.decode_request(payload).deadline_ms == 250
+
+    def test_requests_without_deadline_omit_the_field(self):
+        request = QueryRequest(kind="implies", query=PartitionDependency.parse("A = A*B"))
+        assert "deadline_ms" not in wire.encode_request(request)
+        assert wire.decode_request(wire.encode_request(request)).deadline_ms is None
+
+    def test_version_1_payloads_still_decode(self):
+        request = wire.load_request_line('{"v": 1, "kind": "implies", "query": "A = A * B"}')
+        assert request.deadline_ms is None
+
+    def test_version_1_payload_cannot_carry_a_deadline(self):
+        with pytest.raises(ServiceError, match="wire version 2"):
+            wire.load_request_line(
+                '{"v": 1, "kind": "implies", "query": "A = A * B", "deadline_ms": 100}'
+            )
+
+    @pytest.mark.parametrize("value", ["100", True, 0, -5, 1.5])
+    def test_invalid_deadline_values_are_rejected(self, value):
+        payload = {"v": 2, "kind": "implies", "query": "A = A * B", "deadline_ms": value}
+        with pytest.raises(ServiceError):
+            wire.decode_request(payload)
+
+    def test_cache_key_ignores_deadline(self):
+        query = PartitionDependency.parse("A = A*B")
+        with_deadline = QueryRequest(kind="implies", id="a", query=query, deadline_ms=100)
+        without = QueryRequest(kind="implies", id="b", query=query)
+        assert wire.request_cache_key(with_deadline) == wire.request_cache_key(without)
