@@ -19,6 +19,10 @@ request surface:
 * :mod:`repro.service.executor` — :class:`ShardExecutor`, the multiprocess
   fan-out with per-worker session warm-up, wire-codec transport and
   deterministic result ordering;
+* :mod:`repro.service.result_cache` — :class:`SharedResultCache`, the
+  parent-side tier-0 result cache shared by every shard, and
+  :class:`ConsistentHashRing`, the shard-affinity router that turns the
+  per-worker caches into a coherent second tier;
 * :mod:`repro.service.supervisor` — :class:`SupervisedPool`, the fault-
   tolerant worker pool under the executor: liveness monitoring, warm
   restarts, retry/split/quarantine escalation and hard deadline kills;
@@ -67,6 +71,7 @@ from repro.service.faults import (
 )
 from repro.service.microbatch import MicroBatcher, MicroBatchStats, Ticket
 from repro.service.planner import Batch, execute_plan, naive_dispatch, plan, plan_summary
+from repro.service.result_cache import ConsistentHashRing, SharedResultCache
 from repro.service.server import QueryServer, serve_stream
 from repro.service.session import DependencyContext, Session
 from repro.service.supervisor import SupervisedPool, SupervisorStats, WorkItem, WorkUnit
@@ -153,6 +158,8 @@ __all__ = [
     "naive_dispatch",
     "ShardExecutor",
     "pool_map_encoded",
+    "SharedResultCache",
+    "ConsistentHashRing",
     "SupervisedPool",
     "SupervisorStats",
     "WorkItem",

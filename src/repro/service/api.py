@@ -101,6 +101,7 @@ def implies_request(
     dependencies: Optional[Iterable[PartitionDependencyLike]] = None,
     deadline_ms: Optional[int] = None,
     id: Optional[str] = None,
+    tenant: Optional[str] = None,
 ) -> QueryRequest:
     """An ``implies`` request: does Γ imply the PD ``query`` (or ``query = rhs``)?
 
@@ -115,6 +116,7 @@ def implies_request(
     return QueryRequest(
         kind="implies",
         id=id,
+        tenant=tenant,
         dependencies=_as_dependencies(dependencies),
         query=pd,
         deadline_ms=deadline_ms,
@@ -128,11 +130,13 @@ def equivalent_request(
     dependencies: Optional[Iterable[PartitionDependencyLike]] = None,
     deadline_ms: Optional[int] = None,
     id: Optional[str] = None,
+    tenant: Optional[str] = None,
 ) -> QueryRequest:
     """An ``equivalent`` request: are the two expressions Γ-equivalent?"""
     return QueryRequest(
         kind="equivalent",
         id=id,
+        tenant=tenant,
         dependencies=_as_dependencies(dependencies),
         left=as_expression(left),
         right=as_expression(right),
@@ -148,11 +152,13 @@ def consistent_request(
     max_nodes: Optional[int] = None,
     deadline_ms: Optional[int] = None,
     id: Optional[str] = None,
+    tenant: Optional[str] = None,
 ) -> QueryRequest:
     """A ``consistent`` request over a database (object or wire payload dict)."""
     return QueryRequest(
         kind="consistent",
         id=id,
+        tenant=tenant,
         dependencies=_as_dependencies(dependencies),
         database=_as_database(database),
         method=method,
@@ -167,11 +173,13 @@ def quotient_request(
     dependencies: Optional[Iterable[PartitionDependencyLike]] = None,
     deadline_ms: Optional[int] = None,
     id: Optional[str] = None,
+    tenant: Optional[str] = None,
 ) -> QueryRequest:
     """A ``quotient`` request over a pool of expressions."""
     return QueryRequest(
         kind="quotient",
         id=id,
+        tenant=tenant,
         dependencies=_as_dependencies(dependencies),
         pool=tuple(as_expression(e) for e in expressions),
         deadline_ms=deadline_ms,
@@ -185,11 +193,13 @@ def counterexample_request(
     dependencies: Optional[Iterable[PartitionDependencyLike]] = None,
     deadline_ms: Optional[int] = None,
     id: Optional[str] = None,
+    tenant: Optional[str] = None,
 ) -> QueryRequest:
     """A ``counterexample`` request: find a finite lattice refuting Γ ⊨ query."""
     return QueryRequest(
         kind="counterexample",
         id=id,
+        tenant=tenant,
         dependencies=_as_dependencies(dependencies),
         query=_as_pd(query),
         max_pool=max_pool,

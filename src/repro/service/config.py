@@ -79,6 +79,7 @@ class ServiceConfig:
     unit_timeout_ms: Optional[float] = None
     breaker_threshold: int = 4
     fault_plan: Optional[str] = None
+    shared_cache_size: int = 4096
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -117,6 +118,10 @@ class ServiceConfig:
         if self.breaker_threshold < 0:
             raise ServiceError(
                 f"breaker_threshold must be >= 0 (0 disables), got {self.breaker_threshold}"
+            )
+        if self.shared_cache_size < 0:
+            raise ServiceError(
+                f"shared_cache_size must be >= 0 (0 disables), got {self.shared_cache_size}"
             )
         if self.fault_plan is not None:
             from repro.service.faults import FaultPlan
@@ -181,6 +186,7 @@ class ServiceConfig:
             snapshot=self.read_boot_snapshot(),
             fault_plan=self.fault_plan,
             unit_timeout_ms=self.unit_timeout_ms,
+            shared_cache_size=self.shared_cache_size,
         )
 
 
@@ -213,6 +219,15 @@ def add_config_arguments(parser: argparse.ArgumentParser, serve: bool = False) -
         help=(
             "hard wall-clock limit per sharded work unit in milliseconds "
             "(default: none; deadline-carrying units always get max deadline + grace)"
+        ),
+    )
+    parser.add_argument(
+        "--shared-cache-size",
+        type=int,
+        default=defaults.shared_cache_size,
+        help=(
+            "parent-side shared result-cache entries for sharded dispatch "
+            f"(0 disables the shared tier and ring routing; default {defaults.shared_cache_size})"
         ),
     )
     parser.add_argument(
@@ -314,4 +329,5 @@ def config_from_args(args: argparse.Namespace) -> ServiceConfig:
         unit_timeout_ms=getattr(args, "unit_timeout_ms", None),
         breaker_threshold=getattr(args, "breaker_threshold", ServiceConfig.breaker_threshold),
         fault_plan=getattr(args, "fault_plan", None),
+        shared_cache_size=getattr(args, "shared_cache_size", ServiceConfig.shared_cache_size),
     )

@@ -54,6 +54,7 @@ from typing import Optional
 from repro.dependencies.pd import PartitionDependencyLike, as_partition_dependency
 from repro.errors import ServiceError
 from repro.service.planner import IMPLICATION_CHUNK, plan
+from repro.service.result_cache import ConsistentHashRing, SharedResultCache
 from repro.service.session import Session
 from repro.service.supervisor import SupervisedPool, SupervisorStats, WorkItem, WorkUnit
 from repro.service.wire import (
@@ -64,6 +65,7 @@ from repro.service.wire import (
     error_result_for_line,
     load_request_line,
     load_result_line,
+    request_cache_key,
 )
 
 # Worker-global session for the plain-Pool baseline below.
@@ -118,12 +120,21 @@ class ShardExecutor:
         unit_timeout_ms: Optional[float] = None,
         deadline_grace_ms: float = 2000.0,
         max_unit_attempts: int = 2,
+        shared_cache_size: int = 4096,
+        worker_cache_size: Optional[int] = None,
     ) -> None:
         if shards < 1:
             raise ServiceError(f"shard count must be positive, got {shards}")
         if max_unit_attempts < 1:
             raise ServiceError(f"max_unit_attempts must be positive, got {max_unit_attempts}")
         self.shards = shards
+        # The shared tier-0 result cache and its routing ring.  With
+        # shared_cache_size=0 both are off and dispatch is exactly the
+        # pre-tenancy behaviour (the per-worker-island baseline EXP-TEN
+        # measures against).
+        self._shared_cache = SharedResultCache(shared_cache_size)
+        self._ring = ConsistentHashRing(shards) if shared_cache_size > 0 else None
+        self._worker_cache_size = worker_cache_size
         self._dependencies = [as_partition_dependency(pd) for pd in dependencies]
         if snapshot is not None:
             # Validate once in the parent — a corrupt or mismatched snapshot
@@ -166,6 +177,7 @@ class ShardExecutor:
                 fault_plan_json=self._fault_plan,
                 unit_timeout_ms=self._unit_timeout_ms,
                 deadline_grace_ms=self._deadline_grace_ms,
+                worker_cache_size=self._worker_cache_size,
             )
         return self._pool
 
@@ -194,6 +206,16 @@ class ShardExecutor:
         if self._final_stats is not None:
             return self._final_stats.as_dict()
         return SupervisorStats().as_dict()
+
+    def shared_cache_info(self) -> dict:
+        """The tier-0 shared cache's counters plus the routing-ring shape."""
+        info = self._shared_cache.info()
+        info["ring_shards"] = self._ring.shards if self._ring is not None else 0
+        return info
+
+    def invalidate_tenant(self, tenant: Optional[str] = None) -> int:
+        """Drop a tenant's base-Γ entries from the shared tier (Γ-growth hook)."""
+        return self._shared_cache.invalidate_tenant(tenant)
 
     # -- sharding --------------------------------------------------------------
 
@@ -259,6 +281,19 @@ class ShardExecutor:
             )
         else:
             index_map = list(range(len(lines)))
+        # Tier-0 probe: answer shared-cache hits parent-side, before any unit
+        # is formed — a hit never crosses a process boundary at all.  The
+        # canonical keys double as the ring's routing keys for the misses.
+        keys: dict[int, str] = {}
+        parent_hits: set[int] = set()
+        if self._shared_cache.enabled:
+            for i, request in enumerate(requests):
+                key = request_cache_key(request)
+                keys[i] = key
+                hit = self._shared_cache.lookup(key, request.id, request.tenant)
+                if hit is not None:
+                    out[index_map[i]] = dump_result_line(hit)
+                    parent_hits.add(i)
         units = [
             WorkUnit(
                 items=tuple(
@@ -272,16 +307,85 @@ class ShardExecutor:
                     for i in unit_indices
                 ),
                 attempts_left=self._max_unit_attempts,
+                preferred=preferred,
             )
-            for unit_indices in self._work_units(requests)
+            for unit_indices, preferred in self._routed_units(requests, keys, out, index_map)
         ]
-        pool = self._ensure_pool()
-        for original_index, line in pool.run_units(units).items():
-            out[original_index] = line
+        if units:
+            pool = self._ensure_pool()
+            for original_index, line in pool.run_units(units).items():
+                out[original_index] = line
+        if self._shared_cache.enabled:
+            self._publish(requests, keys, out, index_map, parent_hits)
         missing = [i for i, line in enumerate(out) if line is None]
         if missing:  # pragma: no cover - reassembly invariant
             raise ServiceError(f"shard executor lost results for requests {missing[:5]}")
         return out  # type: ignore[return-value]
+
+    def _routed_units(
+        self,
+        requests: Sequence[QueryRequest],
+        keys: dict[int, str],
+        out: list[Optional[str]],
+        index_map: list[int],
+    ) -> list[tuple[list[int], Optional[int]]]:
+        """Work units annotated with their consistent-hash shard affinity.
+
+        With the shared cache off this is the legacy deal (no affinity).
+        With it on, indices already answered from the cache drop out, and
+        each surviving unit is partitioned along the ring so every miss
+        lands on the shard that owns its cache key — the worker whose
+        session cache the key will warm (and hit, next time the bin-packer
+        deals it anywhere).  Partitions inherit the unit's amortization
+        (same planner group, same Γ), just sliced by key ownership.
+        """
+        units = self._work_units(requests)
+        if self._ring is None:
+            return [(unit, None) for unit in units]
+        routed: list[tuple[list[int], Optional[int]]] = []
+        for unit in units:
+            pending = [i for i in unit if out[index_map[i]] is None]
+            if not pending:
+                continue
+            by_shard: dict[int, list[int]] = {}
+            for i in pending:
+                by_shard.setdefault(self._ring.shard_for(keys[i]), []).append(i)
+            routed.extend((by_shard[shard], shard) for shard in sorted(by_shard))
+        return routed
+
+    def _publish(
+        self,
+        requests: Sequence[QueryRequest],
+        keys: dict[int, str],
+        out: list[Optional[str]],
+        index_map: list[int],
+        parent_hits: set[int],
+    ) -> None:
+        """Publish computed miss results into the shared tier on reassembly.
+
+        Any shard's computation warms the cache for every future caller —
+        this is the step that turns per-worker islands into tier 1 of one
+        coherent cache.  Error results (timeouts, quarantines, kernel
+        failures) are never published, matching the session-cache contract.
+        """
+        for i, request in enumerate(requests):
+            if i in parent_hits:
+                continue
+            line = out[index_map[i]]
+            if line is None:
+                continue
+            try:
+                result = load_result_line(line)
+            except Exception:  # pragma: no cover - supervisor already validated
+                continue
+            if not result.ok:
+                continue
+            self._shared_cache.store(
+                keys[i],
+                result,
+                tenant=request.tenant,
+                uses_tenant_gamma=request.dependencies is None and request.kind != "fd_implies",
+            )
 
     def execute(self, requests: Sequence[QueryRequest]) -> list[QueryResult]:
         """Answer decoded requests; convenience wrapper over :meth:`execute_encoded`."""

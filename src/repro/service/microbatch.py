@@ -54,6 +54,11 @@ _DRAIN = object()
 #: Reported latency percentiles (×100 for exact integer keys).
 PERCENTILE_POINTS = (50, 95, 99)
 
+#: Distinct tenants tracked in the per-tenant request counters; traffic from
+#: tenants beyond the cap aggregates into one ``"~other"`` bucket so a
+#: million-tenant stream cannot balloon the stats surface.
+TENANT_STATS_LIMIT = 64
+
 
 def percentile(samples: Sequence[float], point: float) -> Optional[float]:
     """Nearest-rank percentile of a *sorted* sample list (``None`` when empty)."""
@@ -141,10 +146,26 @@ class MicroBatchStats:
         self.over_budget = 0
         self.budget_retried = 0
         self.budget_timeouts = 0
+        self.per_tenant: dict[str, dict[str, int]] = {}
         self._total: deque[float] = deque(maxlen=stats_window)
         self._queue_wait: deque[float] = deque(maxlen=stats_window)
         self._execute: deque[float] = deque(maxlen=stats_window)
         self._respond: deque[float] = deque(maxlen=stats_window)
+
+    def record_tenant(self, tenant: Optional[str], field: str) -> None:
+        """Bump one tenant's ``submitted``/``answered`` counter (capped keyspace)."""
+        from repro.service.session import tenant_label
+
+        label = tenant_label(tenant)
+        bucket = self.per_tenant.get(label)
+        if bucket is None:
+            if len(self.per_tenant) >= TENANT_STATS_LIMIT:
+                label = "~other"
+                bucket = self.per_tenant.get(label)
+            if bucket is None:
+                bucket = {"submitted": 0, "answered": 0}
+                self.per_tenant[label] = bucket
+        bucket[field] += 1
 
     def record_window(self, size: int, reason: str) -> None:
         self.windows += 1
@@ -172,6 +193,7 @@ class MicroBatchStats:
                 "submitted": self.submitted,
                 "answered": self.answered,
                 "shed": self.shed,
+                "per_tenant": {label: dict(bucket) for label, bucket in self.per_tenant.items()},
             },
             "windows": {
                 "count": self.windows,
@@ -295,6 +317,7 @@ class MicroBatcher:
         loop = asyncio.get_running_loop()
         ticket = Ticket(request, loop.create_future(), self.stats)
         self.stats.submitted += 1
+        self.stats.record_tenant(request.tenant, "submitted")
         if self._overload == "shed" and self._queue.full():
             ticket.shed = True
             self.stats.shed += 1
@@ -381,6 +404,7 @@ class MicroBatcher:
         for ticket, result in zip(window, results):
             ticket.executed_at = now
             self.stats.answered += 1
+            self.stats.record_tenant(ticket.request.tenant, "answered")
             if not ticket.future.done():  # a cancelled waiter must not crash the loop
                 ticket.future.set_result(result)
 

@@ -90,13 +90,17 @@ def _dependency_key(request: QueryRequest) -> Optional[tuple[str, ...]]:
     """The grouping key of a request's reasoning context.
 
     ``fd_implies`` requests group on their FD set Σ (that is what the batch
-    API amortizes over); everything else groups on the PD set Γ, with
-    ``None`` meaning "the session's own Γ".
+    API amortizes over); everything else groups on the PD set Γ.  Requests
+    without an explicit dependency set run against *their tenant's* base Γ,
+    so the key carries the tenant — two tenants' base-Γ requests must never
+    share a batch (their Γs differ even when both streams look identical).
+    The ``"\\x00tenant"`` marker cannot collide with encoded PDs (those are
+    canonical JSON strings, which never start with a NUL).
     """
     if request.kind == "fd_implies":
         return tuple(canonical_dumps(encode_fd(fd)) for fd in request.fds)
     if request.dependencies is None:
-        return None
+        return None if request.tenant is None else ("\x00tenant", request.tenant)
     return tuple(encode_pd(pd) for pd in request.dependencies)
 
 
@@ -230,10 +234,15 @@ def _execute_implication_batch(
     """
     representative = requests[pending[0]]
     if representative.dependencies is not None:
-        # No session context needed: the chunks build their own engines, and
-        # fetching a context here would churn the foreign-context LRU with an
-        # entry whose artifacts are never used.
-        dependencies: Sequence[PartitionDependency] = representative.dependencies
+        # Churn-free probe: reuse the cached context if this Γ is already
+        # live (counts a hit, keeps it warm in the LRU) but never *insert*
+        # one — the chunks build their own engines, so a fresh entry's
+        # artifacts would go unused while evicting a context other requests
+        # still share.
+        context = session.context_for(representative, create=False)
+        dependencies: Sequence[PartitionDependency] = (
+            context.dependencies if context is not None else representative.dependencies
+        )
     else:
         dependencies = session.context_for(representative).dependencies
     for start in range(0, len(pending), IMPLICATION_CHUNK):

@@ -233,7 +233,47 @@ class QueryServer:
             snapshot["supervision"] = supervision
         if self._session is not None:
             snapshot["session_cache"] = self._session.cache_info()
+        snapshot["result_cache"] = self._result_cache_snapshot()
         return snapshot
+
+    def _result_cache_snapshot(self) -> dict:
+        """Cache traffic by tier (shared / worker / session) and by tenant.
+
+        Sharded backends report the executor's parent-side shared tier and
+        the aggregated per-worker session-cache deltas; the in-process
+        backend reports its session cache.  ``per_tenant`` merges whatever
+        tiers keep tenant-resolved counters (the shared tier and the
+        in-process session; worker deltas are tier totals only).
+        """
+
+        def _with_rate(tier: dict) -> dict:
+            total = tier.get("hits", 0) + tier.get("misses", 0)
+            tier["hit_rate"] = round(tier.get("hits", 0) / total, 6) if total else 0.0
+            return tier
+
+        tiers: dict = {}
+        per_tenant: dict = {}
+        if self._executor is not None:
+            shared = self._executor.shared_cache_info()
+            per_tenant = shared.pop("per_tenant", {})
+            tiers["shared"] = _with_rate(shared)
+            supervision = self._executor.supervision_stats()
+            tiers["worker"] = _with_rate(
+                {
+                    "hits": supervision.get("worker_cache_hits", 0),
+                    "misses": supervision.get("worker_cache_misses", 0),
+                }
+            )
+        if self._session is not None:
+            info = self._session.cache_info()
+            tiers["session"] = _with_rate({"hits": info["hits"], "misses": info["misses"]})
+            for tenant, traffic in info.get("per_tenant", {}).items():
+                bucket = per_tenant.setdefault(tenant, {"hits": 0, "misses": 0})
+                bucket["hits"] += traffic["hits"]
+                bucket["misses"] += traffic["misses"]
+        for traffic in per_tenant.values():
+            _with_rate(traffic)
+        return {"tiers": tiers, "per_tenant": per_tenant}
 
     def health_snapshot(self) -> dict:
         """Liveness-and-degradation summary: breaker, supervision, request totals."""
@@ -253,6 +293,10 @@ class QueryServer:
                 "answered": stats.answered if stats else 0,
                 "shed": stats.shed if stats else 0,
                 "budget_timeouts": stats.budget_timeouts if stats else 0,
+            },
+            "cache": {
+                name: tier["hit_rate"]
+                for name, tier in self._result_cache_snapshot()["tiers"].items()
             },
         }
 

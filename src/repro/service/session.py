@@ -1,31 +1,41 @@
-"""Stateful query sessions: one shared implication index behind every decision procedure.
+"""Stateful query sessions: a tenant keyspace of implication indexes and caches.
 
-A :class:`Session` is the in-process front door of the query service.  It
-owns, for its base PD set Γ:
+A :class:`Session` is the in-process front door of the query service.  Since
+wire v3 it is **multi-tenant**: requests carry an optional ``tenant`` field,
+and the session keeps one :class:`TenantState` per tenant — the tenant's own
+PD set Γ, generation counter, and lazily built per-Γ artifacts
+(:class:`DependencyContext`).  Requests without a tenant run under the
+*default* tenant, which is exactly the pre-v3 behaviour.  Per tenant the
+session owns:
 
 * one persistent :class:`~repro.implication.index.ImplicationIndex` (wrapped
   in an :class:`~repro.implication.alg.ImplicationEngine`), shared by every
-  implication, equivalence and quotient query — each query only extends the
-  incremental closure instead of recomputing it;
+  implication, equivalence and quotient query of that tenant — each query
+  only extends the incremental closure instead of recomputing it;
 * the Theorem 12 **normalization cache**: the
   :class:`~repro.consistency.normalization.NormalizedDependencies` artifacts
   and the preprocessed :class:`~repro.relational.chase_engine.ChaseEngine`
   are built once per Γ generation and reused by every weak-instance
   consistency query;
-* an **LRU result cache** keyed on the canonical wire bytes of each request
-  (:func:`repro.service.wire.request_cache_key`).  The cache is invalidated
-  *precisely* when Γ grows: :meth:`add_dependencies` bumps the generation
-  and evicts exactly the entries that were answered against the session's Γ
-  — results for requests that carried their *own* dependency set are
-  unaffected, because growing the session's Γ cannot change them.
+* a slice of the session-wide **LRU result cache** keyed on the canonical
+  wire bytes of each request (:func:`repro.service.wire.request_cache_key`,
+  which embeds the tenant — tenants can never share or poison each other's
+  slots).  Invalidation is *scoped to the growing tenant*:
+  :meth:`add_dependencies` bumps that tenant's generation and evicts exactly
+  the entries that were answered against that tenant's Γ — every other
+  tenant's entries, and results for requests that carried their *own*
+  dependency set, are unaffected.
 
-Requests carrying an explicit ``dependencies`` field are served from a
-bounded LRU of per-Γ contexts (engine + normalization artifacts per foreign
-dependency set), so a mixed stream over a handful of theories — the shape
-:mod:`repro.workloads.random_service` generates — stays amortized without
-the caller managing engines.  The batch planner
-(:mod:`repro.service.planner`) reuses the same contexts, which is what makes
-its results byte-identical to one-at-a-time :meth:`execute` calls.
+Hash-consed expression ASTs remain **shared globally across tenants** (the
+intern table is process-wide), so a million tenants asking about the same
+subexpressions pay for them once.  Requests carrying an explicit
+``dependencies`` field are served from a bounded LRU of per-Γ contexts
+(engine + normalization artifacts per foreign dependency set) that is
+likewise shared across tenants — the context is a pure function of the
+dependency set; only the *result cache slot* is tenant-scoped.  The context
+LRU keeps hit/miss/eviction counters (:meth:`Session.cache_info`) and
+supports churn-free probes (``context_for(request, create=False)``), which
+is how the batch planner reuses contexts without evicting live ones.
 """
 
 from __future__ import annotations
@@ -108,6 +118,15 @@ class DependencyContext:
             self._chase_engine = ChaseEngine(self.normalized.fds)
         return self._chase_engine
 
+    def peek_engine(self) -> Optional[ImplicationEngine]:
+        """The implication engine if already built, without forcing it.
+
+        The snapshot codec exports non-default tenants lazily: a tenant that
+        never ran an implication query snapshots ``index: null`` and stays
+        lazy through the restore.
+        """
+        return self._engine
+
     def peek_normalized(self) -> Optional[NormalizedDependencies]:
         """The normalization artifacts if already built, without forcing them.
 
@@ -150,8 +169,23 @@ class DependencyContext:
         return context
 
 
+class TenantState:
+    """One tenant's keyspace entry: its Γ context and cache-invalidation marker."""
+
+    __slots__ = ("context", "generation")
+
+    def __init__(self, context: DependencyContext, generation: int = 0) -> None:
+        self.context = context
+        self.generation = generation
+
+
+def tenant_label(tenant: Optional[str]) -> str:
+    """The display name of a tenant key (``None`` is the default tenant)."""
+    return "default" if tenant is None else tenant
+
+
 class Session:
-    """The stateful ``QueryRequest → QueryResult`` surface over one growing Γ."""
+    """The stateful ``QueryRequest → QueryResult`` surface over a tenant keyspace."""
 
     def __init__(
         self,
@@ -160,16 +194,24 @@ class Session:
         foreign_context_limit: int = 16,
     ) -> None:
         base = tuple(as_partition_dependency(pd) for pd in dependencies)
-        self._base = DependencyContext(base)
-        self._base.warm_up()
-        self._generation = 0
+        context = DependencyContext(base)
+        context.warm_up()
+        # tenant key (None = default) -> TenantState; the default tenant
+        # always exists, others are created on first use.
+        self._tenants: "OrderedDict[Optional[str], TenantState]" = OrderedDict()
+        self._tenants[None] = TenantState(context)
         self._result_cache_size = max(0, result_cache_size)
-        # key -> (uses_base_gamma, result-without-caller-id)
-        self._results: "OrderedDict[str, tuple[bool, QueryResult]]" = OrderedDict()
+        # key -> (uses_tenant_gamma, tenant, result-without-caller-id)
+        self._results: "OrderedDict[str, tuple[bool, Optional[str], QueryResult]]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._tenant_hits: dict[Optional[str], int] = {}
+        self._tenant_misses: dict[Optional[str], int] = {}
         self._foreign_context_limit = max(1, foreign_context_limit)
         self._foreign: "OrderedDict[tuple[str, ...], DependencyContext]" = OrderedDict()
+        self._context_hits = 0
+        self._context_misses = 0
+        self._context_evictions = 0
 
     # -- durable snapshots -----------------------------------------------------
 
@@ -214,10 +256,22 @@ class Session:
         )
 
     def _snapshot_state(self) -> dict:
-        """The raw material the snapshot codec serializes (internal)."""
+        """The raw material the snapshot codec serializes (internal).
+
+        ``generation``/``context`` describe the *default* tenant (which is
+        what pre-tenancy snapshot consumers — the executor's warm-boot check,
+        the CLI staleness guard — care about); ``tenants`` carries every
+        named tenant's keyspace entry.
+        """
+        default = self._tenants[None]
         return {
-            "generation": self._generation,
-            "context": self._base,
+            "generation": default.generation,
+            "context": default.context,
+            "tenants": [
+                (name, state.context, state.generation)
+                for name, state in self._tenants.items()
+                if name is not None
+            ],
             "results": list(self._results.items()),
         }
 
@@ -226,9 +280,10 @@ class Session:
         cls,
         base: DependencyContext,
         generation: int,
-        results: Sequence[tuple[str, tuple[bool, QueryResult]]],
+        results: Sequence[tuple[str, tuple[bool, Optional[str], QueryResult]]],
         result_cache_size: int,
         foreign_context_limit: int,
+        tenants: Sequence[tuple[str, DependencyContext, int]] = (),
     ) -> "Session":
         """Assemble a session around restored artifacts (internal; codec-only).
 
@@ -237,8 +292,10 @@ class Session:
         dropped from the cold (least recent) end.
         """
         session = cls.__new__(cls)
-        session._base = base
-        session._generation = generation
+        session._tenants = OrderedDict()
+        session._tenants[None] = TenantState(base, generation)
+        for name, context, tenant_generation in tenants:
+            session._tenants[name] = TenantState(context, tenant_generation)
         session._result_cache_size = max(0, result_cache_size)
         entries = list(results)
         if len(entries) > session._result_cache_size:
@@ -246,46 +303,100 @@ class Session:
         session._results = OrderedDict(entries)
         session._hits = 0
         session._misses = 0
+        session._tenant_hits = {}
+        session._tenant_misses = {}
         session._foreign_context_limit = max(1, foreign_context_limit)
         session._foreign = OrderedDict()
+        session._context_hits = 0
+        session._context_misses = 0
+        session._context_evictions = 0
         return session
 
     # -- Γ management ----------------------------------------------------------
 
+    def _tenant_state(self, tenant: Optional[str]) -> TenantState:
+        """The tenant's keyspace entry, created on first use (empty Γ)."""
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = TenantState(DependencyContext(()))
+            self._tenants[tenant] = state
+        return state
+
     @property
     def dependencies(self) -> list[PartitionDependency]:
-        """The session's base PD set Γ."""
-        return list(self._base.dependencies)
+        """The default tenant's base PD set Γ."""
+        return list(self._tenants[None].context.dependencies)
 
     @property
     def generation(self) -> int:
-        """Bumped once per :meth:`add_dependencies` call (cache-invalidation marker)."""
-        return self._generation
+        """The default tenant's generation (bumped per :meth:`add_dependencies`)."""
+        return self._tenants[None].generation
 
-    def add_dependencies(self, dependencies: Iterable[PartitionDependencyLike]) -> None:
-        """Grow Γ and invalidate exactly the cached results that depended on it."""
+    def dependencies_for(self, tenant: Optional[str]) -> list[PartitionDependency]:
+        """A tenant's base PD set Γ (empty for tenants never seen)."""
+        state = self._tenants.get(tenant)
+        return list(state.context.dependencies) if state is not None else []
+
+    def generation_for(self, tenant: Optional[str]) -> int:
+        """A tenant's cache-invalidation generation (0 for tenants never seen)."""
+        state = self._tenants.get(tenant)
+        return state.generation if state is not None else 0
+
+    def tenant_names(self) -> list[Optional[str]]:
+        """Every tenant key with a keyspace entry (``None`` = default, first)."""
+        return list(self._tenants)
+
+    def add_dependencies(
+        self,
+        dependencies: Iterable[PartitionDependencyLike],
+        tenant: Optional[str] = None,
+    ) -> None:
+        """Grow one tenant's Γ and invalidate exactly that tenant's Γ-results.
+
+        Entries answered against the *growing tenant's* base Γ are evicted;
+        every other tenant's entries — and entries for requests that carried
+        their own explicit dependency set — survive untouched.
+        """
         added = [as_partition_dependency(pd) for pd in dependencies]
         if not added:
             return
-        self._base.extend(added)
-        self._generation += 1
+        state = self._tenant_state(tenant)
+        state.context.extend(added)
+        state.generation += 1
         self._results = OrderedDict(
-            (key, entry) for key, entry in self._results.items() if not entry[0]
+            (key, entry)
+            for key, entry in self._results.items()
+            if not (entry[0] and entry[1] == tenant)
         )
 
-    def context_for(self, request: QueryRequest) -> DependencyContext:
-        """The dependency context a request runs against (base Γ or its own)."""
+    def context_for(self, request: QueryRequest, create: bool = True) -> Optional[DependencyContext]:
+        """The dependency context a request runs against (tenant Γ or its own).
+
+        Requests without an explicit ``dependencies`` field run against their
+        tenant's base Γ (the tenant keyspace entry is created on demand —
+        tenant states are cheap and never evicted).  Requests *with* explicit
+        dependencies share a bounded LRU of per-Γ contexts across tenants;
+        ``create=False`` turns that path into a churn-free probe that returns
+        the cached context or ``None`` without inserting or evicting — the
+        batch planner uses this so a stream of one-off dependency sets cannot
+        flush contexts that live requests still share.
+        """
         if request.dependencies is None:
-            return self._base
+            return self._tenant_state(request.tenant).context
         key = tuple(encode_pd(pd) for pd in request.dependencies)
         context = self._foreign.get(key)
-        if context is None:
-            context = DependencyContext(request.dependencies)
-            self._foreign[key] = context
-            while len(self._foreign) > self._foreign_context_limit:
-                self._foreign.popitem(last=False)
-        else:
+        if context is not None:
             self._foreign.move_to_end(key)
+            self._context_hits += 1
+            return context
+        self._context_misses += 1
+        if not create:
+            return None
+        context = DependencyContext(request.dependencies)
+        self._foreign[key] = context
+        while len(self._foreign) > self._foreign_context_limit:
+            self._foreign.popitem(last=False)
+            self._context_evictions += 1
         return context
 
     # -- the query surface -----------------------------------------------------
@@ -331,8 +442,10 @@ class Session:
         if entry is not None:
             self._results.move_to_end(key)
             self._hits += 1
-            return replace(entry[1], id=request.id, cached=True)
+            self._tenant_hits[request.tenant] = self._tenant_hits.get(request.tenant, 0) + 1
+            return replace(entry[2], id=request.id, cached=True)
         self._misses += 1
+        self._tenant_misses[request.tenant] = self._tenant_misses.get(request.tenant, 0) + 1
         return None
 
     def cache_store(
@@ -343,10 +456,10 @@ class Session:
             return
         if key is None:
             key = request_cache_key(request)
-        # fd_implies reasons over its own Σ, never the session's Γ, so its
+        # fd_implies reasons over its own Σ, never a tenant's Γ, so its
         # entries survive add_dependencies like explicit-Γ requests do.
-        uses_base_gamma = request.dependencies is None and request.kind != "fd_implies"
-        self._results[key] = (uses_base_gamma, replace(result, id=None))
+        uses_gamma = request.dependencies is None and request.kind != "fd_implies"
+        self._results[key] = (uses_gamma, request.tenant, replace(result, id=None))
         while len(self._results) > self._result_cache_size:
             self._results.popitem(last=False)
 
@@ -365,21 +478,21 @@ class Session:
     # dispatch as any wire request, and returns a typed answer — failures
     # raise QueryFailedError instead of coming back as ok=false results.
 
-    def implies(self, query, rhs=None, *, dependencies=None, deadline_ms=None):
+    def implies(self, query, rhs=None, *, dependencies=None, deadline_ms=None, tenant=None):
         """Does Γ imply the PD (``implies(pd)`` or ``implies(lhs, rhs)``)?"""
         from repro.service import api
 
         request = api.implies_request(
-            query, rhs, dependencies=dependencies, deadline_ms=deadline_ms
+            query, rhs, dependencies=dependencies, deadline_ms=deadline_ms, tenant=tenant
         )
         return api.answer_for(self.execute(request))
 
-    def equivalent(self, left, right, *, dependencies=None, deadline_ms=None):
+    def equivalent(self, left, right, *, dependencies=None, deadline_ms=None, tenant=None):
         """Are two expressions Γ-equivalent?"""
         from repro.service import api
 
         request = api.equivalent_request(
-            left, right, dependencies=dependencies, deadline_ms=deadline_ms
+            left, right, dependencies=dependencies, deadline_ms=deadline_ms, tenant=tenant
         )
         return api.answer_for(self.execute(request))
 
@@ -391,6 +504,7 @@ class Session:
         dependencies=None,
         max_nodes=None,
         deadline_ms=None,
+        tenant=None,
     ):
         """Is a database consistent with Γ (Theorem 12 weak-instance or Theorem 11 CAD)?"""
         from repro.service import api
@@ -401,24 +515,31 @@ class Session:
             dependencies=dependencies,
             max_nodes=max_nodes,
             deadline_ms=deadline_ms,
+            tenant=tenant,
         )
         return api.answer_for(self.execute(request))
 
-    def quotient(self, expressions, *, dependencies=None, deadline_ms=None):
+    def quotient(self, expressions, *, dependencies=None, deadline_ms=None, tenant=None):
         """The Γ-congruence classes and order of an expression pool."""
         from repro.service import api
 
         request = api.quotient_request(
-            expressions, dependencies=dependencies, deadline_ms=deadline_ms
+            expressions, dependencies=dependencies, deadline_ms=deadline_ms, tenant=tenant
         )
         return api.answer_for(self.execute(request))
 
-    def counterexample(self, query, *, max_pool=400, dependencies=None, deadline_ms=None):
+    def counterexample(
+        self, query, *, max_pool=400, dependencies=None, deadline_ms=None, tenant=None
+    ):
         """A finite lattice refuting Γ ⊨ query, or the verdict that none exists."""
         from repro.service import api
 
         request = api.counterexample_request(
-            query, max_pool=max_pool, dependencies=dependencies, deadline_ms=deadline_ms
+            query,
+            max_pool=max_pool,
+            dependencies=dependencies,
+            deadline_ms=deadline_ms,
+            tenant=tenant,
         )
         return api.answer_for(self.execute(request))
 
@@ -428,14 +549,37 @@ class Session:
         return self._result_cache_size > 0
 
     def cache_info(self) -> dict:
-        """Result-cache and context diagnostics (hits/misses/size/generation)."""
+        """Result-cache, tenant, and context diagnostics.
+
+        The flat ``hits``/``misses``/``size``/``maxsize``/``generation``/
+        ``foreign_contexts`` keys keep their pre-tenancy meaning (generation
+        is the default tenant's); ``tenants`` counts keyspace entries,
+        ``per_tenant`` breaks result-cache traffic down by tenant, and
+        ``contexts`` reports the foreign-context LRU's hit/miss/eviction
+        counters.
+        """
+        per_tenant: dict[str, dict[str, int]] = {}
+        for tenant in set(self._tenant_hits) | set(self._tenant_misses):
+            per_tenant[tenant_label(tenant)] = {
+                "hits": self._tenant_hits.get(tenant, 0),
+                "misses": self._tenant_misses.get(tenant, 0),
+            }
         return {
             "hits": self._hits,
             "misses": self._misses,
             "size": len(self._results),
             "maxsize": self._result_cache_size,
-            "generation": self._generation,
+            "generation": self._tenants[None].generation,
             "foreign_contexts": len(self._foreign),
+            "tenants": len(self._tenants),
+            "per_tenant": per_tenant,
+            "contexts": {
+                "hits": self._context_hits,
+                "misses": self._context_misses,
+                "evictions": self._context_evictions,
+                "size": len(self._foreign),
+                "maxsize": self._foreign_context_limit,
+            },
         }
 
     # -- evaluation ------------------------------------------------------------

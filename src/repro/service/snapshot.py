@@ -63,7 +63,15 @@ from repro.service.wire import (
 )
 
 #: Snapshot format version; bump on any incompatible payload change.
-SNAPSHOT_VERSION = 1
+#: Version 2 (multi-tenancy) adds the ``tenants`` list and widens result
+#: entries to ``[key, uses_gamma, tenant, result]`` quadruples; the
+#: top-level ``generation``/``dependencies``/``index``/``normalized`` fields
+#: keep describing the *default* tenant, exactly as version 1 did.
+SNAPSHOT_VERSION = 2
+
+#: Versions :func:`decode_snapshot` accepts.  Version-1 documents restore as
+#: a default-tenant-only keyspace (their result entries carry no tenant).
+SUPPORTED_SNAPSHOT_VERSIONS = (1, 2)
 
 #: The ``kind`` tag of a snapshot document (guards against feeding the codec
 #: some other canonical-JSON artifact).
@@ -102,8 +110,26 @@ def _encode_normalized(normalized: NormalizedDependencies) -> dict:
     }
 
 
+def _encode_tenant(context, generation: int) -> dict:
+    """One named tenant's keyspace entry; unforced artifacts stay ``null``.
+
+    The export-never-computes rule holds per tenant: a tenant that has not
+    run an implication query yet snapshots ``index: null`` (and restores
+    lazy), unlike the default tenant whose engine always exists.
+    """
+    engine = context.peek_engine()
+    index = engine.index if engine is not None else None
+    normalized = context.peek_normalized()
+    return {
+        "generation": generation,
+        "dependencies": [encode_pd(pd) for pd in context.dependencies],
+        "index": None if index is None else _encode_index(index),
+        "normalized": None if normalized is None else _encode_normalized(normalized),
+    }
+
+
 def encode_snapshot(session) -> dict:
-    """A warm session's Γ artifacts as a canonical, digest-stamped payload dict."""
+    """A warm session's tenant keyspace as a canonical, digest-stamped payload dict."""
     state = session._snapshot_state()
     context = state["context"]
     engine = context.engine
@@ -118,9 +144,15 @@ def encode_snapshot(session) -> dict:
         "normalized": (
             None if context.peek_normalized() is None else _encode_normalized(context.peek_normalized())
         ),
+        "tenants": [
+            [name, _encode_tenant(tenant_context, tenant_generation)]
+            for name, tenant_context, tenant_generation in sorted(
+                state["tenants"], key=lambda entry: entry[0]
+            )
+        ],
         "results": [
-            [key, uses_base, encode_result(result)]
-            for key, (uses_base, result) in state["results"]
+            [key, uses_gamma, tenant, encode_result(result)]
+            for key, (uses_gamma, tenant, result) in state["results"]
         ],
     }
     payload["digest"] = _digest(payload)
@@ -158,7 +190,7 @@ def decode_snapshot(text: Union[str, bytes]) -> dict:
     kind = payload.get("kind")
     if kind != SNAPSHOT_KIND:
         raise ServiceError(f"snapshot payload has kind {kind!r}; expected {SNAPSHOT_KIND!r}")
-    _check_version(payload, "snapshot", expected=SNAPSHOT_VERSION)
+    version = _check_version(payload, "snapshot", expected=SUPPORTED_SNAPSHOT_VERSIONS)
     stored = _require(payload, "digest", "snapshot")
     actual = _digest(payload)
     if stored != actual:
@@ -180,10 +212,48 @@ def decode_snapshot(text: Union[str, bytes]) -> dict:
     if normalized is not None:
         for field in ("fds", "sum_constraints", "fresh_attributes", "closure_pairs"):
             _require_list(normalized, field, "snapshot normalization")
+    if version >= 2:
+        for entry in _require_list(payload, "tenants", "snapshot"):
+            if (
+                not isinstance(entry, list)
+                or len(entry) != 2
+                or not isinstance(entry[0], str)
+                or not entry[0]
+                or not isinstance(entry[1], dict)
+            ):
+                raise ServiceError(
+                    f"snapshot tenant entry must be a [name, state] pair, got {entry!r}"
+                )
+            tenant_state = entry[1]
+            tenant_context = f"snapshot tenant {entry[0]!r}"
+            tenant_generation = _require(tenant_state, "generation", tenant_context)
+            if (
+                isinstance(tenant_generation, bool)
+                or not isinstance(tenant_generation, int)
+                or tenant_generation < 0
+            ):
+                raise ServiceError(
+                    f"{tenant_context} generation must be a non-negative integer, "
+                    f"got {tenant_generation!r}"
+                )
+            _require_list(tenant_state, "dependencies", tenant_context)
+            tenant_index = _require(tenant_state, "index", tenant_context)
+            if tenant_index is not None:
+                for field in ("expressions", "parent", "arcs"):
+                    _require_list(tenant_index, field, tenant_context + " index")
+            tenant_normalized = _require(tenant_state, "normalized", tenant_context)
+            if tenant_normalized is not None:
+                for field in ("fds", "sum_constraints", "fresh_attributes", "closure_pairs"):
+                    _require_list(tenant_normalized, field, tenant_context + " normalization")
+        entry_width, entry_shape = 4, "[key, uses_gamma, tenant, result] quadruple"
+    else:
+        entry_width, entry_shape = 3, "[key, uses_base_gamma, result] triple"
     for entry in _require_list(payload, "results", "snapshot"):
-        if not isinstance(entry, list) or len(entry) != 3 or not isinstance(entry[0], str):
+        if not isinstance(entry, list) or len(entry) != entry_width or not isinstance(entry[0], str):
+            raise ServiceError(f"snapshot result entry must be a {entry_shape}, got {entry!r}")
+        if entry_width == 4 and entry[2] is not None and (not isinstance(entry[2], str) or not entry[2]):
             raise ServiceError(
-                f"snapshot result entry must be a [key, uses_base_gamma, result] triple, got {entry!r}"
+                f"snapshot result entry tenant must be null or a non-empty string, got {entry[2]!r}"
             )
     return payload
 
@@ -267,37 +337,70 @@ def restore_session(
                 f"{payload['dependencies']!r} but {expected!r} was configured"
             )
 
-    index_payload = payload["index"]
-    expressions = [decode_expression(text) for text in index_payload["expressions"]]
-    arcs = {source: targets for source, targets in index_payload["arcs"]}
-    try:
-        index = ImplicationIndex.from_state(
-            dependencies, expressions, index_payload["parent"], arcs
-        )
-    except (ValueError, TypeError) as exc:
-        raise ServiceError(f"cannot restore implication index: {exc}") from None
-    engine = ImplicationEngine.from_index(index)
-
-    normalized = chase_engine = None
-    if payload["normalized"] is not None:
-        normalized = _decode_normalized(payload["normalized"], dependencies)
-        chase_engine = ChaseEngine(normalized.fds)
-
-    base = DependencyContext.from_artifacts(
-        dependencies, engine=engine, normalized=normalized, chase_engine=chase_engine
+    base = _restore_context(
+        DependencyContext, dependencies, payload["index"], payload["normalized"]
     )
+    tenants = []
+    for name, tenant_state in payload.get("tenants", ()):
+        tenant_dependencies = tuple(decode_pd(text) for text in tenant_state["dependencies"])
+        tenants.append(
+            (
+                name,
+                _restore_context(
+                    DependencyContext,
+                    tenant_dependencies,
+                    tenant_state["index"],
+                    tenant_state["normalized"],
+                ),
+                tenant_state["generation"],
+            )
+        )
     results = []
-    for key, uses_base, result_payload in payload["results"]:
+    for entry in payload["results"]:
+        if len(entry) == 4:
+            key, uses_gamma, tenant, result_payload = entry
+        else:  # a version-1 document: default-tenant entries only
+            key, uses_gamma, result_payload = entry
+            tenant = None
         result = decode_result(result_payload)
         if not result.ok:
             raise ServiceError("snapshot result cache contains an error result (never cached)")
-        results.append((key, (bool(uses_base), result)))
+        results.append((key, (bool(uses_gamma), tenant, result)))
     return Session._from_restored(
         base,
         generation=generation,
         results=results,
         result_cache_size=result_cache_size,
         foreign_context_limit=foreign_context_limit,
+        tenants=tenants,
+    )
+
+
+def _restore_context(context_cls, dependencies, index_payload, normalized_payload):
+    """A :class:`DependencyContext` over whatever artifacts the payload carries.
+
+    ``index: null`` (a lazy tenant) restores a plain lazy context; anything
+    present re-enters through the parser and the hash-consed AST.
+    """
+    engine = None
+    if index_payload is not None:
+        expressions = [decode_expression(text) for text in index_payload["expressions"]]
+        arcs = {source: targets for source, targets in index_payload["arcs"]}
+        try:
+            index = ImplicationIndex.from_state(
+                dependencies, expressions, index_payload["parent"], arcs
+            )
+        except (ValueError, TypeError) as exc:
+            raise ServiceError(f"cannot restore implication index: {exc}") from None
+        engine = ImplicationEngine.from_index(index)
+    normalized = chase_engine = None
+    if normalized_payload is not None:
+        normalized = _decode_normalized(normalized_payload, dependencies)
+        chase_engine = ChaseEngine(normalized.fds)
+    if engine is None and normalized is None:
+        return context_cls(dependencies)
+    return context_cls.from_artifacts(
+        dependencies, engine=engine, normalized=normalized, chase_engine=chase_engine
     )
 
 

@@ -70,10 +70,18 @@ class WorkItem:
 
 @dataclass
 class WorkUnit:
-    """A batch-aligned dispatch quantum with its remaining delivery attempts."""
+    """A batch-aligned dispatch quantum with its remaining delivery attempts.
+
+    ``preferred`` is the consistent-hash shard the executor routed this unit
+    to (``None`` = no affinity).  It is a *hint*: the scheduler keeps a
+    pinned queue per worker so repeats land on the worker whose session
+    cache is warm for them, but an idle worker steals from the longest
+    pinned backlog rather than wait — affinity never costs wall clock.
+    """
 
     items: tuple[WorkItem, ...]
     attempts_left: int = 2
+    preferred: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.items)
@@ -92,6 +100,10 @@ class SupervisorStats:
     corrupted: int = 0
     units_dispatched: int = 0
     restart_seconds: float = 0.0
+    # Aggregated worker-session result-cache traffic (the second cache tier):
+    # each validated reply carries the unit's hit/miss delta.
+    worker_cache_hits: int = 0
+    worker_cache_misses: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -104,6 +116,8 @@ class SupervisorStats:
             "corrupted": self.corrupted,
             "units_dispatched": self.units_dispatched,
             "restart_seconds": round(self.restart_seconds, 6),
+            "worker_cache_hits": self.worker_cache_hits,
+            "worker_cache_misses": self.worker_cache_misses,
         }
 
 
@@ -114,6 +128,7 @@ def _worker_main(
     encoded_dependencies: list[str],
     snapshot_text: Optional[str],
     fault_plan_json: Optional[str],
+    worker_cache_size: Optional[int] = None,
 ) -> None:
     """One supervised worker: warm a session, then serve units until the sentinel.
 
@@ -128,14 +143,17 @@ def _worker_main(
         faults.install_fault_plan(fault_plan_json)
     else:
         faults.install_from_env()
+    # Per-worker result-cache capacity: the memory-bounded tier-2 islands
+    # EXP-TEN sizes explicitly (None keeps the Session default).
+    cache_kwargs = {} if worker_cache_size is None else {"result_cache_size": worker_cache_size}
     if snapshot_text is not None:
         from repro.service.snapshot import restore_session
 
-        session = restore_session(snapshot_text)
+        session = restore_session(snapshot_text, **cache_kwargs)
     else:
         from repro.dependencies.pd import parse_pd_set
 
-        session = Session(parse_pd_set(encoded_dependencies))
+        session = Session(parse_pd_set(encoded_dependencies), **cache_kwargs)
     while True:
         try:
             message = conn.recv()
@@ -156,12 +174,20 @@ def _worker_main(
                 encoded[original_index] = dump_result_line(
                     error_result_for_line(line, original_index + 1, exc)
                 )
+        before = session.cache_info()
         results = session.execute_many(requests, batch=True)
+        after = session.cache_info()
         for original_index, request, result in zip(positions, requests, results):
             encoded[original_index] = faults.corrupt_result_line(
                 request.id, dump_result_line(result)
             )
-        conn.send((unit_seq, [(index, encoded[index]) for index, _ in lines]))
+        # The unit's session-cache delta rides back with the reply, so the
+        # parent can account the warm per-worker tier without another RPC.
+        info = {
+            "cache_hits": after["hits"] - before["hits"],
+            "cache_misses": after["misses"] - before["misses"],
+        }
+        conn.send((unit_seq, [(index, encoded[index]) for index, _ in lines], info))
     conn.close()
 
 
@@ -198,6 +224,7 @@ class SupervisedPool:
         fault_plan_json: Optional[str] = None,
         unit_timeout_ms: Optional[float] = None,
         deadline_grace_ms: float = 2000.0,
+        worker_cache_size: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"worker count must be positive, got {workers}")
@@ -205,6 +232,7 @@ class SupervisedPool:
         self._encoded_dependencies = list(encoded_dependencies)
         self._snapshot = snapshot
         self._fault_plan_json = fault_plan_json
+        self._worker_cache_size = worker_cache_size
         self._unit_timeout_ms = unit_timeout_ms
         self._deadline_grace_ms = deadline_grace_ms
         self.stats = SupervisorStats()
@@ -223,6 +251,7 @@ class SupervisedPool:
                 self._encoded_dependencies,
                 self._snapshot,
                 self._fault_plan_json,
+                self._worker_cache_size,
             ),
             daemon=True,
             name=f"repro-shard-{index}.{incarnation}",
@@ -289,23 +318,49 @@ class SupervisedPool:
     def run_units(self, units: list[WorkUnit]) -> dict[int, str]:
         """Execute units to completion; returns stream index → result line.
 
-        Deals largest-first to idle workers, then waits on pipes, sentinels
-        and the nearest wall-clock expiry; failures re-enter the queue via
-        the retry → split → quarantine ladder, so the returned mapping always
-        covers every item of every unit.
+        Units with a ``preferred`` shard queue on that worker (largest first)
+        so consistently-hashed repeats land where the session cache is warm;
+        unpinned units share one queue.  An idle worker drains its own pinned
+        queue, then the shared queue, then steals from the longest pinned
+        backlog — affinity is a hint, never a stall.  Failures re-enter the
+        *shared* queue via the retry → split → quarantine ladder (the culprit
+        already cost its preferred worker an incarnation), so the returned
+        mapping always covers every item of every unit.
         """
         if not self._workers:
             raise ServiceError("the supervised pool is closed")
         results: dict[int, str] = {}
-        queue: deque[WorkUnit] = deque(
-            sorted(units, key=lambda unit: len(unit.items), reverse=True)
-        )
+        queue: deque[WorkUnit] = deque()  # the shared (unpinned + retry) queue
+        pinned: dict[int, deque[WorkUnit]] = {w.index: deque() for w in self._workers}
+        for unit in sorted(units, key=lambda unit: len(unit.items), reverse=True):
+            if unit.preferred is not None:
+                pinned[unit.preferred % len(self._workers)].append(unit)
+            else:
+                queue.append(unit)
+
+        def take_for(worker: _WorkerHandle) -> Optional[WorkUnit]:
+            own = pinned[worker.index]
+            if own:
+                return own.popleft()
+            if queue:
+                return queue.popleft()
+            longest = max(pinned.values(), key=len)
+            if longest:
+                return longest.popleft()
+            return None
+
         next_seq = 0
-        while queue or any(worker.unit is not None for worker in self._workers):
+        while (
+            queue
+            or any(pinned.values())
+            or any(worker.unit is not None for worker in self._workers)
+        ):
             for worker in self._workers:
-                if worker.unit is None and queue:
-                    self._dispatch(worker, queue.popleft(), next_seq, results, queue)
-                    next_seq += 1
+                if worker.unit is None:
+                    unit = take_for(worker)
+                    if unit is not None:
+                        self._dispatch(worker, unit, next_seq, results, queue)
+                        next_seq += 1
             busy = [worker for worker in self._workers if worker.unit is not None]
             if not busy:
                 continue
@@ -373,7 +428,10 @@ class SupervisedPool:
             self._respawn(worker)
             self._fail_unit(unit, "corrupt", results, queue)
             return
-        results.update(validated)
+        lines, info = validated
+        results.update(lines)
+        self.stats.worker_cache_hits += info.get("cache_hits", 0)
+        self.stats.worker_cache_misses += info.get("cache_misses", 0)
         worker.unit = None
         worker.expires_at = None
 
@@ -394,14 +452,20 @@ class SupervisedPool:
         self._respawn(worker)
         self._fail_unit(unit, "timeout", results, queue, budget_ms=budget_ms)
 
-    def _validate_reply(self, worker: _WorkerHandle, message) -> Optional[dict[int, str]]:
-        """The reply's index → line mapping, or ``None`` if it cannot be trusted."""
+    def _validate_reply(
+        self, worker: _WorkerHandle, message
+    ) -> Optional[tuple[dict[int, str], dict]]:
+        """The reply's (index → line mapping, info dict), or ``None`` if untrusted."""
         unit = worker.unit
         assert unit is not None
-        if not isinstance(message, tuple) or len(message) != 2:
+        if not isinstance(message, tuple) or len(message) != 3:
             return None
-        seq, payload = message
+        seq, payload, info = message
         if seq != worker.unit_seq or not isinstance(payload, list):
+            return None
+        if not isinstance(info, dict) or any(
+            not isinstance(value, int) for value in info.values()
+        ):
             return None
         expected = {item.index for item in unit.items}
         out: dict[int, str] = {}
@@ -420,7 +484,7 @@ class SupervisedPool:
             out[index] = line
         if set(out) != expected:
             return None
-        return out
+        return out, info
 
     # -- the escalation ladder -------------------------------------------------
 

@@ -27,7 +27,11 @@ bump :data:`WIRE_VERSION` and old envelopes cannot be mis-versioned by
 omission.  Version 2 added the optional ``deadline_ms`` request field (a
 per-query wall-clock budget); version-1 payloads still decode, but a v1
 envelope carrying ``deadline_ms`` is rejected — an old peer echoing unknown
-fields must not silently gain semantics.  Malformed payloads raise
+fields must not silently gain semantics.  Version 3 added the optional
+``tenant`` request field (the keyspace a request reasons and caches under);
+v1/v2 payloads decode as the *default* tenant, and an older envelope
+carrying ``tenant`` is rejected on the same principle.  Malformed payloads
+raise
 :class:`~repro.errors.ServiceError` — never ``KeyError``/``TypeError`` — so
 the CLI can turn them into structured error results.
 
@@ -60,10 +64,10 @@ from repro.relational.schema import DatabaseScheme, RelationScheme
 from repro.relational.tuples import Row
 
 #: Wire format version; bump on any incompatible payload change.
-WIRE_VERSION = 2
+WIRE_VERSION = 3
 
 #: Versions this service still decodes (encoding always emits WIRE_VERSION).
-SUPPORTED_WIRE_VERSIONS = (1, 2)
+SUPPORTED_WIRE_VERSIONS = (1, 2, 3)
 
 #: The query kinds the service understands.
 REQUEST_KINDS = (
@@ -119,11 +123,11 @@ def _require_int(payload: dict, key: str, context: str, default=None, allow_none
 
 def _check_version(payload: dict, context: str, expected=SUPPORTED_WIRE_VERSIONS) -> int:
     accepted = expected if isinstance(expected, tuple) else (expected,)
-    spoken = (
-        f"version {accepted[0]}"
-        if len(accepted) == 1
-        else "versions " + " and ".join(str(v) for v in accepted)
-    )
+    if len(accepted) == 1:
+        spoken = f"version {accepted[0]}"
+    else:
+        listed = [str(v) for v in accepted]
+        spoken = "versions " + ", ".join(listed[:-1]) + f" and {listed[-1]}"
     if "v" not in payload:
         raise ServiceError(
             f"{context} payload is missing the 'v' version field; "
@@ -330,12 +334,16 @@ class QueryRequest:
     """One query against the service — the uniform unit of work.
 
     ``dependencies`` is the PD set Γ the query reasons over; ``None`` means
-    "use the session's own Γ" (the stateful mode).  The remaining fields are
-    kind-specific; :func:`validate_request` states which are required.
+    "use the session's own Γ" (the stateful mode).  ``tenant`` names the
+    keyspace that Γ (and the request's cache slot) lives in; ``None`` is the
+    default tenant, which is how every pre-v3 request decodes.  The remaining
+    fields are kind-specific; :func:`validate_request` states which are
+    required.
     """
 
     kind: str
     id: Optional[str] = None
+    tenant: Optional[str] = None
     dependencies: Optional[tuple[PartitionDependency, ...]] = None
     query: Optional[PartitionDependency] = None
     left: Optional[PartitionExpression] = None
@@ -401,6 +409,11 @@ def validate_request(request: QueryRequest) -> None:
             raise ServiceError(
                 f"'deadline_ms' must be a positive integer, got {request.deadline_ms}"
             )
+    if request.tenant is not None:
+        if not isinstance(request.tenant, str) or not request.tenant:
+            raise ServiceError(
+                f"'tenant' must be a non-empty string, got {request.tenant!r}"
+            )
 
 
 def encode_request(request: QueryRequest) -> dict:
@@ -409,6 +422,8 @@ def encode_request(request: QueryRequest) -> dict:
     payload: dict[str, Any] = {"v": WIRE_VERSION, "kind": request.kind}
     if request.id is not None:
         payload["id"] = request.id
+    if request.tenant is not None:
+        payload["tenant"] = request.tenant
     if request.dependencies is not None:
         payload["dependencies"] = [encode_pd(pd) for pd in request.dependencies]
     if request.kind in ("implies", "counterexample"):
@@ -441,6 +456,10 @@ def decode_request(payload: Any) -> QueryRequest:
         raise ServiceError(
             "'deadline_ms' needs wire version 2; a version-1 request cannot carry a deadline"
         )
+    if "tenant" in payload and version < 3:
+        raise ServiceError(
+            f"'tenant' needs wire version 3; a version-{version} request cannot carry a tenant"
+        )
     if kind not in REQUEST_KINDS:
         raise ServiceError(f"unknown request kind {kind!r}; expected one of {REQUEST_KINDS}")
     raw_deps = payload.get("dependencies")
@@ -452,6 +471,7 @@ def decode_request(payload: Any) -> QueryRequest:
     kwargs: dict[str, Any] = {
         "kind": kind,
         "id": payload.get("id"),
+        "tenant": payload.get("tenant"),
         "dependencies": dependencies,
     }
     if kind in ("implies", "counterexample"):
@@ -520,7 +540,10 @@ def request_cache_key(request: QueryRequest) -> str:
     slot; the session re-stamps the stored result with the caller's id.  The
     deadline is excluded too: a budget changes *whether* an answer arrives in
     time, never what the answer is, and timeouts are error results, which are
-    never cached.
+    never cached.  The ``tenant`` field *stays in*: the key is effectively
+    ``(tenant, canonical request bytes)``, so one tenant's repeats can never
+    be served from (or poison) another tenant's cache slot — tenant isolation
+    is enforced at the key, in every cache tier that uses this function.
     """
     payload = encode_request(request)
     payload.pop("id", None)

@@ -21,7 +21,11 @@ from repro.workloads.random_implication import (
     random_implication_workload,
 )
 from repro.workloads.random_graphs import random_graph_relation, random_sparse_forest_relation
-from repro.workloads.random_service import random_service_requests
+from repro.workloads.random_service import (
+    random_service_requests,
+    zipf_multitenant_requests,
+    zipf_tenant_weights,
+)
 from repro.workloads.random_relations import (
     attribute_names,
     chained_consistent_database,
@@ -52,4 +56,6 @@ __all__ = [
     "random_3cnf",
     "random_nae_satisfiable_3cnf",
     "random_service_requests",
+    "zipf_multitenant_requests",
+    "zipf_tenant_weights",
 ]

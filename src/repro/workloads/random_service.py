@@ -30,6 +30,7 @@ would just manufacture error results.
 from __future__ import annotations
 
 import random
+from dataclasses import replace
 from typing import Optional, Union
 
 from repro.dependencies.conversion import fd_to_pd
@@ -210,4 +211,69 @@ def random_service_requests(
             requests.append(
                 QueryRequest(kind="fd_implies", id=request_id, fds=fds, target=target)
             )
+    return requests
+
+
+def zipf_tenant_weights(tenants: int, skew: float) -> list[float]:
+    """Unnormalized Zipfian popularity weights ``1/rank^skew`` for ``tenants`` ranks.
+
+    Rank 1 is the hottest tenant; ``skew=0`` degenerates to a uniform
+    distribution and larger ``skew`` concentrates traffic on the head — the
+    regime where a shared result cache pays for itself because the hot
+    tenants' working sets fit while the cold tail would thrash per-worker
+    islands.
+    """
+    if tenants < 1:
+        raise ValueError(f"tenant count must be positive, got {tenants}")
+    if skew < 0:
+        raise ValueError(f"Zipf skew must be non-negative, got {skew}")
+    return [1.0 / float(rank) ** skew for rank in range(1, tenants + 1)]
+
+
+def zipf_multitenant_requests(
+    count: int,
+    seed: RandomLike = 0,
+    tenants: int = 50,
+    skew: float = 1.0,
+    pool_per_tenant: int = 4,
+    tenant_prefix: str = "t",
+    **request_kwargs,
+) -> list[QueryRequest]:
+    """A seeded multi-tenant stream: Zipf-distributed tenants over fixed request pools.
+
+    Each of the ``tenants`` tenants owns a pre-built pool of
+    ``pool_per_tenant`` mixed requests (built once via
+    :func:`random_service_requests` over a shared theory pool, so the batch
+    planner still sees cross-tenant grouping structure).  Every draw picks a
+    tenant by :func:`zipf_tenant_weights` and then one request uniformly from
+    that tenant's pool, re-stamped with a fresh stream id ``q0, q1, ...`` —
+    so hot tenants naturally repeat identical cacheable requests while the
+    cold tail barely re-asks anything.  That is exactly the EXP-TEN traffic
+    shape: a consistently-hashed shared cache should answer the head
+    parent-side while per-worker islands keep recomputing it.
+
+    ``request_kwargs`` are forwarded to :func:`random_service_requests`
+    (``kind_weights``, ``theory_count``, ``embed_dependencies``, ...).
+    Deterministic per seed; tenants are named ``{tenant_prefix}1`` (hottest)
+    through ``{tenant_prefix}{tenants}``.
+    """
+    if count < 0:
+        raise ValueError(f"request count must be non-negative, got {count}")
+    if pool_per_tenant < 1:
+        raise ValueError(f"pool size per tenant must be positive, got {pool_per_tenant}")
+    weights = zipf_tenant_weights(tenants, skew)
+    rng = _rng(seed)
+    base = random_service_requests(tenants * pool_per_tenant, seed=rng, **request_kwargs)
+    pools = [
+        base[rank * pool_per_tenant : (rank + 1) * pool_per_tenant]
+        for rank in range(tenants)
+    ]
+    ranks = range(tenants)
+    requests: list[QueryRequest] = []
+    for index in range(count):
+        rank = rng.choices(ranks, weights=weights)[0]
+        template = pools[rank][rng.randrange(pool_per_tenant)]
+        requests.append(
+            replace(template, id=f"q{index}", tenant=f"{tenant_prefix}{rank + 1}")
+        )
     return requests

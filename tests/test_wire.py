@@ -264,7 +264,7 @@ class TestMalformedPayloads:
             {"kind": "implies", "ok": "yes"},
             {"kind": "implies", "ok": True},
             {"kind": "implies", "ok": False, "error": "boom"},
-            {"kind": "implies", "ok": True, "value": {}, "v": 3},
+            {"kind": "implies", "ok": True, "value": {}, "v": 99},
         ):
             with pytest.raises(ServiceError):
                 wire.decode_result(payload)
@@ -277,12 +277,12 @@ class TestMalformedPayloads:
 
 
 class TestDeadlineOnTheWire:
-    def test_deadline_round_trips_at_version_2(self):
+    def test_deadline_round_trips_on_the_current_version(self):
         request = QueryRequest(
             kind="implies", id="q1", query=PartitionDependency.parse("A = A*B"), deadline_ms=250
         )
         payload = wire.encode_request(request)
-        assert payload["v"] == wire.WIRE_VERSION == 2
+        assert payload["v"] == wire.WIRE_VERSION == 3
         assert payload["deadline_ms"] == 250
         assert wire.decode_request(payload).deadline_ms == 250
 

@@ -102,3 +102,68 @@ class TestGraphAndFormulaGenerators:
         for seed in range(3):
             formula = random_nae_satisfiable_3cnf(5, 6, seed=seed)
             assert nae_brute_force(formula) is not None
+
+
+class TestZipfMultitenantStream:
+    def _stream(self, count=300, **kwargs):
+        from repro.workloads.random_service import zipf_multitenant_requests
+
+        defaults = dict(seed=11, tenants=20, skew=1.2, pool_per_tenant=3)
+        defaults.update(kwargs)
+        return zipf_multitenant_requests(count, **defaults)
+
+    def test_deterministic_per_seed_with_stream_ids(self):
+        first, second = self._stream(), self._stream()
+        assert first == second
+        assert [request.id for request in first] == [f"q{i}" for i in range(300)]
+        assert self._stream(seed=12) != first
+
+    def test_zipf_head_dominates(self):
+        from collections import Counter
+
+        counts = Counter(request.tenant for request in self._stream())
+        assert set(counts) <= {f"t{i}" for i in range(1, 21)}
+        # Rank 1 is the hottest tenant and beats the tail decisively.
+        assert counts["t1"] == max(counts.values())
+        assert counts["t1"] > 3 * counts.get("t20", 0)
+
+    def test_skew_zero_is_roughly_uniform(self):
+        from collections import Counter
+
+        counts = Counter(
+            request.tenant for request in self._stream(count=2000, skew=0.0, tenants=4)
+        )
+        assert all(350 < counts[f"t{i}"] < 650 for i in range(1, 5))
+
+    def test_draws_come_from_fixed_per_tenant_pools(self):
+        from repro.service.wire import request_cache_key
+
+        stream = self._stream(count=400, tenants=10, pool_per_tenant=2)
+        keys = {request.tenant: set() for request in stream}
+        for request in stream:
+            keys[request.tenant].add(request_cache_key(request))
+        # Each tenant re-asks from its own fixed pool: at most 2 distinct slots.
+        assert all(len(slots) <= 2 for slots in keys.values())
+
+    def test_requests_mix_kinds_and_stay_self_contained(self):
+        kinds = {request.kind for request in self._stream()}
+        assert len(kinds) >= 3
+        for request in self._stream(count=50):
+            assert request.dependencies is not None or request.kind == "fd_implies"
+
+    def test_weights_and_validation(self):
+        import pytest
+
+        from repro.workloads.random_service import zipf_tenant_weights
+
+        weights = zipf_tenant_weights(4, 1.0)
+        assert weights == [1.0, 0.5, 1 / 3, 0.25]
+        assert zipf_tenant_weights(3, 0.0) == [1.0, 1.0, 1.0]
+        with pytest.raises(ValueError):
+            zipf_tenant_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_tenant_weights(5, -0.1)
+        with pytest.raises(ValueError):
+            self._stream(count=-1)
+        with pytest.raises(ValueError):
+            self._stream(pool_per_tenant=0)
