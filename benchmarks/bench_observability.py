@@ -1,0 +1,148 @@
+"""EXP-OBS: observability — end-to-end tracing overhead and trace completeness.
+
+The observability claim: full telemetry — per-request span trees, kernel
+profiling counters piggybacked on the deadline check sites, per-work-unit
+cost records, and the unified metrics registry — costs **under 3%** on the
+200-request acceptance-shaped stream, and changes nothing about answers
+(traced result lines are byte-identical to untraced ones).  Series:
+
+* **traced vs untraced** — :func:`~repro.service.cli.serve_lines` on the
+  same stream with telemetry off and with ``trace=True``; both arms build a
+  fresh session inside the timed region, so the comparison covers trace-id
+  stamping, span recording, kernel counters and cost-log appends end to end.
+* **completeness** — a ``metrics_dir`` pass asserting the dump invariants:
+  one root span (``<trace>.r``) with plan/execute/respond children per
+  request, one cost record per executed work unit, and a canonical metrics
+  document.
+
+Overhead is measured min-of-rounds (robust to scheduler noise) in
+:func:`measure_observability_report`, importable so the CI smoke and the
+README numbers are computed the same way.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.service import telemetry
+from repro.service.cli import serve_lines
+from repro.service.config import ServiceConfig
+from repro.service.wire import request_cache_key, requests_to_jsonl
+from repro.workloads.random_service import random_service_requests
+
+#: The acceptance-shaped mix: 200 mixed requests over two small theories.
+STREAM_COUNT = 200
+
+#: The ISSUE 10 acceptance bar: traced within 3% of untraced.
+OVERHEAD_BAR = 0.03
+
+
+def _stream(seed: int):
+    return random_service_requests(
+        STREAM_COUNT,
+        seed=seed,
+        attribute_count=5,
+        theory_count=2,
+        pds_per_theory=3,
+        max_complexity=2,
+        kind_weights={"implies": 5, "equivalent": 3, "consistent": 3, "counterexample": 1},
+    )
+
+
+def _serve(lines, **config_kwargs):
+    telemetry.reset()
+    try:
+        out, _ = serve_lines(lines, config=ServiceConfig(**config_kwargs))
+        return out
+    finally:
+        telemetry.reset()
+
+
+@pytest.mark.benchmark(group="EXP-OBS acceptance stream: untraced vs fully traced")
+@pytest.mark.parametrize("mode", ["untraced", "traced"])
+def test_traced_vs_untraced(benchmark, mode, rng_seed):
+    requests = _stream(rng_seed)
+    lines = requests_to_jsonl(requests).strip().split("\n")
+    expected = _serve(lines)
+
+    def run():
+        return _serve(lines, trace=(mode == "traced"))
+
+    out = benchmark(run)
+    assert out == expected  # telemetry must never change an answer
+
+
+def measure_observability_report(seed: int = 20260617, rounds: int = 5) -> dict:
+    """The acceptance measurement: tracing overhead and trace completeness.
+
+    Min-of-``rounds`` wall times per arm (each round builds a fresh session
+    — warm caches must not leak between arms), then one ``metrics_dir`` pass
+    whose dump is checked for the span-tree and cost-log invariants.
+    """
+    import tempfile
+    from pathlib import Path
+
+    requests = _stream(seed)
+    lines = requests_to_jsonl(requests).strip().split("\n")
+    expected = _serve(lines)
+
+    def _once(**config_kwargs):
+        started = time.perf_counter()
+        out = _serve(lines, **config_kwargs)
+        elapsed = time.perf_counter() - started
+        assert out == expected
+        return elapsed
+
+    # Interleave the arms round-by-round so clock-frequency drift over the
+    # measurement hits both equally; min-of-rounds then discards the noise.
+    untraced_seconds = traced_seconds = float("inf")
+    for _ in range(rounds):
+        untraced_seconds = min(untraced_seconds, _once())
+        traced_seconds = min(traced_seconds, _once(trace=True))
+
+    with tempfile.TemporaryDirectory() as directory:
+        telemetry.reset()
+        try:
+            out, _ = serve_lines(
+                lines, config=ServiceConfig(trace=True, metrics_dir=directory)
+            )
+            assert out == expected
+            spans = [
+                json.loads(line) for line in (Path(directory) / "trace.jsonl").open()
+            ]
+            cost = [
+                json.loads(line) for line in (Path(directory) / "costlog.jsonl").open()
+            ]
+        finally:
+            telemetry.reset()
+
+    roots = [s for s in spans if s["name"] == "request" and s["span"].endswith(".r")]
+    children = {}
+    for span in spans:
+        children.setdefault(span.get("parent"), set()).add(span["name"])
+    assert len(roots) == STREAM_COUNT
+    for root in roots:
+        assert {"plan", "execute", "respond"} <= children[root["span"]]
+    distinct = len({request_cache_key(request) for request in requests})
+    assert sum(record["requests"] for record in cost) >= distinct
+
+    return {
+        "stream": {"count": STREAM_COUNT, "seed": seed},
+        "untraced_seconds": untraced_seconds,
+        "traced_seconds": traced_seconds,
+        "overhead": traced_seconds / untraced_seconds - 1.0,
+        "spans": len(spans),
+        "root_spans": len(roots),
+        "cost_records": len(cost),
+    }
+
+
+def test_tracing_overhead_meets_the_3_percent_bar(rng_seed):
+    """The ISSUE 10 acceptance criterion, pinned: traced within 3% of untraced."""
+    report = measure_observability_report(rng_seed)
+    assert report["overhead"] < OVERHEAD_BAR, report
+
+
+if __name__ == "__main__":
+    print(json.dumps(measure_observability_report(), indent=2))

@@ -31,6 +31,7 @@ def pytest_benchmark_update_json(config, benchmarks, output_json):
         "EXP-SNAP": "durable Γ snapshots: cold start vs zero-warmup restore (session, shards, server)",
         "EXP-FLT": "fault tolerance: supervision overhead vs Pool baseline; restart-to-warm latency",
         "EXP-TEN": "multi-tenant serving: shared consistently-hashed result cache vs per-worker islands",
+        "EXP-OBS": "observability: end-to-end tracing + kernel profiling overhead vs untraced serving",
     }
 
 

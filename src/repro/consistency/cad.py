@@ -38,6 +38,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import profiling
 from repro.consistency.normalization import validate_only_fpds
 from repro.deadline import check_deadline
 from repro.dependencies.pd import PartitionDependencyLike
@@ -259,6 +260,7 @@ def cad_consistency(
     fd_list = list(fds)
     nodes = 0
     checker = _IncrementalFdChecker(template, fd_list)
+    prof = profiling.active()
 
     def backtrack(index: int) -> bool:
         nonlocal nodes
@@ -267,6 +269,9 @@ def cad_consistency(
         row_index, attribute = unknowns[index]
         for symbol in domains[attribute]:
             nodes += 1
+            if prof is not None:
+                prof.backtrack_nodes += 1
+                prof.deadline_checks += 1
             check_deadline()  # NP-complete search: one budget check per node
             if max_nodes is not None and nodes > max_nodes:
                 raise ConsistencyError(f"CAD search exceeded {max_nodes} nodes")

@@ -32,6 +32,7 @@ import time
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+from repro import profiling
 from repro.errors import DeadlineExceeded
 
 
@@ -110,6 +111,9 @@ def check_deadline() -> None:
         if now >= scope.expires_at and (expired is None or scope.expires_at < expired.expires_at):
             expired = scope
     if expired is not None:
+        prof = profiling.active()
+        if prof is not None:
+            prof.deadline_exceeded += 1
         raise DeadlineExceeded(
             expired,
             f"deadline of {expired.budget_ms:g} ms exceeded "

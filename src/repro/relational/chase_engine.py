@@ -48,6 +48,7 @@ from collections import deque
 from collections.abc import Iterable, Sequence
 from typing import Optional
 
+from repro import profiling
 from repro.deadline import check_deadline
 from repro.relational.attributes import Attribute, AttributeSet
 from repro.relational.chase import ChaseResult, Tableau, TableauValue, representative_instance
@@ -166,7 +167,10 @@ class _ChaseRun:
         tableau = self._tableau
         resolve = tableau.resolve
         equate = tableau.equate
+        prof = profiling.active()
         for fd_index, lhs in enumerate(engine._lhs):
+            if prof is not None:
+                prof.deadline_checks += 1
             check_deadline()  # one budget check per FD pass over the rows
             rhs = engine._rhs[fd_index]
             buckets = self._buckets[fd_index]
@@ -185,6 +189,8 @@ class _ChaseRun:
                             if not equate(left, right):
                                 return engine._fds[fd_index]
                             self._steps += 1
+                            if prof is not None:
+                                prof.chase_steps += 1
         return None
 
     def _drain(self, raw_rows: list) -> Optional[FunctionalDependency]:
@@ -201,7 +207,11 @@ class _ChaseRun:
         equate = tableau.equate
         merges = self._merges
         occurrences = self._occurrences
+        prof = profiling.active()
         while merges:
+            if prof is not None:
+                prof.chase_steps += 1
+                prof.deadline_checks += 1
             check_deadline()  # one budget check per merge event
             _winner, loser = merges.popleft()
             entries = occurrences.pop(loser, None)

@@ -23,6 +23,7 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
+from repro import profiling
 from repro.deadline import check_deadline
 from repro.sat.formulas import Clause, CnfFormula, FormulaError, Literal
 
@@ -182,7 +183,12 @@ def nae_backtracking(formula: CnfFormula) -> Optional[dict[str, bool]]:
             values.append(literal.evaluate(assignment))
         return all(values) or not any(values)
 
+    prof = profiling.active()
+
     def backtrack(index: int) -> bool:
+        if prof is not None:
+            prof.backtrack_nodes += 1
+            prof.deadline_checks += 1
         check_deadline()  # exponential search: one budget check per node
         if index == len(variables):
             return formula.nae_evaluate(assignment)

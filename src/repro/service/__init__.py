@@ -31,6 +31,11 @@ request surface:
   corrupted replies) used by the chaos tests and the CI smoke job;
 * :mod:`repro.service.cli` — ``python -m repro.service``, serving JSONL
   request files or stdin streams;
+* :mod:`repro.service.telemetry` — the observability layer: per-request
+  trace spans threaded decode → window → plan → execute → respond (crossing
+  the worker process boundary), the central :class:`MetricsRegistry` behind
+  the ``{"control": "metrics"}`` line and ``--metrics-dir`` dumps, and the
+  per-work-unit kernel cost log fed by :mod:`repro.profiling` counters;
 * :mod:`repro.service.snapshot` — durable Γ snapshots: a versioned,
   digest-protected codec for a warm session's implication-index fixpoint,
   normalization artifacts and result cache, enabling zero-warmup restores
@@ -75,6 +80,15 @@ from repro.service.result_cache import ConsistentHashRing, SharedResultCache
 from repro.service.server import QueryServer, serve_stream
 from repro.service.session import DependencyContext, Session
 from repro.service.supervisor import SupervisedPool, SupervisorStats, WorkItem, WorkUnit
+from repro.service.telemetry import (
+    CostLog,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    metrics_export,
+    new_trace_id,
+    root_span_id,
+)
 from repro.service.snapshot import (
     SNAPSHOT_VERSION,
     decode_snapshot,
@@ -171,6 +185,13 @@ __all__ = [
     "install_from_env",
     "installed_plan",
     "clear_fault_plan",
+    "Span",
+    "Tracer",
+    "MetricsRegistry",
+    "CostLog",
+    "metrics_export",
+    "new_trace_id",
+    "root_span_id",
     "SNAPSHOT_VERSION",
     "encode_snapshot",
     "dump_snapshot",

@@ -25,6 +25,11 @@ fall back to the file line number (``"lineN"``) only for unparseable lines.
 Session dependencies (the base Γ for requests that do not carry their own)
 are given with ``--dependencies "A = A*B; B = B*C"`` in either mode.
 
+``--trace`` (either mode) mints a trace id per request and records per-stage
+spans; ``--metrics-dir DIR`` dumps spans, per-work-unit cost records and the
+metrics registry as JSONL into ``DIR``.  Result lines are byte-identical
+with and without telemetry (see :mod:`repro.service.telemetry`).
+
 ``--snapshot-dir DIR`` (either mode) makes the boot *zero-warmup*: when
 ``DIR/session.snapshot.json`` exists the session (or every shard worker) is
 restored from it instead of replaying the Γ closure, and a fresh snapshot is
@@ -50,9 +55,11 @@ from repro.service.config import ServiceConfig, add_config_arguments, config_fro
 from repro.service.planner import naive_dispatch, plan_summary
 from repro.service.wire import (
     canonical_dumps,
+    dump_request_line,
     dump_result_line,
     error_result_for_line,
     load_request_line,
+    load_result_line,
 )
 
 
@@ -105,11 +112,33 @@ def serve_lines(
     else:
         faults.install_from_env()
 
+    from repro.service import telemetry
+
+    telemetry.configure(
+        trace=config.trace,
+        metrics_dir=config.metrics_dir,
+        interval_ms=config.metrics_interval_ms,
+    )
+    if telemetry.enabled():
+        # Stamp a trace id on every decoded request (preserving any the wire
+        # carried).  With telemetry off the original requests and line text
+        # are reused untouched — the traced and untraced paths must not
+        # diverge on anything but the trace ids themselves.
+        requests = [telemetry.ensure_trace(request) for request in requests]
+
+    admitted_at = time.time()
     started = time.perf_counter()
     session = None
     if config.shards > 1:
+        # The sharded path ships encoded lines; re-encode only when tracing
+        # stamped new ids into them (workers must see the same ids).
+        encoded = (
+            [dump_request_line(request) for request in requests]
+            if telemetry.enabled()
+            else [text for _, text in decoded]
+        )
         with config.make_executor() as executor:
-            answered = executor.execute_encoded([text for _, text in decoded], requests=requests)
+            answered = executor.execute_encoded(encoded, requests=requests)
     elif config.batch:
         # make_session() restores from --snapshot-dir when a snapshot exists,
         # so a warm previous run makes this one boot without replaying Γ.
@@ -118,6 +147,7 @@ def serve_lines(
     else:
         answered = [dump_result_line(r) for r in naive_dispatch(requests, config.dependencies)]
     elapsed = time.perf_counter() - started
+    executed_at = time.time()
 
     if len(answered) != len(decoded):  # loud, not misaligned
         raise ServiceError(
@@ -125,6 +155,27 @@ def serve_lines(
         )
     for (position, _), line in zip(decoded, answered):
         out[position] = line
+    if telemetry.enabled():
+        # One retrospective root span (plan/execute/respond children) per
+        # decoded request — file mode has no micro-batch ticket to cut the
+        # stages from, so the whole-stream dispatch timestamps stand in.
+        responded_at = time.time()
+        for request, line in zip(requests, answered):
+            try:
+                result = load_result_line(line)
+            except ServiceError:
+                continue
+            telemetry.record_request_tree(
+                request,
+                result,
+                admitted_at=admitted_at,
+                planned_at=admitted_at,
+                executed_at=executed_at,
+                responded_at=responded_at,
+            )
+        if config.metrics_dir is not None:
+            telemetry.registry().gauge("service.elapsed_seconds", elapsed)
+            telemetry.flush()
     stats = {
         "requests": len(numbered),
         "invalid": len(numbered) - len(decoded),

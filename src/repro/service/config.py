@@ -80,6 +80,9 @@ class ServiceConfig:
     breaker_threshold: int = 4
     fault_plan: Optional[str] = None
     shared_cache_size: int = 4096
+    trace: bool = False
+    metrics_dir: Optional[str] = None
+    metrics_interval_ms: float = 1000.0
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -122,6 +125,10 @@ class ServiceConfig:
         if self.shared_cache_size < 0:
             raise ServiceError(
                 f"shared_cache_size must be >= 0 (0 disables), got {self.shared_cache_size}"
+            )
+        if self.metrics_interval_ms <= 0:
+            raise ServiceError(
+                f"metrics_interval_ms must be positive, got {self.metrics_interval_ms}"
             )
         if self.fault_plan is not None:
             from repro.service.faults import FaultPlan
@@ -244,6 +251,23 @@ def add_config_arguments(parser: argparse.ArgumentParser, serve: bool = False) -
             "drain (serve mode) or after the stream (file mode)"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "mint a trace id per request (unless the request carries one) and "
+            "record per-stage spans; result lines stay byte-identical"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-dir",
+        default=None,
+        help=(
+            "directory for telemetry dumps: trace.jsonl (spans), costlog.jsonl "
+            "(per-work-unit kernel cost records) and metrics.jsonl (registry "
+            "exports); implies telemetry collection"
+        ),
+    )
     if not serve:
         parser.add_argument(
             "--no-batch",
@@ -300,6 +324,15 @@ def add_config_arguments(parser: argparse.ArgumentParser, serve: bool = False) -
             f"to in-process (0 disables; default {defaults.breaker_threshold})"
         ),
     )
+    parser.add_argument(
+        "--metrics-interval-ms",
+        type=float,
+        default=defaults.metrics_interval_ms,
+        help=(
+            "period of the serve-mode metrics.jsonl dump loop in milliseconds "
+            f"(only meaningful with --metrics-dir; default {defaults.metrics_interval_ms})"
+        ),
+    )
 
 
 def config_from_args(args: argparse.Namespace) -> ServiceConfig:
@@ -330,4 +363,9 @@ def config_from_args(args: argparse.Namespace) -> ServiceConfig:
         breaker_threshold=getattr(args, "breaker_threshold", ServiceConfig.breaker_threshold),
         fault_plan=getattr(args, "fault_plan", None),
         shared_cache_size=getattr(args, "shared_cache_size", ServiceConfig.shared_cache_size),
+        trace=getattr(args, "trace", False),
+        metrics_dir=getattr(args, "metrics_dir", None),
+        metrics_interval_ms=getattr(
+            args, "metrics_interval_ms", ServiceConfig.metrics_interval_ms
+        ),
     )

@@ -303,6 +303,7 @@ class ShardExecutor:
                         request_id=requests[i].id,
                         kind=requests[i].kind,
                         deadline_ms=requests[i].deadline_ms,
+                        trace=requests[i].trace,
                     )
                     for i in unit_indices
                 ),

@@ -100,6 +100,8 @@ class Ticket:
         "executed_at",
         "responded_at",
         "shed",
+        "window_size",
+        "window_reason",
         "_stats",
     )
 
@@ -112,6 +114,10 @@ class Ticket:
         self.executed_at: Optional[float] = None
         self.responded_at: Optional[float] = None
         self.shed = False
+        # Telemetry annotations: the size of the window this ticket rode in
+        # and why it closed ("full" / "timer" / "drain"), stamped at close.
+        self.window_size: Optional[int] = None
+        self.window_reason: Optional[str] = None
         self._stats = stats
 
     async def result(self) -> QueryResult:
@@ -351,6 +357,8 @@ class MicroBatcher:
             now = time.perf_counter()
             for ticket in window:
                 ticket.window_closed_at = now
+                ticket.window_size = len(window)
+                ticket.window_reason = reason
             self.stats.record_window(len(window), reason)
             await self._run_window(window)
             if reason == "drain":

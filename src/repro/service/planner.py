@@ -44,6 +44,7 @@ from repro.dependencies.pd import PartitionDependency, PartitionDependencyLike
 from repro.errors import DeadlineExceeded, ServiceError
 from repro.implication.fd_implication import fd_implies_all_via_pds
 from repro.implication.word_problems import lattice_word_problems
+from repro.service import telemetry
 from repro.service.session import Session, _faults
 from repro.service.wire import (
     QueryRequest,
@@ -175,7 +176,14 @@ def execute_plan(session: Session, requests: Sequence[QueryRequest]) -> list[Que
                 # A deadline lane: one dispatch per request so each runs under
                 # its own scope and a blown budget costs nobody else anything.
                 for index in pending:
-                    result = session.execute(requests[index], use_cache=False)
+                    with telemetry.work_unit(
+                        batch.kind,
+                        method=batch.method,
+                        gamma=_gamma_size(session, requests[index]),
+                        requests=1,
+                        query_size=telemetry.request_query_size(requests[index]),
+                    ):
+                        result = session.execute(requests[index], use_cache=False)
                     session.cache_store(requests[index], result, key=keys.get(index))
                     results[index] = result
             elif batch.kind == "fd_implies":
@@ -183,13 +191,22 @@ def execute_plan(session: Session, requests: Sequence[QueryRequest]) -> list[Que
             elif batch.kind in ("implies", "equivalent"):
                 _execute_implication_batch(session, requests, results, pending, keys)
             else:
-                _warm_batch(session, requests[pending[0]], batch, [requests[i] for i in pending])
-                for index in pending:
-                    # The probe above already recorded the miss; evaluate
-                    # directly and store, instead of probing a second time.
-                    result = session.execute(requests[index], use_cache=False)
-                    session.cache_store(requests[index], result, key=keys.get(index))
-                    results[index] = result
+                with telemetry.work_unit(
+                    batch.kind,
+                    method=batch.method,
+                    gamma=_gamma_size(session, requests[pending[0]]),
+                    requests=len(pending),
+                    query_size=_batch_query_size(requests, pending),
+                ):
+                    _warm_batch(
+                        session, requests[pending[0]], batch, [requests[i] for i in pending]
+                    )
+                    for index in pending:
+                        # The probe above already recorded the miss; evaluate
+                        # directly and store, instead of probing a second time.
+                        result = session.execute(requests[index], use_cache=False)
+                        session.cache_store(requests[index], result, key=keys.get(index))
+                        results[index] = result
         for index, first in duplicates:
             prior = results[first]
             if prior is not None and prior.ok:
@@ -202,6 +219,19 @@ def execute_plan(session: Session, requests: Sequence[QueryRequest]) -> list[Que
     if missing:  # loud, not misaligned: a dropped slot would shift the CLI stream
         raise ServiceError(f"planner produced no result for requests {missing[:5]}")
     return results  # type: ignore[return-value]
+
+
+def _gamma_size(session: Session, request: QueryRequest) -> int:
+    """|Γ| for the cost log: the dependency-set size the request reasons over."""
+    if request.kind == "fd_implies":
+        return len(request.fds or ())
+    if request.dependencies is not None:
+        return len(request.dependencies)
+    return len(session.dependencies_for(request.tenant))
+
+
+def _batch_query_size(requests: Sequence[QueryRequest], indices: Sequence[int]) -> int:
+    return sum(telemetry.request_query_size(requests[index]) for index in indices)
 
 
 def _warm_batch(
@@ -261,7 +291,13 @@ def _execute_implication_batch(
         for index in chunk:
             _faults().on_request(requests[index].id)
         try:
-            verdicts = lattice_word_problems(dependencies, queries)
+            with telemetry.work_unit(
+                representative.kind,
+                gamma=len(dependencies),
+                requests=len(chunk),
+                query_size=sum(q.left.size() + q.right.size() for q in queries),
+            ):
+                verdicts = lattice_word_problems(dependencies, queries)
         except DeadlineExceeded:
             raise  # an enclosing budget (window budget) owns this, not a line
         except Exception:
@@ -290,7 +326,13 @@ def _execute_fd_batch(
     for index in pending:  # injection hook; see _execute_implication_batch
         _faults().on_request(requests[index].id)
     try:
-        verdicts = fd_implies_all_via_pds(fds, targets)
+        with telemetry.work_unit(
+            "fd_implies",
+            gamma=len(fds),
+            requests=len(pending),
+            query_size=len(targets),
+        ):
+            verdicts = fd_implies_all_via_pds(fds, targets)
     except DeadlineExceeded:
         raise  # an enclosing budget (window budget) owns this, not a line
     except Exception:

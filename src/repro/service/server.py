@@ -25,11 +25,19 @@ Shape of the thing:
   percentiles (p50/p95/p99 per stage), window-occupancy statistics and the
   session's cache diagnostics, ``{"control": "ping"}`` answers
   ``{"control": "pong"}``, ``{"control": "health"}`` reports the circuit
-  breaker, supervision counters (crashes/restarts/quarantines/timeouts) and
-  request totals, and ``{"control": "snapshot"}`` exports a durable Γ
-  snapshot of the *live* session into ``--snapshot-dir`` (the export runs
-  on the window worker thread, so it never races a mutating window); all are
-  served in-order like any other line;
+  breaker, supervision counters (crashes/restarts/quarantines/timeouts,
+  warm-restart latency, per-worker restart counts) and request totals,
+  ``{"control": "metrics"}`` serves the unified telemetry registry
+  (:mod:`~repro.service.telemetry`), and ``{"control": "snapshot"}`` exports
+  a durable Γ snapshot of the *live* session into ``--snapshot-dir`` (the
+  export runs on the window worker thread, so it never races a mutating
+  window); all are served in-order like any other line;
+* **observability** — with ``--trace`` or ``--metrics-dir`` the server mints
+  a trace id per request at decode (or propagates the wire ``trace`` field),
+  opens a root span, and emits ``plan``/``execute``/``respond`` children
+  retrospectively from the ticket's stage stamps when the answer is written;
+  ``--metrics-dir`` additionally dumps spans, cost records and metrics
+  snapshots to JSONL files on a periodic flush task (and once at drain);
 * **graceful degradation** — with a sharded backend, repeated worker crashes
   (``breaker_threshold`` of them) trip a circuit breaker: the executor is
   closed and the server falls back to in-process execution, answering every
@@ -55,6 +63,7 @@ import asyncio
 from typing import Optional
 
 from repro.errors import ServiceError
+from repro.service import telemetry
 from repro.service.config import ServiceConfig
 from repro.service.microbatch import MicroBatcher, Ticket
 from repro.service.session import Session
@@ -82,6 +91,7 @@ class QueryServer:
         self._batcher: Optional[MicroBatcher] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._conn_tasks: set[asyncio.Task] = set()
+        self._metrics_task: Optional[asyncio.Task] = None
         self._drain_event = asyncio.Event()
         self._drained = False
         self._connections_served = 0
@@ -101,6 +111,13 @@ class QueryServer:
             faults.install_fault_plan(config.fault_plan)
         else:
             faults.install_from_env()
+        # Configure telemetry before the executor exists so forked/spawned
+        # workers inherit the enablement and ship their spans back in replies.
+        telemetry.configure(
+            trace=config.trace,
+            metrics_dir=config.metrics_dir,
+            interval_ms=config.metrics_interval_ms,
+        )
         if config.shards > 1:
             self._executor = config.make_executor()
             # Create the worker pool now, in the main thread, so fork happens
@@ -124,6 +141,8 @@ class QueryServer:
         self._server = await asyncio.start_server(self._handle_connection, config.host, config.port)
         bound = self._server.sockets[0].getsockname()
         self.host, self.port = bound[0], bound[1]
+        if config.metrics_dir is not None:
+            self._metrics_task = asyncio.ensure_future(self._metrics_dump_loop())
         return self.host, self.port
 
     async def drain(self) -> None:
@@ -149,6 +168,17 @@ class QueryServer:
             await self._batcher.drain()
         if conn_tasks:
             await asyncio.gather(*conn_tasks, return_exceptions=True)
+        if self._metrics_task is not None:
+            self._metrics_task.cancel()
+            try:
+                await self._metrics_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._metrics_task = None
+        if self.config.metrics_dir is not None:
+            # Final flush after the writers finished: every admitted request's
+            # spans are closed, so the dump captures the complete trace.
+            self._flush_metrics()
         if self.config.snapshot_dir is not None and self._session is not None:
             # Save-on-drain: the batcher is flushed, so the session is
             # quiescent and the export captures everything this run learned.
@@ -275,6 +305,22 @@ class QueryServer:
             _with_rate(traffic)
         return {"tiers": tiers, "per_tenant": per_tenant}
 
+    def metrics_snapshot(self) -> dict:
+        """The unified metrics document: the telemetry registry with the
+        server's scattered layer stats absorbed as ``service.*`` gauges."""
+        telemetry.registry().absorb("service", self.stats_snapshot())
+        return telemetry.metrics_export()
+
+    async def _metrics_dump_loop(self) -> None:
+        interval = max(0.01, telemetry.interval_ms() / 1000.0)
+        while True:
+            await asyncio.sleep(interval)
+            self._flush_metrics()
+
+    def _flush_metrics(self) -> None:
+        telemetry.registry().absorb("service", self.stats_snapshot())
+        telemetry.flush()
+
     def health_snapshot(self) -> dict:
         """Liveness-and-degradation summary: breaker, supervision, request totals."""
         sharded = self.config.shards > 1
@@ -377,14 +423,22 @@ class QueryServer:
         except ServiceError as exc:
             await pending.put(dump_result_line(error_result_for_line(payload, line_number, exc)))
             return
+        root_span = None
+        if telemetry.enabled():
+            # Mint (or propagate) the trace id at decode and open the root
+            # span; the writer loop closes it after the socket write.
+            request, root_span = telemetry.begin_request(request)
         try:
             ticket = await self._batcher.submit(request)  # blocks under backpressure
         except ServiceError as exc:
             # Lost the race with drain: the line was read but cannot be
             # admitted — still answer it, the stream contract holds.
+            if root_span is not None:
+                root_span.event("rejected")
+                root_span.end()
             await pending.put(dump_result_line(error_result_for_line(payload, line_number, exc)))
             return
-        await pending.put(ticket)
+        await pending.put(ticket if root_span is None else (ticket, root_span))
 
     async def _control_line(self, payload: dict) -> str:
         op = payload.get("control")
@@ -394,6 +448,8 @@ class QueryServer:
             return canonical_dumps({"control": "pong"})
         if op == "health":
             return canonical_dumps({"control": "health", "health": self.health_snapshot()})
+        if op == "metrics":
+            return canonical_dumps({"control": "metrics", "metrics": self.metrics_snapshot()})
         if op == "snapshot":
             return await self._snapshot_control()
         return canonical_dumps(
@@ -403,7 +459,7 @@ class QueryServer:
                     "type": "ServiceError",
                     "message": (
                         f"unknown control operation {op!r}; "
-                        "expected 'stats', 'ping', 'health' or 'snapshot'"
+                        "expected 'stats', 'ping', 'health', 'metrics' or 'snapshot'"
                     ),
                 },
             }
@@ -460,8 +516,13 @@ class QueryServer:
             item = await pending.get()
             if item is _END:
                 return
-            ticket = item if isinstance(item, Ticket) else None
-            line = dump_result_line(await ticket.result()) if ticket is not None else item
+            span = None
+            if isinstance(item, tuple):
+                ticket, span = item
+            else:
+                ticket = item if isinstance(item, Ticket) else None
+            result = await ticket.result() if ticket is not None else None
+            line = dump_result_line(result) if ticket is not None else item
             try:
                 writer.write(line.encode("utf-8") + b"\n")
                 await writer.drain()
@@ -471,6 +532,10 @@ class QueryServer:
                 continue
             if ticket is not None:
                 ticket.mark_responded()
+                if span is not None:
+                    # Retrospective children (plan/execute/respond) are cut
+                    # from the ticket's stamps now that they are all set.
+                    telemetry.finish_request(span, ticket, result)
 
 
 async def serve_stream(

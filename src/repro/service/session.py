@@ -45,6 +45,7 @@ from collections.abc import Iterable, Sequence
 from dataclasses import replace
 from typing import Optional
 
+from repro import profiling
 from repro.consistency.cad import cad_consistency_for_fpds
 from repro.consistency.normalization import NormalizedDependencies, normalize_dependencies
 from repro.consistency.pd_consistency import pd_consistency
@@ -76,6 +77,19 @@ def _faults():
 
         _FAULTS = faults
     return _FAULTS
+
+
+_TELEMETRY = None
+
+
+def _telemetry():
+    """The telemetry module, imported lazily (same discipline as :func:`_faults`)."""
+    global _TELEMETRY
+    if _TELEMETRY is None:
+        from repro.service import telemetry
+
+        _TELEMETRY = telemetry
+    return _TELEMETRY
 
 
 class DependencyContext:
@@ -559,7 +573,9 @@ class Session:
         counters.
         """
         per_tenant: dict[str, dict[str, int]] = {}
-        for tenant in set(self._tenant_hits) | set(self._tenant_misses):
+        # Sorted by label so the dict itself (not just its canonical-JSON
+        # rendering) is deterministic — stats consumers can pin it.
+        for tenant in sorted(set(self._tenant_hits) | set(self._tenant_misses), key=tenant_label):
             per_tenant[tenant_label(tenant)] = {
                 "hits": self._tenant_hits.get(tenant, 0),
                 "misses": self._tenant_misses.get(tenant, 0),
@@ -585,6 +601,22 @@ class Session:
     # -- evaluation ------------------------------------------------------------
 
     def _evaluate(self, request: QueryRequest) -> QueryResult:
+        telemetry = _telemetry()
+        if not telemetry.enabled():
+            return self._evaluate_inner(request)
+        span = telemetry.evaluate_span(request)
+        with profiling.profile() as prof:
+            try:
+                result = self._evaluate_inner(request)
+            except BaseException:
+                # An enclosing budget (window) expired mid-evaluate; close the
+                # span before handing the exception to its owner.
+                telemetry.finish_evaluate(span, None, prof)
+                raise
+        telemetry.finish_evaluate(span, result, prof)
+        return result
+
+    def _evaluate_inner(self, request: QueryRequest) -> QueryResult:
         scope = None
         try:
             with deadline_scope(request.deadline_ms) as scope:

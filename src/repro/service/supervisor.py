@@ -43,11 +43,12 @@ import json
 import multiprocessing
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing import connection
 from typing import Optional
 
 from repro.errors import ServiceError
+from repro.service import telemetry
 from repro.service.session import Session
 from repro.service.wire import (
     QueryResult,
@@ -59,13 +60,19 @@ from repro.service.wire import (
 
 @dataclass(frozen=True)
 class WorkItem:
-    """One request of a work unit: stream position, wire line, routing facts."""
+    """One request of a work unit: stream position, wire line, routing facts.
+
+    ``trace`` is the request's trace id (when tracing is on): the supervisor
+    parents escalation spans to ``<trace>.r`` so retries, splits and
+    quarantines land on the affected request's own tree.
+    """
 
     index: int
     line: str
     request_id: Optional[str]
     kind: str
     deadline_ms: Optional[int] = None
+    trace: Optional[str] = None
 
 
 @dataclass
@@ -100,6 +107,8 @@ class SupervisorStats:
     corrupted: int = 0
     units_dispatched: int = 0
     restart_seconds: float = 0.0
+    last_restart_seconds: Optional[float] = None
+    restarts_by_worker: dict = field(default_factory=dict)
     # Aggregated worker-session result-cache traffic (the second cache tier):
     # each validated reply carries the unit's hit/miss delta.
     worker_cache_hits: int = 0
@@ -116,6 +125,22 @@ class SupervisorStats:
             "corrupted": self.corrupted,
             "units_dispatched": self.units_dispatched,
             "restart_seconds": round(self.restart_seconds, 6),
+            # Warm-restart latency, surfaced where operators look for it
+            # ({"control": "health"}): the mean and most recent re-warm.
+            "restart_mean_ms": (
+                round(self.restart_seconds / self.restarts * 1000.0, 3) if self.restarts else None
+            ),
+            "last_restart_ms": (
+                round(self.last_restart_seconds * 1000.0, 3)
+                if self.last_restart_seconds is not None
+                else None
+            ),
+            # Worker slot → restart count, keyed by the slot's string index
+            # (sorted, so the dict itself is deterministic).
+            "restarts_by_worker": {
+                str(index): self.restarts_by_worker[index]
+                for index in sorted(self.restarts_by_worker)
+            },
             "worker_cache_hits": self.worker_cache_hits,
             "worker_cache_misses": self.worker_cache_misses,
         }
@@ -129,6 +154,7 @@ def _worker_main(
     snapshot_text: Optional[str],
     fault_plan_json: Optional[str],
     worker_cache_size: Optional[int] = None,
+    telemetry_enabled: bool = False,
 ) -> None:
     """One supervised worker: warm a session, then serve units until the sentinel.
 
@@ -138,6 +164,10 @@ def _worker_main(
     """
     from repro.service import faults
 
+    if telemetry_enabled:
+        # Collect spans/cost in this process too; the reply carries them back
+        # (the fork hook already cleared any buffers inherited from the parent).
+        telemetry.configure(trace=True)
     faults.set_worker_context(worker_index, incarnation)
     if fault_plan_json is not None:
         faults.install_fault_plan(fault_plan_json)
@@ -187,6 +217,9 @@ def _worker_main(
             "cache_hits": after["hits"] - before["hits"],
             "cache_misses": after["misses"] - before["misses"],
         }
+        # Spans and cost records produced while executing this unit ride the
+        # same reply — that is how a trace crosses the process boundary.
+        info.update(telemetry.drain_for_reply())
         conn.send((unit_seq, [(index, encoded[index]) for index, _ in lines], info))
     conn.close()
 
@@ -194,7 +227,17 @@ def _worker_main(
 class _WorkerHandle:
     """Parent-side record of one worker: process, pipe, and in-flight unit."""
 
-    __slots__ = ("index", "incarnation", "process", "conn", "unit", "unit_seq", "expires_at", "budget_ms")
+    __slots__ = (
+        "index",
+        "incarnation",
+        "process",
+        "conn",
+        "unit",
+        "unit_seq",
+        "expires_at",
+        "budget_ms",
+        "dispatched_at",
+    )
 
     def __init__(self, index: int, incarnation: int, process, conn) -> None:
         self.index = index
@@ -205,6 +248,7 @@ class _WorkerHandle:
         self.unit_seq = -1
         self.expires_at: Optional[float] = None
         self.budget_ms: Optional[float] = None
+        self.dispatched_at: Optional[float] = None
 
 
 class SupervisedPool:
@@ -252,6 +296,7 @@ class SupervisedPool:
                 self._snapshot,
                 self._fault_plan_json,
                 self._worker_cache_size,
+                telemetry.enabled(),
             ),
             daemon=True,
             name=f"repro-shard-{index}.{incarnation}",
@@ -271,8 +316,13 @@ class SupervisedPool:
         worker.process.join()
         started = time.perf_counter()
         fresh = self._spawn(worker.index, worker.incarnation + 1)
+        elapsed = time.perf_counter() - started
         self.stats.restarts += 1
-        self.stats.restart_seconds += time.perf_counter() - started
+        self.stats.restart_seconds += elapsed
+        self.stats.last_restart_seconds = elapsed
+        self.stats.restarts_by_worker[worker.index] = (
+            self.stats.restarts_by_worker.get(worker.index, 0) + 1
+        )
         self._workers[worker.index] = fresh
 
     def close(self, timeout: float = 5.0) -> None:
@@ -398,6 +448,7 @@ class SupervisedPool:
         worker.unit_seq = seq
         worker.budget_ms = budget_ms
         worker.expires_at = None if budget_ms is None else time.monotonic() + budget_ms / 1000.0
+        worker.dispatched_at = time.perf_counter()
         payload = (seq, [(item.index, item.line) for item in unit.items])
         try:
             worker.conn.send(payload)
@@ -430,6 +481,20 @@ class SupervisedPool:
             return
         lines, info = validated
         results.update(lines)
+        # Adopt the worker's spans/cost first (it pops them out of info, so
+        # the counter loop below sees only the ints it expects).
+        telemetry.adopt_reply(info)
+        telemetry.record_unit_dispatch(
+            [item.trace for item in unit.items],
+            worker=worker.index,
+            items=len(unit.items),
+            wall_ms=(
+                (time.perf_counter() - worker.dispatched_at) * 1000.0
+                if worker.dispatched_at is not None
+                else 0.0
+            ),
+            attempt=unit.attempts_left,
+        )
         self.stats.worker_cache_hits += info.get("cache_hits", 0)
         self.stats.worker_cache_misses += info.get("cache_misses", 0)
         worker.unit = None
@@ -463,10 +528,16 @@ class SupervisedPool:
         seq, payload, info = message
         if seq != worker.unit_seq or not isinstance(payload, list):
             return None
-        if not isinstance(info, dict) or any(
-            not isinstance(value, int) for value in info.values()
-        ):
+        if not isinstance(info, dict):
             return None
+        for key, value in info.items():
+            if key in ("spans", "cost"):
+                # Telemetry payloads are lists of dicts; anything else means
+                # the channel is torn.
+                if not isinstance(value, list):
+                    return None
+            elif not isinstance(value, int):
+                return None
         expected = {item.index for item in unit.items}
         out: dict[int, str] = {}
         for entry in payload:
@@ -501,27 +572,43 @@ class SupervisedPool:
                 # The culprit is isolated: answer it as a typed timeout (no
                 # retry — the wall clock already ran once, in full).
                 item = unit.items[0]
+                telemetry.record_escalation(
+                    item.trace, "timeout", reason, request_id=item.request_id
+                )
                 results[item.index] = self._timeout_line(item, budget_ms)
                 return
             # Re-run each request alone so only the slow one pays.
             self.stats.splits += 1
+            for item in unit.items:
+                telemetry.record_escalation(
+                    item.trace, "split", reason, request_id=item.request_id, unit_size=len(unit.items)
+                )
             for item in reversed(unit.items):
                 queue.appendleft(WorkUnit(items=(item,), attempts_left=unit.attempts_left))
             return
         unit.attempts_left -= 1
         if unit.attempts_left > 0:
             self.stats.retries += 1
+            for item in unit.items:
+                telemetry.record_escalation(
+                    item.trace, "retry", reason, request_id=item.request_id, unit_size=len(unit.items)
+                )
             queue.appendleft(unit)
             return
         if len(unit.items) > 1:
             # The unit killed a worker twice: isolate the culprit by retrying
             # every request as its own singleton (one attempt each).
             self.stats.splits += 1
+            for item in unit.items:
+                telemetry.record_escalation(
+                    item.trace, "split", reason, request_id=item.request_id, unit_size=len(unit.items)
+                )
             for item in reversed(unit.items):
                 queue.appendleft(WorkUnit(items=(item,), attempts_left=1))
             return
         item = unit.items[0]
         self.stats.quarantined += 1
+        telemetry.record_escalation(item.trace, "quarantine", reason, request_id=item.request_id)
         results[item.index] = dump_result_line(
             QueryResult(
                 kind=item.kind,

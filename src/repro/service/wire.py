@@ -30,7 +30,11 @@ envelope carrying ``deadline_ms`` is rejected — an old peer echoing unknown
 fields must not silently gain semantics.  Version 3 added the optional
 ``tenant`` request field (the keyspace a request reasons and caches under);
 v1/v2 payloads decode as the *default* tenant, and an older envelope
-carrying ``tenant`` is rejected on the same principle.  Malformed payloads
+carrying ``tenant`` is rejected on the same principle.  Version 3 also
+carries the optional ``trace`` request field — a caller-supplied trace id
+for end-to-end observability; it is metadata only (excluded from cache keys
+and absent from results), and an older envelope carrying ``trace`` is
+rejected like the other post-v1 fields.  Malformed payloads
 raise
 :class:`~repro.errors.ServiceError` — never ``KeyError``/``TypeError`` — so
 the CLI can turn them into structured error results.
@@ -336,7 +340,10 @@ class QueryRequest:
     ``dependencies`` is the PD set Γ the query reasons over; ``None`` means
     "use the session's own Γ" (the stateful mode).  ``tenant`` names the
     keyspace that Γ (and the request's cache slot) lives in; ``None`` is the
-    default tenant, which is how every pre-v3 request decodes.  The remaining
+    default tenant, which is how every pre-v3 request decodes.  ``trace`` is
+    an optional caller-supplied trace id: pure observability metadata that
+    never influences the answer (it is excluded from cache keys and results);
+    when absent, a tracing-enabled server mints one at decode.  The remaining
     fields are kind-specific; :func:`validate_request` states which are
     required.
     """
@@ -356,6 +363,7 @@ class QueryRequest:
     max_pool: int = 400
     max_nodes: Optional[int] = None
     deadline_ms: Optional[int] = None
+    trace: Optional[str] = None
 
     def with_id(self, new_id: Optional[str]) -> "QueryRequest":
         """The same request under another id (results are id-independent)."""
@@ -414,6 +422,11 @@ def validate_request(request: QueryRequest) -> None:
             raise ServiceError(
                 f"'tenant' must be a non-empty string, got {request.tenant!r}"
             )
+    if request.trace is not None:
+        if not isinstance(request.trace, str) or not request.trace:
+            raise ServiceError(
+                f"'trace' must be a non-empty string, got {request.trace!r}"
+            )
 
 
 def encode_request(request: QueryRequest) -> dict:
@@ -445,6 +458,8 @@ def encode_request(request: QueryRequest) -> dict:
         payload["pool"] = [encode_expression(e) for e in request.pool]
     if request.deadline_ms is not None:
         payload["deadline_ms"] = request.deadline_ms
+    if request.trace is not None:
+        payload["trace"] = request.trace
     return payload
 
 
@@ -459,6 +474,10 @@ def decode_request(payload: Any) -> QueryRequest:
     if "tenant" in payload and version < 3:
         raise ServiceError(
             f"'tenant' needs wire version 3; a version-{version} request cannot carry a tenant"
+        )
+    if "trace" in payload and version < 3:
+        raise ServiceError(
+            f"'trace' needs wire version 3; a version-{version} request cannot carry a trace id"
         )
     if kind not in REQUEST_KINDS:
         raise ServiceError(f"unknown request kind {kind!r}; expected one of {REQUEST_KINDS}")
@@ -499,6 +518,7 @@ def decode_request(payload: Any) -> QueryRequest:
         kwargs["pool"] = tuple(decode_expression(text) for text in pool)
     # Explicit null means "no deadline", same as omission.
     kwargs["deadline_ms"] = _require_int(payload, "deadline_ms", "request", allow_none=True)
+    kwargs["trace"] = payload.get("trace")
     request = QueryRequest(**kwargs)
     validate_request(request)
     return request
@@ -534,13 +554,16 @@ def decode_result(payload: Any) -> QueryResult:
 
 
 def request_cache_key(request: QueryRequest) -> str:
-    """The canonical bytes of a request *minus id and deadline* — the cache key.
+    """The canonical bytes of a request *minus id, deadline and trace* — the cache key.
 
     Two requests asking the same question under different ids share one cache
     slot; the session re-stamps the stored result with the caller's id.  The
     deadline is excluded too: a budget changes *whether* an answer arrives in
     time, never what the answer is, and timeouts are error results, which are
-    never cached.  The ``tenant`` field *stays in*: the key is effectively
+    never cached.  ``trace`` is excluded for the same reason tracing must be
+    invisible end to end: a trace id labels the observation, not the
+    question, so traced and untraced repeats share one slot and tracing can
+    never change an answer.  The ``tenant`` field *stays in*: the key is effectively
     ``(tenant, canonical request bytes)``, so one tenant's repeats can never
     be served from (or poison) another tenant's cache slot — tenant isolation
     is enforced at the key, in every cache tier that uses this function.
@@ -548,6 +571,7 @@ def request_cache_key(request: QueryRequest) -> str:
     payload = encode_request(request)
     payload.pop("id", None)
     payload.pop("deadline_ms", None)
+    payload.pop("trace", None)
     return canonical_dumps(payload)
 
 
